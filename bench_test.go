@@ -1,0 +1,139 @@
+package gcx
+
+// Benchmarks regenerating the paper's evaluation (Table 1) at test scale,
+// plus ablation benches for the Section 6 optimizations and pipeline
+// micro-benchmarks. The full-size sweep (10-200MB documents, as in the
+// paper) is driven by cmd/gcxbench; these benches default to a 2MB
+// document so `go test -bench=.` stays laptop-friendly. Set
+// GCX_BENCH_MB=10 (or more) to scale up.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"gcx/internal/queries"
+	"gcx/internal/xmark"
+)
+
+var benchDoc struct {
+	once sync.Once
+	data []byte
+}
+
+func benchDocument(b *testing.B) []byte {
+	benchDoc.once.Do(func() {
+		mb := 2.0
+		if s := os.Getenv("GCX_BENCH_MB"); s != "" {
+			if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+				mb = v
+			}
+		}
+		var buf bytes.Buffer
+		_, err := xmark.Generate(&buf, xmark.Config{
+			Factor: xmark.FactorForSize(int64(mb * (1 << 20))),
+			Seed:   1,
+		})
+		if err != nil {
+			b.Fatalf("generate: %v", err)
+		}
+		benchDoc.data = buf.Bytes()
+	})
+	return benchDoc.data
+}
+
+func runBench(b *testing.B, query string, opts ...Option) {
+	doc := benchDocument(b)
+	eng, err := Compile(query, opts...)
+	if err != nil {
+		b.Fatalf("compile: %v", err)
+	}
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	var peakNodes, peakBytes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := eng.Run(bytes.NewReader(doc), io.Discard)
+		if err != nil {
+			b.Fatalf("run: %v", err)
+		}
+		peakNodes, peakBytes = st.PeakBufferNodes, st.PeakBufferBytes
+	}
+	b.ReportMetric(float64(peakBytes)/1024, "peakKB")
+	b.ReportMetric(float64(peakNodes), "peakNodes")
+}
+
+// BenchmarkTable1 regenerates the paper's Table 1: every XMark query under
+// every engine. Reported metrics: throughput (MB/s of input), wall time
+// per evaluation, and the buffer high watermark (peakKB / peakNodes — the
+// paper's memory column).
+func BenchmarkTable1(b *testing.B) {
+	for _, q := range queries.All() {
+		for _, s := range []Strategy{GCX, StaticOnly, FullBuffer} {
+			b.Run(fmt.Sprintf("%s/%s", q.Name, s), func(b *testing.B) {
+				runBench(b, q.Text, WithStrategy(s))
+			})
+		}
+	}
+}
+
+// BenchmarkAblation isolates the Section 6 optimizations on Q1 and Q13
+// (the design choices DESIGN.md calls out): early updates, aggregate
+// roles, redundant-role elimination.
+func BenchmarkAblation(b *testing.B) {
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"AllOptimizations", nil},
+		{"NoEarlyUpdates", []Option{WithoutEarlyUpdates()}},
+		{"NoAggregateRoles", []Option{WithoutAggregateRoles()}},
+		{"NoRoleElimination", []Option{WithoutRedundantRoleElimination()}},
+		{"BaseTechnique", []Option{WithoutOptimizations()}},
+	}
+	for _, q := range []queries.Query{queries.Q1, queries.Q13} {
+		for _, c := range cases {
+			b.Run(fmt.Sprintf("%s/%s", q.Name, c.name), func(b *testing.B) {
+				runBench(b, q.Text, c.opts...)
+			})
+		}
+	}
+}
+
+// BenchmarkCompile measures query compilation (parse, normalize, rewrite,
+// static analysis) — a per-query one-time cost.
+func BenchmarkCompile(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(queries.Q8.Text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProjectionOnly isolates the stream pre-projector: a query whose
+// output is empty on the data still forces full projection work.
+func BenchmarkProjectionOnly(b *testing.B) {
+	// No person has the id "no-such-person": the run touches every people
+	// token but produces no output.
+	runBench(b, `<q>{ for $p in /site/people/person return
+	  if ($p/id = "no-such-person") then $p/name else () }</q>`)
+}
+
+// BenchmarkSchema compares plain GCX with schema-aware early termination
+// (GCX + the XMark DTD): results are identical, but the DTD lets cursors
+// stop reading once their region is provably complete.
+func BenchmarkSchema(b *testing.B) {
+	for _, q := range []queries.Query{queries.Q1, queries.Q13} {
+		b.Run(q.Name+"/GCX", func(b *testing.B) {
+			runBench(b, q.Text)
+		})
+		b.Run(q.Name+"/GCX+DTD", func(b *testing.B) {
+			runBench(b, q.Text, WithDTD(XMarkDTD))
+		})
+	}
+}

@@ -1,0 +1,150 @@
+// Command gcx runs an XQuery (fragment XQ) over an XML document or stream
+// with the GCX buffer-minimization technique.
+//
+// Usage:
+//
+//	gcx -query query.xq [-input doc.xml] [-mode gcx|static|full]
+//	    [-explain] [-trace] [-stats] [-no-early-updates]
+//	    [-no-aggregate-roles] [-no-role-elimination]
+//
+// The query result is written to stdout; statistics and diagnostics go to
+// stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gcx"
+)
+
+func main() {
+	var (
+		queryFile   = flag.String("query", "", "file containing the query (or use -q)")
+		queryText   = flag.String("q", "", "query text given inline")
+		inputFile   = flag.String("input", "", "XML input file (default stdin)")
+		mode        = flag.String("mode", "gcx", "buffering strategy: gcx, static, full")
+		explain     = flag.Bool("explain", false, "print compilation diagnostics (projection tree, roles, rewritten query) and exit")
+		trace       = flag.Bool("trace", false, "print a Figure-2-style buffer trace to stderr")
+		stats       = flag.Bool("stats", false, "print run statistics to stderr")
+		noEarly     = flag.Bool("no-early-updates", false, "disable the early-update optimization")
+		noAggregate = flag.Bool("no-aggregate-roles", false, "disable aggregate roles")
+		noElim      = flag.Bool("no-role-elimination", false, "disable redundant-role elimination")
+	)
+	flag.Parse()
+	if err := run(*queryFile, *queryText, *inputFile, *mode, *explain, *trace, *stats, *noEarly, *noAggregate, *noElim); err != nil {
+		fmt.Fprintln(os.Stderr, "gcx:", err)
+		os.Exit(1)
+	}
+}
+
+func run(queryFile, queryText, inputFile, mode string, explain, trace, stats, noEarly, noAggregate, noElim bool) error {
+	if (queryFile == "") == (queryText == "") {
+		return fmt.Errorf("exactly one of -query or -q is required")
+	}
+	src := queryText
+	if queryFile != "" {
+		data, err := os.ReadFile(queryFile)
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	}
+
+	var opts []gcx.Option
+	switch mode {
+	case "gcx":
+	case "static":
+		opts = append(opts, gcx.WithStrategy(gcx.StaticOnly))
+	case "full":
+		opts = append(opts, gcx.WithStrategy(gcx.FullBuffer))
+	default:
+		return fmt.Errorf("unknown mode %q (want gcx, static, or full)", mode)
+	}
+	if noEarly {
+		opts = append(opts, gcx.WithoutEarlyUpdates())
+	}
+	if noAggregate {
+		opts = append(opts, gcx.WithoutAggregateRoles())
+	}
+	if noElim {
+		opts = append(opts, gcx.WithoutRedundantRoleElimination())
+	}
+
+	eng, err := gcx.Compile(src, opts...)
+	if err != nil {
+		return err
+	}
+	if explain {
+		fmt.Fprintln(os.Stderr, eng.Explain())
+		return nil
+	}
+
+	var in io.Reader = os.Stdin
+	if inputFile != "" {
+		f, err := os.Open(inputFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	var st gcx.Stats
+	if trace {
+		steps, s, err := eng.Trace(in, os.Stdout)
+		if err != nil {
+			return err
+		}
+		st = s
+		for i, step := range steps {
+			fmt.Fprintf(os.Stderr, "step %d: %s\n", i+1, step.Event)
+			if step.Buffer == "" {
+				fmt.Fprintln(os.Stderr, "  (buffer empty)")
+				continue
+			}
+			fmt.Fprint(os.Stderr, indent(step.Buffer))
+		}
+	} else {
+		st, err = eng.Run(in, os.Stdout)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Println()
+
+	if stats {
+		fmt.Fprintf(os.Stderr, "tokens read:        %d\n", st.TokensRead)
+		fmt.Fprintf(os.Stderr, "buffered total:     %d nodes\n", st.BufferedTotal)
+		fmt.Fprintf(os.Stderr, "purged by GC:       %d nodes\n", st.PurgedTotal)
+		fmt.Fprintf(os.Stderr, "signOffs executed:  %d\n", st.SignOffs)
+		fmt.Fprintf(os.Stderr, "peak buffer:        %d nodes / %d bytes\n", st.PeakBufferNodes, st.PeakBufferBytes)
+		fmt.Fprintf(os.Stderr, "output:             %d bytes\n", st.OutputBytes)
+	}
+	return nil
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "  | " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}

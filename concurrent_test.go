@@ -1,0 +1,57 @@
+package gcx
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRuns: each evaluation is single-threaded (the paper's
+// strictly sequential semantics), but a compiled Engine holds only
+// immutable analysis results, so independent runs may proceed in parallel
+// goroutines.
+func TestConcurrentRuns(t *testing.T) {
+	eng := MustCompile(`<out>{
+	    for $b in /bib/book return
+	        if (exists($b/price)) then $b/title else ()
+	}</out>`)
+
+	var doc strings.Builder
+	doc.WriteString("<bib>")
+	for i := 0; i < 300; i++ {
+		doc.WriteString("<book><title>T</title><price>5</price></book>")
+		doc.WriteString("<book><title>U</title></book>")
+	}
+	doc.WriteString("</bib>")
+
+	want, _, err := eng.RunString(doc.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, _, err := eng.RunString(doc.String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got != want {
+				errs <- &mismatchError{}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "concurrent run output mismatch" }

@@ -1,0 +1,243 @@
+// Package gcx is a streaming XQuery engine with active garbage collection,
+// reproducing
+//
+//	Michael Schmidt, Stefanie Scherzinger, Christoph Koch.
+//	"Combined Static and Dynamic Analysis for Effective Buffer
+//	Minimization in Streaming XQuery Evaluation." ICDE 2007.
+//
+// The engine evaluates the practical XQuery fragment XQ (arbitrarily
+// nested for-loops, conditions, joins — composition-free XQuery) over XML
+// streams with minimal buffering: static analysis derives a projection
+// tree and a set of roles, the input stream is projected on the fly with
+// roles assigned to buffered nodes, and statically inserted signOff
+// statements actively purge nodes the moment they become irrelevant to the
+// rest of the evaluation.
+//
+// Quick start:
+//
+//	eng, err := gcx.Compile(`<out>{
+//	    for $b in /bib/book return
+//	        if (exists($b/price)) then $b/title else ()
+//	}</out>`)
+//	if err != nil { ... }
+//	stats, err := eng.Run(inputReader, os.Stdout)
+//	fmt.Printf("peak buffer: %d nodes\n", stats.PeakBufferNodes)
+//
+// Three buffering strategies are available for comparison (see
+// DESIGN.md): the full GCX technique, projection without garbage
+// collection (StaticOnly), and full document buffering (FullBuffer).
+package gcx
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"gcx/internal/dtd"
+	"gcx/internal/engine"
+	"gcx/internal/static"
+	"gcx/internal/xmark"
+)
+
+// Strategy selects the buffer management technique.
+type Strategy int
+
+const (
+	// GCX is the paper's technique: stream projection plus active garbage
+	// collection driven by signOff statements.
+	GCX Strategy = iota
+	// StaticOnly projects the stream but never purges the buffer —
+	// "static analysis alone" (the projection strategy of Galax [13]).
+	StaticOnly
+	// FullBuffer loads the entire document into the buffer — the naive
+	// in-memory baseline.
+	FullBuffer
+)
+
+// String names the strategy.
+func (s Strategy) String() string { return s.mode().String() }
+
+func (s Strategy) mode() engine.Mode {
+	switch s {
+	case StaticOnly:
+		return engine.ModeStaticOnly
+	case FullBuffer:
+		return engine.ModeFullBuffer
+	default:
+		return engine.ModeGCX
+	}
+}
+
+// Option configures compilation.
+type Option func(*config)
+
+type config struct {
+	strategy Strategy
+	static   static.Options
+	schema   *dtd.Schema
+	err      error
+}
+
+// WithStrategy selects the buffering strategy (default GCX).
+func WithStrategy(s Strategy) Option {
+	return func(c *config) { c.strategy = s }
+}
+
+// WithoutEarlyUpdates disables the early-update rewriting (Section 6 of
+// the paper): output roles are then released at scope ends instead of
+// immediately after each node is emitted.
+func WithoutEarlyUpdates() Option {
+	return func(c *config) { c.static.EarlyUpdates = false }
+}
+
+// WithoutAggregateRoles disables aggregate roles (Section 6): subtree
+// relevance is then tracked with one role instance per buffered node.
+func WithoutAggregateRoles() Option {
+	return func(c *config) { c.static.AggregateRoles = false }
+}
+
+// WithoutRedundantRoleElimination disables redundant-role elimination
+// (Section 6, Figure 12).
+func WithoutRedundantRoleElimination() Option {
+	return func(c *config) { c.static.EliminateRedundantRoles = false }
+}
+
+// WithoutOptimizations disables all Section 6 optimizations, yielding the
+// paper's base technique (whose rewritten queries match the paper's
+// figures verbatim).
+func WithoutOptimizations() Option {
+	return func(c *config) { c.static = static.Options{} }
+}
+
+// WithDTD supplies a document type definition, enabling schema-aware early
+// region termination: blocking cursors stop as soon as the content model
+// proves no further match can arrive, instead of scanning to the end of
+// the input. This is the capability of the schema-based systems the paper
+// compares against ([11]); results are unchanged, only less input is read.
+// Supplying a DTD asserts that inputs are valid against it.
+func WithDTD(dtdSource string) Option {
+	return func(c *config) {
+		s, err := dtd.Parse(dtdSource)
+		if err != nil {
+			c.err = err
+			return
+		}
+		c.schema = s
+	}
+}
+
+// XMarkDTD is the schema of the documents produced by cmd/xmarkgen, for
+// use with WithDTD in benchmarks and examples.
+const XMarkDTD = xmark.DTD
+
+// Stats reports the measurements of one run. The buffer high watermark is
+// the paper's primary metric.
+type Stats struct {
+	// PeakBufferNodes is the high watermark of simultaneously buffered
+	// nodes.
+	PeakBufferNodes int64
+	// PeakBufferBytes is the high watermark of estimated buffered bytes.
+	PeakBufferBytes int64
+	// BufferedTotal is the total number of nodes ever copied into the
+	// buffer (projection effectiveness).
+	BufferedTotal int64
+	// PurgedTotal is the total number of nodes reclaimed by active
+	// garbage collection.
+	PurgedTotal int64
+	// SignOffs is the number of executed signOff statements.
+	SignOffs int64
+	// TokensRead is the number of stream tokens consumed.
+	TokensRead int64
+	// OutputBytes is the number of serialized result bytes.
+	OutputBytes int64
+}
+
+// Engine is a compiled query, safe for repeated (sequential) runs.
+type Engine struct {
+	c *engine.Compiled
+}
+
+// Compile parses, rewrites, and statically analyzes a query.
+//
+// The accepted surface syntax is the fragment XQ of the paper (Figure 6)
+// plus conveniences that are normalized away: where-clauses, multi-step
+// paths, @attr steps (attributes are converted to subelements, matching
+// the engine's input adaptation), string/numeric literals, and comments.
+func Compile(query string, opts ...Option) (*Engine, error) {
+	cfg := config{strategy: GCX, static: static.AllOptimizations()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+	c, err := engine.Compile(query, engine.Config{Mode: cfg.strategy.mode(), Static: &cfg.static, Schema: cfg.schema})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{c: c}, nil
+}
+
+// MustCompile is Compile panicking on error, for tests and examples with
+// constant queries.
+func MustCompile(query string, opts ...Option) *Engine {
+	e, err := Compile(query, opts...)
+	if err != nil {
+		panic(fmt.Sprintf("gcx: MustCompile: %v", err))
+	}
+	return e
+}
+
+// Run evaluates the query over the XML document read from in, writing the
+// serialized result to out.
+func (e *Engine) Run(in io.Reader, out io.Writer) (Stats, error) {
+	st, err := e.c.Run(in, out)
+	return convertStats(st), err
+}
+
+// RunString evaluates over an in-memory document and returns the result.
+func (e *Engine) RunString(doc string) (string, Stats, error) {
+	var out strings.Builder
+	st, err := e.Run(strings.NewReader(doc), &out)
+	return out.String(), st, err
+}
+
+// Explain returns the compilation diagnostics: variable tree, dependency
+// sets, projection tree, role table, and the rewritten query with signOff
+// statements — the artifacts of the paper's Figures 1, 8, 9 and 12 for
+// this query.
+func (e *Engine) Explain() string { return e.c.Explain() }
+
+// Trace evaluates the query and additionally records the buffer contents
+// after every consumed token and executed signOff — the step-by-step view
+// of the paper's Figure 2.
+func (e *Engine) Trace(in io.Reader, out io.Writer) ([]TraceStep, Stats, error) {
+	tr := &engine.Tracer{}
+	st, err := e.c.RunWith(in, out, engine.RunOptions{Trace: tr})
+	steps := make([]TraceStep, len(tr.Steps))
+	for i, s := range tr.Steps {
+		steps[i] = TraceStep{Event: s.Event, Buffer: s.Buffer}
+	}
+	return steps, convertStats(st), err
+}
+
+// TraceStep is one event of a traced run.
+type TraceStep struct {
+	// Event describes the trigger: `read <tag>` or `signOff($x, rN)`.
+	Event string
+	// Buffer is the buffer tree with role annotations after the event,
+	// in the notation of the paper's Figure 2.
+	Buffer string
+}
+
+func convertStats(st engine.Stats) Stats {
+	return Stats{
+		PeakBufferNodes: st.Buffer.PeakNodes,
+		PeakBufferBytes: st.Buffer.PeakBytes,
+		BufferedTotal:   st.Buffer.NodesAppended,
+		PurgedTotal:     st.Buffer.NodesDeleted,
+		SignOffs:        st.Buffer.SignOffs,
+		TokensRead:      st.TokensRead,
+		OutputBytes:     st.OutputBytes,
+	}
+}

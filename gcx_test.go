@@ -1,0 +1,119 @@
+package gcx
+
+import (
+	"strings"
+	"testing"
+)
+
+const bibDoc = `<bib>
+  <book><title>Streams</title><author>S. One</author></book>
+  <book><title>Buffers</title><price>30</price></book>
+</bib>`
+
+func TestQuickstart(t *testing.T) {
+	eng := MustCompile(`<out>{
+	    for $b in /bib/book return
+	        if (exists($b/price)) then $b/title else ()
+	}</out>`)
+	got, st, err := eng.RunString(bibDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != `<out><title>Buffers</title></out>` {
+		t.Fatalf("got %s", got)
+	}
+	if st.PeakBufferNodes <= 0 || st.SignOffs == 0 || st.PurgedTotal == 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+}
+
+func TestStrategiesAgree(t *testing.T) {
+	query := `<out>{ for $b in /bib/book return <t>{ $b/title }</t> }</out>`
+	var outs []string
+	for _, s := range []Strategy{GCX, StaticOnly, FullBuffer} {
+		eng := MustCompile(query, WithStrategy(s))
+		got, _, err := eng.RunString(bibDoc)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		outs = append(outs, got)
+	}
+	if outs[0] != outs[1] || outs[1] != outs[2] {
+		t.Fatalf("strategies disagree: %v", outs)
+	}
+}
+
+func TestAblationOptions(t *testing.T) {
+	query := `<out>{ for $b in /bib/book return $b }</out>`
+	for _, opt := range [][]Option{
+		{WithoutEarlyUpdates()},
+		{WithoutAggregateRoles()},
+		{WithoutRedundantRoleElimination()},
+		{WithoutOptimizations()},
+	} {
+		eng := MustCompile(query, opt...)
+		got, _, err := eng.RunString(bibDoc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(got, "<title>Streams</title>") {
+			t.Fatalf("got %s", got)
+		}
+	}
+}
+
+func TestExplain(t *testing.T) {
+	eng := MustCompile(`<out>{ for $b in /bib/book return $b/title }</out>`)
+	ex := eng.Explain()
+	for _, want := range []string{"projection tree", "signOff", "variable tree"} {
+		if !strings.Contains(ex, want) {
+			t.Fatalf("explain missing %q", want)
+		}
+	}
+}
+
+func TestTrace(t *testing.T) {
+	eng := MustCompile(`<out>{ for $b in /bib/book return $b/title }</out>`,
+		WithoutOptimizations())
+	var out strings.Builder
+	steps, _, err := eng.Trace(strings.NewReader(bibDoc), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 {
+		t.Fatal("no trace steps recorded")
+	}
+	var sawSignoff bool
+	for _, s := range steps {
+		if strings.HasPrefix(s.Event, "signOff(") {
+			sawSignoff = true
+		}
+	}
+	if !sawSignoff {
+		t.Fatal("trace must include signOff events")
+	}
+}
+
+func TestCompileError(t *testing.T) {
+	if _, err := Compile(`<out>{ $undefined }</out>`); err == nil {
+		t.Fatal("want compile error")
+	}
+	if _, err := Compile(`not a query`); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestRepeatedRuns(t *testing.T) {
+	eng := MustCompile(`<out>{ for $b in /bib/book return $b/title }</out>`)
+	a, _, err := eng.RunString(bibDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := eng.RunString(bibDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("compiled engines must be reusable")
+	}
+}

@@ -1,0 +1,318 @@
+// Package bench is the benchmark harness that regenerates Table 1 of the
+// paper: for each XMark query (Q1, Q6, Q8, Q13, Q20), document size, and
+// engine (GCX, StaticOnly, FullBuffer), it measures wall-clock evaluation
+// time and the buffer high watermark.
+//
+// The paper measured resident memory of whole processes (C++/Java engines)
+// with `top`; we report the engine-controlled quantity — peak buffered
+// nodes/bytes — plus Go heap figures, which is deterministic and directly
+// reflects what the buffer-management technique controls. See EXPERIMENTS.md
+// for the paper-versus-measured comparison.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gcx/internal/dtd"
+	"gcx/internal/engine"
+	"gcx/internal/queries"
+	"gcx/internal/xmark"
+)
+
+// Config parameterizes a Table 1 sweep.
+type Config struct {
+	// Sizes are target document sizes in bytes (the paper used 10, 50,
+	// 100, 200 MB).
+	Sizes []int64
+	// Queries to run; defaults to queries.All().
+	Queries []queries.Query
+	// Modes to compare; defaults to GCX, StaticOnly, FullBuffer.
+	Modes []engine.Mode
+	// Seed for document generation.
+	Seed uint64
+	// Timeout aborts a single run (0 = no timeout). The paper used 1 hour.
+	Timeout time.Duration
+	// WithSchema additionally runs GCX with the XMark DTD (schema-aware
+	// early region termination; the FluX-style capability).
+	WithSchema bool
+	// Dir is where generated documents are cached; defaults to the OS
+	// temp directory.
+	Dir string
+	// Progress, if non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+// Result is one cell of Table 1.
+type Result struct {
+	Query string
+	// Engine is the column label: the mode name, or "GCX+DTD" for the
+	// schema-aware run.
+	Engine    string
+	Mode      engine.Mode
+	DocBytes  int64
+	Duration  time.Duration
+	PeakNodes int64
+	PeakBytes int64
+	OutBytes  int64
+	Tokens    int64
+	HeapPeak  uint64 // Go heap in use after the run (approximate)
+	Err       error
+	TimedOut  bool
+}
+
+// Run executes the sweep and returns all results in (size, query, mode)
+// order.
+func Run(cfg Config) ([]Result, error) {
+	if len(cfg.Queries) == 0 {
+		cfg.Queries = queries.All()
+	}
+	if len(cfg.Modes) == 0 {
+		cfg.Modes = []engine.Mode{engine.ModeGCX, engine.ModeStaticOnly, engine.ModeFullBuffer}
+	}
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = []int64{10 << 20}
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		dir = os.TempDir()
+	}
+
+	var results []Result
+	for _, size := range cfg.Sizes {
+		path, actual, err := Document(dir, size, cfg.Seed)
+		if err != nil {
+			return results, err
+		}
+		for _, q := range cfg.Queries {
+			for _, mode := range cfg.Modes {
+				r := runOne(q, mode, nil, path, actual, cfg.Timeout)
+				results = append(results, r)
+				if cfg.Progress != nil {
+					fmt.Fprintf(cfg.Progress, "%s\n", FormatResult(r))
+				}
+			}
+			if cfg.WithSchema {
+				r := runOne(q, engine.ModeGCX, xmarkSchema(), path, actual, cfg.Timeout)
+				results = append(results, r)
+				if cfg.Progress != nil {
+					fmt.Fprintf(cfg.Progress, "%s\n", FormatResult(r))
+				}
+			}
+		}
+	}
+	return results, nil
+}
+
+// Document generates (or reuses) a cached XMark document of approximately
+// the target size and returns its path and actual size.
+func Document(dir string, targetBytes int64, seed uint64) (string, int64, error) {
+	factor := xmark.FactorForSize(targetBytes)
+	name := fmt.Sprintf("xmark-f%.6f-s%d.xml", factor, seed)
+	path := filepath.Join(dir, name)
+	if fi, err := os.Stat(path); err == nil && fi.Size() > 0 {
+		return path, fi.Size(), nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return "", 0, fmt.Errorf("bench: create document: %w", err)
+	}
+	n, err := xmark.Generate(f, xmark.Config{Factor: factor, Seed: seed})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		return "", 0, fmt.Errorf("bench: generate document: %w", err)
+	}
+	return path, n, nil
+}
+
+var schemaOnce struct {
+	once   sync.Once
+	schema *dtd.Schema
+}
+
+func xmarkSchema() *dtd.Schema {
+	schemaOnce.once.Do(func() {
+		schemaOnce.schema = dtd.MustParse(xmark.DTD)
+	})
+	return schemaOnce.schema
+}
+
+func runOne(q queries.Query, mode engine.Mode, schema *dtd.Schema, path string, docBytes int64, timeout time.Duration) Result {
+	label := mode.String()
+	if schema != nil {
+		label += "+DTD"
+	}
+	r := Result{Query: q.Name, Engine: label, Mode: mode, DocBytes: docBytes}
+	c, err := engine.Compile(q.Text, engine.Config{Mode: mode, Schema: schema})
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	defer f.Close()
+
+	type outcome struct {
+		st  engine.Stats
+		err error
+	}
+	done := make(chan outcome, 1)
+	start := time.Now()
+	go func() {
+		st, err := c.Run(f, io.Discard)
+		done <- outcome{st, err}
+	}()
+
+	var out outcome
+	if timeout > 0 {
+		select {
+		case out = <-done:
+		case <-time.After(timeout):
+			r.TimedOut = true
+			r.Duration = timeout
+			return r
+		}
+	} else {
+		out = <-done
+	}
+	r.Duration = time.Since(start)
+	r.Err = out.err
+	r.PeakNodes = out.st.Buffer.PeakNodes
+	r.PeakBytes = out.st.Buffer.PeakBytes
+	r.OutBytes = out.st.OutputBytes
+	r.Tokens = out.st.TokensRead
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.HeapPeak = ms.HeapInuse
+	return r
+}
+
+// FormatResult renders one result as a single line.
+func FormatResult(r Result) string {
+	if r.TimedOut {
+		return fmt.Sprintf("%-4s %-11s %7s   timeout", r.Query, r.Engine, humanBytes(r.DocBytes))
+	}
+	if r.Err != nil {
+		return fmt.Sprintf("%-4s %-11s %7s   error: %v", r.Query, r.Engine, humanBytes(r.DocBytes), r.Err)
+	}
+	return fmt.Sprintf("%-4s %-11s %7s   %10s   peak %9s (%d nodes)   out %s",
+		r.Query, r.Engine, humanBytes(r.DocBytes), r.Duration.Round(time.Millisecond),
+		humanBytes(r.PeakBytes), r.PeakNodes, humanBytes(r.OutBytes))
+}
+
+// FormatTable renders results in the layout of Table 1: one block per
+// query, one row per document size, one column per engine showing
+// "time / peak buffer".
+func FormatTable(results []Result) string {
+	type key struct {
+		query string
+		size  int64
+	}
+	cells := map[key]map[string]Result{}
+	var modes []string
+	modeSeen := map[string]bool{}
+	var queriesOrder []string
+	querySeen := map[string]bool{}
+	sizesByQuery := map[string][]int64{}
+
+	for _, r := range results {
+		k := key{r.Query, r.DocBytes}
+		if cells[k] == nil {
+			cells[k] = map[string]Result{}
+		}
+		cells[k][r.Engine] = r
+		if !modeSeen[r.Engine] {
+			modeSeen[r.Engine] = true
+			modes = append(modes, r.Engine)
+		}
+		if !querySeen[r.Query] {
+			querySeen[r.Query] = true
+			queriesOrder = append(queriesOrder, r.Query)
+		}
+		found := false
+		for _, s := range sizesByQuery[r.Query] {
+			if s == r.DocBytes {
+				found = true
+			}
+		}
+		if !found {
+			sizesByQuery[r.Query] = append(sizesByQuery[r.Query], r.DocBytes)
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("Table 1 reproduction: evaluation time / buffer high watermark\n")
+	b.WriteString(fmt.Sprintf("%-14s", "Query  Size"))
+	for _, m := range modes {
+		b.WriteString(fmt.Sprintf(" | %-24s", m))
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", 14+27*len(modes)) + "\n")
+	for _, qn := range queriesOrder {
+		sizes := sizesByQuery[qn]
+		sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+		for _, size := range sizes {
+			b.WriteString(fmt.Sprintf("%-5s %8s", qn, humanBytes(size)))
+			for _, m := range modes {
+				r, ok := cells[key{qn, size}][m]
+				switch {
+				case !ok:
+					b.WriteString(fmt.Sprintf(" | %-24s", "-"))
+				case r.TimedOut:
+					b.WriteString(fmt.Sprintf(" | %-24s", "timeout"))
+				case r.Err != nil:
+					b.WriteString(fmt.Sprintf(" | %-24s", "error"))
+				default:
+					b.WriteString(fmt.Sprintf(" | %9s / %-11s",
+						r.Duration.Round(time.Millisecond), humanBytes(r.PeakBytes)))
+				}
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatCSV renders results as CSV for downstream plotting.
+func FormatCSV(results []Result) string {
+	var b strings.Builder
+	b.WriteString("query,engine,doc_bytes,duration_ms,peak_buffer_bytes,peak_buffer_nodes,output_bytes,tokens,timed_out,error\n")
+	for _, r := range results {
+		errStr := ""
+		if r.Err != nil {
+			errStr = strings.ReplaceAll(r.Err.Error(), ",", ";")
+		}
+		fmt.Fprintf(&b, "%s,%s,%d,%.3f,%d,%d,%d,%d,%t,%s\n",
+			r.Query, r.Engine, r.DocBytes,
+			float64(r.Duration.Microseconds())/1000.0,
+			r.PeakBytes, r.PeakNodes, r.OutBytes, r.Tokens, r.TimedOut, errStr)
+	}
+	return b.String()
+}
+
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

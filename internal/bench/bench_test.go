@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gcx/internal/engine"
+	"gcx/internal/queries"
+)
+
+func TestRunSmallSweep(t *testing.T) {
+	cfg := Config{
+		Sizes:   []int64{256 << 10},
+		Queries: []queries.Query{queries.Q1, queries.Q13},
+		Seed:    1,
+		Dir:     t.TempDir(),
+	}
+	results, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2*3 { // 2 queries × 3 modes
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s/%s: %v", r.Query, r.Mode, r.Err)
+		}
+		if r.Duration <= 0 || r.PeakBytes <= 0 || r.Tokens <= 0 {
+			t.Fatalf("degenerate result: %+v", r)
+		}
+	}
+	table := FormatTable(results)
+	for _, want := range []string{"Q1", "Q13", "GCX", "StaticOnly", "FullBuffer"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+	csv := FormatCSV(results)
+	if strings.Count(csv, "\n") != len(results)+1 {
+		t.Fatalf("csv row count wrong:\n%s", csv)
+	}
+}
+
+func TestDocumentCaching(t *testing.T) {
+	dir := t.TempDir()
+	p1, n1, err := Document(dir, 128<<10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, n2, err := Document(dir, 128<<10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 || n1 != n2 {
+		t.Fatal("second call must reuse the cached document")
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	cfg := Config{
+		Sizes:   []int64{512 << 10},
+		Queries: []queries.Query{queries.Q8}, // quadratic join
+		Modes:   []engine.Mode{engine.ModeGCX},
+		Seed:    1,
+		Dir:     t.TempDir(),
+		Timeout: 1 * time.Millisecond,
+	}
+	results, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].TimedOut {
+		t.Fatalf("expected a timeout, got %+v", results[0])
+	}
+	if !strings.Contains(FormatResult(results[0]), "timeout") {
+		t.Fatal("timeout must be rendered")
+	}
+}

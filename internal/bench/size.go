@@ -1,0 +1,32 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSize parses human-readable byte sizes like "10MB", "512KB", "2GB",
+// or plain byte counts. Units are binary (1MB = 1<<20).
+func ParseSize(s string) (int64, error) {
+	u := strings.ToUpper(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(u, "GB"):
+		mult, u = 1<<30, strings.TrimSuffix(u, "GB")
+	case strings.HasSuffix(u, "MB"):
+		mult, u = 1<<20, strings.TrimSuffix(u, "MB")
+	case strings.HasSuffix(u, "KB"):
+		mult, u = 1<<10, strings.TrimSuffix(u, "KB")
+	case strings.HasSuffix(u, "B"):
+		u = strings.TrimSuffix(u, "B")
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(u), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bench: bad size %q", s)
+	}
+	return int64(v * float64(mult)), nil
+}
+
+// FormatSize renders a byte count the way ParseSize reads it.
+func FormatSize(n int64) string { return humanBytes(n) }

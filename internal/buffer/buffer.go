@@ -1,0 +1,418 @@
+package buffer
+
+import (
+	"fmt"
+	"strings"
+
+	"gcx/internal/xmlstream"
+	"gcx/internal/xqast"
+)
+
+// Stats tracks the buffer accounting the benchmarks report: the paper's
+// primary measured quantity is the high watermark of buffered data.
+type Stats struct {
+	LiveNodes int64 // currently buffered nodes
+	PeakNodes int64 // high watermark of LiveNodes
+	LiveBytes int64 // estimated bytes of live buffer content
+	PeakBytes int64 // high watermark of LiveBytes
+
+	NodesAppended int64 // total nodes ever buffered
+	NodesDeleted  int64 // total nodes reclaimed
+
+	RoleAssignments int64 // total role instances assigned
+	RoleRemovals    int64 // total role instances removed
+	SignOffs        int64 // signOff statements processed
+	GCSweeps        int64 // aggregate-role subtree sweeps
+}
+
+// nodeBaseBytes approximates the in-memory size of a Node (pointers, flags,
+// counters). The exact constant is irrelevant for the benchmark shapes; it
+// just keeps byte accounting proportional to node counts.
+const nodeBaseBytes = 96
+
+// roleEntryBytes approximates the size of one role multiset entry.
+const roleEntryBytes = 8
+
+// ErrUndefinedRemoval is returned when a signOff removes a role instance
+// that was never assigned — the "undefined" case of Section 2's remρ, which
+// indicates a broken rewriting and must surface loudly.
+type ErrUndefinedRemoval struct {
+	Role xqast.Role
+	Node string
+}
+
+func (e *ErrUndefinedRemoval) Error() string {
+	return fmt.Sprintf("buffer: removal of role r%d from %s is undefined (no instance assigned)", e.Role, e.Node)
+}
+
+// Canceller is implemented by the stream projector: when a signOff targets
+// a subtree whose closing tag has not been read yet, future role
+// assignments (and capture-driven buffering) for that role below the
+// binding must be suppressed to preserve the assignment/removal balance.
+// See DESIGN.md, "SignOff on unfinished subtrees".
+type Canceller interface {
+	CancelRole(binding *Node, role xqast.Role)
+}
+
+// Buffer is the buffer manager.
+type Buffer struct {
+	root *Node
+	syms *xmlstream.SymTab
+
+	// aggregate[r] reports whether role r is an aggregate (subtree) role.
+	aggregate []bool
+
+	// canceller receives future-assignment cancellations; may be nil
+	// (e.g. in unit tests without a projector).
+	canceller Canceller
+
+	// assigned/removed per role, for the balance invariant.
+	assigned []int64
+	removed  []int64
+
+	stats Stats
+}
+
+// New creates an empty buffer for a query whose role table marks the given
+// roles as aggregate. roleCount is the number of roles (role IDs are
+// 1..roleCount).
+func New(syms *xmlstream.SymTab, roleCount int, aggregate []bool) *Buffer {
+	agg := make([]bool, roleCount+1)
+	copy(agg, aggregate)
+	b := &Buffer{
+		syms:      syms,
+		aggregate: agg,
+		assigned:  make([]int64, roleCount+1),
+		removed:   make([]int64, roleCount+1),
+	}
+	b.root = &Node{Kind: KindRoot}
+	b.stats.LiveNodes = 1
+	b.stats.LiveBytes = nodeBaseBytes
+	b.stats.PeakNodes = 1
+	b.stats.PeakBytes = nodeBaseBytes
+	return b
+}
+
+// SetCanceller wires the stream projector's cancellation hook.
+func (b *Buffer) SetCanceller(c Canceller) { b.canceller = c }
+
+// Root returns the virtual document root.
+func (b *Buffer) Root() *Node { return b.root }
+
+// Stats returns a snapshot of the buffer accounting.
+func (b *Buffer) Stats() Stats { return b.stats }
+
+// Syms returns the symbol table shared with the projector.
+func (b *Buffer) Syms() *xmlstream.SymTab { return b.syms }
+
+// AssignedCount and RemovedCount expose per-role accounting for invariant
+// checks (every assignment must be matched by a removal, Section 3).
+func (b *Buffer) AssignedCount(r xqast.Role) int64 { return b.assigned[r] }
+func (b *Buffer) RemovedCount(r xqast.Role) int64  { return b.removed[r] }
+
+func (b *Buffer) bumpPeaks() {
+	if b.stats.LiveNodes > b.stats.PeakNodes {
+		b.stats.PeakNodes = b.stats.LiveNodes
+	}
+	if b.stats.LiveBytes > b.stats.PeakBytes {
+		b.stats.PeakBytes = b.stats.LiveBytes
+	}
+}
+
+// AppendElement buffers a new element under parent (as last child) and
+// returns it. The node starts unfinished.
+func (b *Buffer) AppendElement(parent *Node, sym xmlstream.Sym) *Node {
+	n := &Node{Kind: KindElement, Sym: sym, Parent: parent}
+	b.link(parent, n)
+	b.stats.LiveNodes++
+	b.stats.LiveBytes += nodeBaseBytes
+	b.stats.NodesAppended++
+	b.bumpPeaks()
+	return n
+}
+
+// AppendText buffers a text node under parent. Text nodes are born
+// finished.
+func (b *Buffer) AppendText(parent *Node, text string) *Node {
+	n := &Node{Kind: KindText, Text: text, Parent: parent, finished: true}
+	b.link(parent, n)
+	b.stats.LiveNodes++
+	b.stats.LiveBytes += nodeBaseBytes + int64(len(text))
+	b.stats.NodesAppended++
+	b.bumpPeaks()
+	return n
+}
+
+func (b *Buffer) link(parent, n *Node) {
+	if parent.LastChild == nil {
+		parent.FirstChild = n
+		parent.LastChild = n
+		return
+	}
+	n.PrevSib = parent.LastChild
+	parent.LastChild.NextSib = n
+	parent.LastChild = n
+}
+
+// AddRole assigns k instances of role r to n, updating the subtree
+// accounting along the ancestor chain.
+func (b *Buffer) AddRole(n *Node, r xqast.Role, k int) {
+	if k <= 0 {
+		return
+	}
+	found := false
+	for i := range n.roles {
+		if n.roles[i].role == r {
+			n.roles[i].n += int32(k)
+			found = true
+			break
+		}
+	}
+	if !found {
+		n.roles = append(n.roles, roleEntry{role: r, n: int32(k)})
+		b.stats.LiveBytes += roleEntryBytes
+	}
+	n.selfTotal += int32(k)
+	if b.aggregate[r] {
+		n.aggCount += int32(k)
+	}
+	for a := n; a != nil; a = a.Parent {
+		a.subTotal += int64(k)
+	}
+	b.assigned[r] += int64(k)
+	b.stats.RoleAssignments += int64(k)
+	b.bumpPeaks()
+}
+
+// removeRole removes k instances of role r from n. It reports whether the
+// removal left the node without that role entry.
+func (b *Buffer) removeRole(n *Node, r xqast.Role, k int) error {
+	for i := range n.roles {
+		if n.roles[i].role != r {
+			continue
+		}
+		if int(n.roles[i].n) < k {
+			return &ErrUndefinedRemoval{Role: r, Node: b.describe(n)}
+		}
+		n.roles[i].n -= int32(k)
+		if n.roles[i].n == 0 {
+			n.roles = append(n.roles[:i], n.roles[i+1:]...)
+			b.stats.LiveBytes -= roleEntryBytes
+		}
+		n.selfTotal -= int32(k)
+		if b.aggregate[r] {
+			n.aggCount -= int32(k)
+		}
+		for a := n; a != nil; a = a.Parent {
+			a.subTotal -= int64(k)
+		}
+		b.removed[r] += int64(k)
+		b.stats.RoleRemovals += int64(k)
+		return nil
+	}
+	return &ErrUndefinedRemoval{Role: r, Node: b.describe(n)}
+}
+
+func (b *Buffer) describe(n *Node) string {
+	switch n.Kind {
+	case KindRoot:
+		return "root"
+	case KindText:
+		return fmt.Sprintf("text %q", n.Text)
+	default:
+		return "<" + b.syms.Name(n.Sym) + ">"
+	}
+}
+
+// Pin marks n as the current position of an evaluator cursor; pinned nodes
+// (and their ancestors) are not reclaimed until unpinned. This is the same
+// deferred-deletion treatment the paper gives unfinished nodes.
+func (b *Buffer) Pin(n *Node) {
+	for a := n; a != nil; a = a.Parent {
+		a.subPins++
+	}
+}
+
+// Unpin releases a pin and reclaims the node if a signOff already made it
+// irrelevant.
+func (b *Buffer) Unpin(n *Node) {
+	for a := n; a != nil; a = a.Parent {
+		a.subPins--
+	}
+	if !n.unlinked {
+		b.collect(n)
+	}
+}
+
+// Finish marks an element as finished (closing tag read) and applies the
+// deferred deletion / close-time pruning rules: a finished node that is
+// irrelevant and uncovered can never become relevant again and is
+// reclaimed immediately.
+func (b *Buffer) Finish(n *Node) {
+	n.finished = true
+	b.collect(n)
+}
+
+// deletable reports whether n can be physically reclaimed right now.
+func (b *Buffer) deletable(n *Node) bool {
+	return n.Kind != KindRoot &&
+		n.finished &&
+		n.subTotal == 0 &&
+		n.subPins == 0 &&
+		!n.Covered()
+}
+
+// collect is the localized bottom-up garbage collection of Figure 10:
+// starting at n, reclaim irrelevant nodes and propagate upward until a
+// relevant (or unfinished, or pinned) node stops the walk.
+func (b *Buffer) collect(n *Node) {
+	for n != nil && n.Kind != KindRoot {
+		if !b.deletable(n) {
+			return
+		}
+		p := n.Parent
+		b.unlink(n)
+		n = p
+	}
+}
+
+// unlink splices n (and its — necessarily role-free — subtree) out of the
+// tree and updates accounting.
+func (b *Buffer) unlink(n *Node) {
+	if n.PrevSib != nil {
+		n.PrevSib.NextSib = n.NextSib
+	} else if n.Parent != nil {
+		n.Parent.FirstChild = n.NextSib
+	}
+	if n.NextSib != nil {
+		n.NextSib.PrevSib = n.PrevSib
+	} else if n.Parent != nil {
+		n.Parent.LastChild = n.PrevSib
+	}
+	// Account for the whole removed subtree.
+	var drop func(m *Node)
+	drop = func(m *Node) {
+		m.unlinked = true
+		b.stats.LiveNodes--
+		b.stats.NodesDeleted++
+		b.stats.LiveBytes -= nodeBaseBytes + int64(len(m.Text)) + int64(len(m.roles))*roleEntryBytes
+		for c := m.FirstChild; c != nil; c = c.NextSib {
+			drop(c)
+		}
+	}
+	drop(n)
+}
+
+// sweep prunes a subtree after an aggregate role was removed from its root:
+// descendants kept alive only by the aggregate cover are reclaimed
+// (post-order), mirroring what per-node dos roles would have achieved
+// (Section 6, "Aggregate Roles"). Subtrees covered by a remaining aggregate
+// role are skipped.
+func (b *Buffer) sweep(n *Node) {
+	b.stats.GCSweeps++
+	var walk func(m *Node)
+	walk = func(m *Node) {
+		if m.aggCount > 0 {
+			// Still covered by its own aggregate role: keep whole branch.
+			return
+		}
+		c := m.FirstChild
+		for c != nil {
+			next := c.NextSib
+			walk(c)
+			c = next
+		}
+		if b.deletable(m) {
+			b.unlink(m)
+		}
+	}
+	c := n.FirstChild
+	for c != nil {
+		next := c.NextSib
+		walk(c)
+		c = next
+	}
+}
+
+// Dump renders the current buffer contents with roles, matching the
+// notation of the paper's Figure 2 (e.g. "book{r3,r5,r6}"). Unfinished
+// nodes are marked with an asterisk.
+func (b *Buffer) Dump() string {
+	var sb strings.Builder
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		if n.Kind != KindRoot {
+			for i := 0; i < depth; i++ {
+				sb.WriteString("  ")
+			}
+			switch n.Kind {
+			case KindText:
+				fmt.Fprintf(&sb, "%q", n.Text)
+			default:
+				sb.WriteString(b.syms.Name(n.Sym))
+			}
+			if n.selfTotal > 0 {
+				sb.WriteString(n.RolesString())
+			}
+			if !n.finished {
+				sb.WriteByte('*')
+			}
+			sb.WriteByte('\n')
+		}
+		for c := n.FirstChild; c != nil; c = c.NextSib {
+			walk(c, depth+1)
+		}
+	}
+	walk(b.root, -1)
+	return sb.String()
+}
+
+// CheckResidue verifies that after a completed GCX evaluation nothing
+// reclaimable remains buffered: every surviving node must be unfinished
+// (the run stopped before its closing tag) or have an unfinished
+// descendant keeping it linked. Finished, role-free, uncovered residue
+// indicates a garbage collection gap.
+func (b *Buffer) CheckResidue() error {
+	var unfinishedBelow func(n *Node) bool
+	unfinishedBelow = func(n *Node) bool {
+		if !n.finished {
+			return true
+		}
+		for c := n.FirstChild; c != nil; c = c.NextSib {
+			if unfinishedBelow(c) {
+				return true
+			}
+		}
+		return false
+	}
+	var check func(n *Node) error
+	check = func(n *Node) error {
+		for c := n.FirstChild; c != nil; c = c.NextSib {
+			if c.finished && c.subTotal == 0 && !unfinishedBelow(c) {
+				return fmt.Errorf("buffer: reclaimable residue %s after evaluation", b.describe(c))
+			}
+			if err := check(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return check(b.root)
+}
+
+// CheckBalance verifies that every role's assignments equal its removals
+// and that the buffer holds no stray content below the root. It returns a
+// descriptive error naming the first violated invariant. Intended for
+// test and debug use after a completed query run (Section 3's safety
+// requirements (1) and (2)).
+func (b *Buffer) CheckBalance() error {
+	for r := 1; r < len(b.assigned); r++ {
+		if b.assigned[r] != b.removed[r] {
+			return fmt.Errorf("buffer: role r%d assigned %d times but removed %d times", r, b.assigned[r], b.removed[r])
+		}
+	}
+	if b.root.subTotal != 0 {
+		return fmt.Errorf("buffer: %d role instances remain after evaluation", b.root.subTotal)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+// Package buffer implements the GCX buffer manager (Sections 5 and 6 of the
+// paper): a projected document tree whose nodes carry role multisets, with
+// active garbage collection triggered by signOff statements.
+//
+// The buffer datastructure follows Section 6 ("Buffer Representation"):
+// a single tree with parent/child and sibling pointers, tag names replaced
+// by integer symbols, and per-node role multisets.
+//
+// Deletion discipline (Section 5, Figure 10): a node is *irrelevant* when
+// neither it nor any descendant carries a role (and, in this
+// implementation, no aggregate role on an ancestor covers it and no
+// evaluator cursor pins it). Irrelevant nodes are deleted as soon as a
+// signOff makes them irrelevant; "unfinished" nodes (closing tag not yet
+// read) and pinned nodes are deleted lazily when they finish or are
+// unpinned.
+package buffer
+
+import (
+	"fmt"
+	"strings"
+
+	"gcx/internal/xmlstream"
+	"gcx/internal/xqast"
+)
+
+// Kind distinguishes node kinds in the buffer tree.
+type Kind uint8
+
+const (
+	// KindRoot is the virtual document root (the paper's root node).
+	KindRoot Kind = iota + 1
+	// KindElement is an element node.
+	KindElement
+	// KindText is a character-data node.
+	KindText
+)
+
+// roleEntry is one role with its multiplicity in the node's role multiset.
+type roleEntry struct {
+	role xqast.Role
+	n    int32
+}
+
+// Node is a buffered document node.
+type Node struct {
+	Parent     *Node
+	FirstChild *Node
+	LastChild  *Node
+	NextSib    *Node
+	PrevSib    *Node
+
+	// Sym is the interned tag name (elements only).
+	Sym xmlstream.Sym
+	// Text is the character data (text nodes only).
+	Text string
+
+	Kind Kind
+	// finished is set once the closing tag has been read from the stream.
+	finished bool
+	// unlinked marks nodes already removed from the tree (debug aid; a
+	// deleted node must never be touched again).
+	unlinked bool
+
+	// aggCount counts aggregate-role instances on this node; descendants
+	// of a node with aggCount > 0 are covered and must not be reclaimed.
+	aggCount int32
+	// selfTotal is the total number of role instances on this node
+	// (including aggregate ones).
+	selfTotal int32
+	// subTotal is the total number of role instances in the subtree rooted
+	// here (including selfTotal).
+	subTotal int64
+	// subPins counts evaluator pins in the subtree rooted here.
+	subPins int32
+
+	roles []roleEntry
+
+	// noMore lists child tags that can no longer occur below this node,
+	// derived from DTD content models by the projector (schema-aware
+	// early region termination; see package dtd). Nil without a schema.
+	noMore []xmlstream.Sym
+}
+
+// MarkNoMore records that no further child with the given tag can occur
+// (duplicates are ignored).
+func (n *Node) MarkNoMore(sym xmlstream.Sym) {
+	for _, s := range n.noMore {
+		if s == sym {
+			return
+		}
+	}
+	n.noMore = append(n.noMore, sym)
+}
+
+// NoMore reports whether a child with the given tag can no longer occur.
+func (n *Node) NoMore(sym xmlstream.Sym) bool {
+	for _, s := range n.noMore {
+		if s == sym {
+			return true
+		}
+	}
+	return false
+}
+
+// Finished reports whether the node's closing tag has been read.
+func (n *Node) Finished() bool { return n.finished }
+
+// Unlinked reports whether the node has been reclaimed.
+func (n *Node) Unlinked() bool { return n.unlinked }
+
+// RoleCount returns the multiplicity of role r on n.
+func (n *Node) RoleCount(r xqast.Role) int {
+	for _, e := range n.roles {
+		if e.role == r {
+			return int(e.n)
+		}
+	}
+	return 0
+}
+
+// TotalRoles returns the number of role instances on n.
+func (n *Node) TotalRoles() int { return int(n.selfTotal) }
+
+// SubtreeRoles returns the number of role instances in n's subtree.
+func (n *Node) SubtreeRoles() int64 { return n.subTotal }
+
+// Roles returns the role multiset as a sorted, human-readable string like
+// "{r2,r3,r3}". Empty role sets render as "{}".
+func (n *Node) RolesString() string {
+	var ids []xqast.Role
+	for _, e := range n.roles {
+		for i := int32(0); i < e.n; i++ {
+			ids = append(ids, e.role)
+		}
+	}
+	// Roles are appended in assignment order; sort for stable output.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "r%d", id)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Covered reports whether an ancestor of n (strictly above it) carries an
+// aggregate role, i.e. n is kept alive by subtree inheritance (Section 6,
+// "Aggregate Roles").
+func (n *Node) Covered() bool {
+	for a := n.Parent; a != nil; a = a.Parent {
+		if a.aggCount > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,153 @@
+package buffer
+
+import (
+	"gcx/internal/xmlstream"
+	"gcx/internal/xqast"
+)
+
+// target is a node reached by a signOff path together with its derivation
+// multiplicity (the number of distinct step-binding derivations reaching
+// it). Role assignment during projection counts derivations the same way —
+// a node reached twice (e.g. //a//b over /a/a/b, Figure 4(c)) holds the
+// role twice and must lose it twice.
+type target struct {
+	node *Node
+	mult int
+}
+
+// SignOff implements the runtime semantics of signOff($x/π, r)
+// (Section 3): all nodes reachable from binding via π lose role r (once
+// per derivation), and localized garbage collection (Figure 10) runs from
+// each updated node.
+//
+// If the binding's subtree is still unfinished, the projector is first told
+// to cancel future assignments of r below binding, so that tokens read
+// later are neither tagged nor buffered on behalf of a role that has
+// already been signed off.
+func (b *Buffer) SignOff(binding *Node, steps []xqast.Step, role xqast.Role) error {
+	b.stats.SignOffs++
+	if b.canceller != nil && !binding.finished {
+		b.canceller.CancelRole(binding, role)
+	}
+	targets := b.resolve(binding, steps)
+	isAgg := b.aggregate[role]
+	for _, t := range targets {
+		if err := b.removeRole(t.node, role, t.mult); err != nil {
+			return err
+		}
+		if isAgg {
+			// Removing an aggregate role uncovers the subtree: prune what
+			// only the cover kept alive.
+			b.sweep(t.node)
+		}
+		if !t.node.unlinked {
+			b.collect(t.node)
+		}
+	}
+	return nil
+}
+
+// Resolve exposes signOff path resolution for tests and diagnostics: it
+// returns the nodes reached by steps from binding, in document order, with
+// derivation multiplicities.
+func (b *Buffer) Resolve(binding *Node, steps []xqast.Step) []*Node {
+	ts := b.resolve(binding, steps)
+	out := make([]*Node, len(ts))
+	for i, t := range ts {
+		out[i] = t.node
+	}
+	return out
+}
+
+func (b *Buffer) resolve(start *Node, steps []xqast.Step) []target {
+	cur := []target{{start, 1}}
+	for _, s := range steps {
+		var next []target
+		idx := map[*Node]int{}
+		add := func(n *Node, m int) {
+			if i, ok := idx[n]; ok {
+				next[i].mult += m
+				return
+			}
+			idx[n] = len(next)
+			next = append(next, target{n, m})
+		}
+		for _, t := range cur {
+			b.stepMatches(t.node, s, t.mult, add)
+		}
+		cur = next
+	}
+	return cur
+}
+
+// stepMatches enumerates the matches of one location step from ctx in
+// document order. With a [1] predicate, only the first match per context is
+// reported — mirroring first-witness role assignment during projection.
+func (b *Buffer) stepMatches(ctx *Node, s xqast.Step, mult int, add func(*Node, int)) {
+	switch s.Axis {
+	case xqast.Child:
+		for c := ctx.FirstChild; c != nil; c = c.NextSib {
+			if matchTest(b.syms, s.Test, c) {
+				add(c, mult)
+				if s.First {
+					return
+				}
+			}
+		}
+	case xqast.Descendant:
+		b.walkDescendants(ctx, s, mult, add)
+	case xqast.DescendantOrSelf:
+		if matchTest(b.syms, s.Test, ctx) {
+			add(ctx, mult)
+			if s.First {
+				return
+			}
+		}
+		b.walkDescendants(ctx, s, mult, add)
+	}
+}
+
+// walkDescendants reports matching proper descendants of ctx in document
+// order; with First set it stops after the first match.
+func (b *Buffer) walkDescendants(ctx *Node, s xqast.Step, mult int, add func(*Node, int)) {
+	var dfs func(n *Node) bool
+	dfs = func(n *Node) bool {
+		for c := n.FirstChild; c != nil; c = c.NextSib {
+			if matchTest(b.syms, s.Test, c) {
+				add(c, mult)
+				if s.First {
+					return true
+				}
+			}
+			if dfs(c) {
+				return true
+			}
+		}
+		return false
+	}
+	dfs(ctx)
+}
+
+// matchTest evaluates a node test against a buffered node.
+func matchTest(syms *xmlstream.SymTab, t xqast.NodeTest, n *Node) bool {
+	switch t.Kind {
+	case xqast.TestName:
+		return n.Kind == KindElement && n.Sym == syms.Lookup(t.Name)
+	case xqast.TestStar:
+		return n.Kind == KindElement
+	case xqast.TestText:
+		return n.Kind == KindText
+	case xqast.TestNode:
+		// node() also matches the virtual root: a dos::node() step from
+		// the root variable includes it (its "self"), and the capture
+		// assigns the role there.
+		return n.Kind == KindElement || n.Kind == KindText || n.Kind == KindRoot
+	default:
+		return false
+	}
+}
+
+// MatchTest exposes node-test matching for the evaluator's cursors.
+func (b *Buffer) MatchTest(t xqast.NodeTest, n *Node) bool {
+	return matchTest(b.syms, t, n)
+}

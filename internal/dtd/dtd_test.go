@@ -1,0 +1,235 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+const xmarkSiteDTD = `
+<!-- XMark top level -->
+<!ELEMENT site (regions, categories, catgraph, people, open_auctions, closed_auctions)>
+<!ELEMENT regions (africa, asia, australia, europe, namerica, samerica)>
+<!ELEMENT people (person*)>
+<!ATTLIST person id ID #REQUIRED>
+<!ELEMENT person (name, emailaddress, phone?, address?, homepage?, creditcard?, profile, watches?)>
+<!ELEMENT description (text | parlist)>
+<!ELEMENT text (#PCDATA)>
+<!ELEMENT mixed (#PCDATA | em | strong)*>
+<!ELEMENT anything ANY>
+<!ELEMENT nothing EMPTY>
+<!ELEMENT choiceplus ((a | b)+, c?)>
+`
+
+func parse(t *testing.T, src string) *Schema {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return s
+}
+
+func noMoreContains(s *Schema, elem, seen, dead string) bool {
+	for _, d := range s.NoMoreAfter(elem, seen) {
+		if d == dead {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSequenceFacts(t *testing.T) {
+	s := parse(t, xmarkSiteDTD)
+	// After open_auctions, no more people / regions / categories.
+	for _, dead := range []string{"people", "regions", "categories", "catgraph", "open_auctions"} {
+		if !noMoreContains(s, "site", "open_auctions", dead) {
+			t.Fatalf("after open_auctions, %s must be dead: %v", dead, s.NoMoreAfter("site", "open_auctions"))
+		}
+	}
+	// closed_auctions can still come.
+	if noMoreContains(s, "site", "open_auctions", "closed_auctions") {
+		t.Fatal("closed_auctions must still be possible after open_auctions")
+	}
+	// After regions, everything later is still possible.
+	if noMoreContains(s, "site", "regions", "people") {
+		t.Fatal("people must still be possible after regions")
+	}
+	// A strict sequence admits no repetition: regions is dead after itself.
+	if !noMoreContains(s, "site", "regions", "regions") {
+		t.Fatal("a second regions must be impossible")
+	}
+}
+
+func TestStarAllowsRepetition(t *testing.T) {
+	s := parse(t, xmarkSiteDTD)
+	// person* repeats: person is never dead after person.
+	if noMoreContains(s, "people", "person", "person") {
+		t.Fatal("person* must allow more persons")
+	}
+}
+
+func TestOptionalSequence(t *testing.T) {
+	s := parse(t, xmarkSiteDTD)
+	// In person: after profile, phone/address/... are dead, watches not.
+	for _, dead := range []string{"name", "emailaddress", "phone", "address", "homepage", "creditcard"} {
+		if !noMoreContains(s, "person", "profile", dead) {
+			t.Fatalf("after profile, %s must be dead", dead)
+		}
+	}
+	if noMoreContains(s, "person", "profile", "watches") {
+		t.Fatal("watches must still be possible after profile")
+	}
+	// After phone, address can still come (phone? address?).
+	if noMoreContains(s, "person", "phone", "address") {
+		t.Fatal("address must still be possible after phone")
+	}
+	// ...but not the other way around.
+	if !noMoreContains(s, "person", "address", "phone") {
+		t.Fatal("phone must be dead after address")
+	}
+}
+
+func TestChoice(t *testing.T) {
+	s := parse(t, xmarkSiteDTD)
+	// description (text | parlist): after text, parlist is dead.
+	if !noMoreContains(s, "description", "text", "parlist") {
+		t.Fatal("parlist must be dead after text (exclusive choice)")
+	}
+	if !noMoreContains(s, "description", "text", "text") {
+		t.Fatal("a second text must be dead (no repetition)")
+	}
+}
+
+func TestChoicePlus(t *testing.T) {
+	s := parse(t, xmarkSiteDTD)
+	// ((a|b)+, c?): a and b repeat and interleave; c ends everything.
+	if noMoreContains(s, "choiceplus", "a", "b") || noMoreContains(s, "choiceplus", "b", "a") {
+		t.Fatal("(a|b)+ must allow interleaving")
+	}
+	if noMoreContains(s, "choiceplus", "a", "c") {
+		t.Fatal("c must be possible after a")
+	}
+	for _, dead := range []string{"a", "b", "c"} {
+		if !noMoreContains(s, "choiceplus", "c", dead) {
+			t.Fatalf("%s must be dead after c", dead)
+		}
+	}
+}
+
+func TestMixedContent(t *testing.T) {
+	s := parse(t, xmarkSiteDTD)
+	// (#PCDATA | em | strong)*: nothing is ever dead.
+	if len(s.NoMoreAfter("mixed", "em")) != 0 {
+		t.Fatalf("mixed content must derive no facts: %v", s.NoMoreAfter("mixed", "em"))
+	}
+	can, known := s.CanContain("mixed", "em")
+	if !can || !known {
+		t.Fatal("mixed content must report em as possible")
+	}
+	can, known = s.CanContain("mixed", "div")
+	if can || !known {
+		t.Fatal("mixed content must exclude undeclared children")
+	}
+}
+
+func TestAnyAndUndeclared(t *testing.T) {
+	s := parse(t, xmarkSiteDTD)
+	if _, known := s.CanContain("anything", "whatever"); known {
+		t.Fatal("ANY content must yield no facts")
+	}
+	if _, known := s.CanContain("ghost", "x"); known {
+		t.Fatal("undeclared elements must yield no facts")
+	}
+	if s.NoMoreAfter("anything", "x") != nil || s.NoMoreAfter("ghost", "x") != nil {
+		t.Fatal("no ordering facts for ANY/undeclared")
+	}
+}
+
+func TestCanContain(t *testing.T) {
+	s := parse(t, xmarkSiteDTD)
+	can, known := s.CanContain("site", "people")
+	if !can || !known {
+		t.Fatal("site must contain people")
+	}
+	can, known = s.CanContain("site", "person")
+	if can || !known {
+		t.Fatal("site must not directly contain person")
+	}
+	// EMPTY elements contain nothing.
+	can, known = s.CanContain("nothing", "x")
+	if can || !known {
+		t.Fatal("EMPTY must contain nothing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"garbage", `<!ELEMENT a (b,>`},
+		{"missing paren", `<!ELEMENT a (b, c>`},
+		{"mixed without star", `<!ELEMENT a (#PCDATA | b)>`},
+		{"double declaration", `<!ELEMENT a (b)> <!ELEMENT a (c)>`},
+		{"not element", `<!WRONG a (b)>`},
+		{"mixed seps", `<!ELEMENT a (b, c | d)>`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(tc.src); err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error", tc.src)
+			}
+		})
+	}
+}
+
+func TestSkipsNonElementDeclarations(t *testing.T) {
+	s := parse(t, `
+<!-- a comment -->
+<!ENTITY % x "y">
+<!ATTLIST item id ID #REQUIRED>
+<!ELEMENT item (name)>
+<?pi data?>
+<!ELEMENT name (#PCDATA)>
+`)
+	if s.Len() != 2 {
+		t.Fatalf("declared %d elements, want 2", s.Len())
+	}
+}
+
+func TestNestedGroups(t *testing.T) {
+	s := parse(t, `<!ELEMENT r ((a, b)*, (c | (d, e))?)>`)
+	// (a,b)*: after b, a can come again.
+	if noMoreContains(s, "r", "b", "a") {
+		t.Fatal("a must repeat via the star")
+	}
+	// After c, d and e are dead (choice).
+	if !noMoreContains(s, "r", "c", "d") || !noMoreContains(s, "r", "c", "e") {
+		t.Fatal("d/e dead after c")
+	}
+	// After d, e can come (inner sequence), c cannot.
+	if noMoreContains(s, "r", "d", "e") {
+		t.Fatal("e must be possible after d")
+	}
+	if !noMoreContains(s, "r", "d", "c") {
+		t.Fatal("c must be dead after d")
+	}
+	// After a, everything except nothing is still possible.
+	if noMoreContains(s, "r", "a", "c") {
+		t.Fatal("c must be possible after a")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse must panic on bad input")
+		}
+	}()
+	MustParse(`<!ELEMENT broken (`)
+}
+
+func TestFactsDeterministic(t *testing.T) {
+	a := parse(t, xmarkSiteDTD).NoMoreAfter("site", "open_auctions")
+	b := parse(t, xmarkSiteDTD).NoMoreAfter("site", "open_auctions")
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatal("fact order must be deterministic")
+	}
+}

@@ -1,0 +1,170 @@
+package dtd
+
+// Glushkov (position automaton) analysis of content models.
+//
+// Every occurrence of an element name in a content model is a *position*.
+// The standard nullable/first/last/follow construction yields, for each
+// position p, the set follow(p) of positions that can come directly after
+// p in some word of the model. The transitive closure of follow gives
+// "can eventually come after"; projecting positions back to tags answers
+// the question the blocking cursors ask: after a child with tag d has been
+// seen, can a child with tag c still arrive?
+
+type position int
+
+// glushkov accumulates the construction state.
+type glushkov struct {
+	tags   []string // tag per position
+	follow []map[position]bool
+}
+
+type nfl struct {
+	nullable bool
+	first    []position
+	last     []position
+}
+
+func (g *glushkov) newPos(tag string) position {
+	g.tags = append(g.tags, tag)
+	g.follow = append(g.follow, map[position]bool{})
+	return position(len(g.tags) - 1)
+}
+
+func (g *glushkov) connect(from []position, to []position) {
+	for _, f := range from {
+		for _, t := range to {
+			g.follow[f][t] = true
+		}
+	}
+}
+
+// build computes nullable/first/last and fills the follow relation.
+func (g *glushkov) build(m model) nfl {
+	switch m := m.(type) {
+	case mName:
+		p := g.newPos(m.tag)
+		return nfl{nullable: false, first: []position{p}, last: []position{p}}
+	case mEmpty, mPCData, mAny, nil:
+		return nfl{nullable: true}
+	case mSeq:
+		out := nfl{nullable: true}
+		var lasts []position
+		for _, item := range m.items {
+			r := g.build(item)
+			g.connect(lasts, r.first)
+			if out.nullable {
+				out.first = append(out.first, r.first...)
+			}
+			if r.nullable {
+				lasts = append(lasts, r.last...)
+			} else {
+				lasts = r.last
+			}
+			out.nullable = out.nullable && r.nullable
+		}
+		out.last = lasts
+		return out
+	case mChoice:
+		out := nfl{}
+		for _, item := range m.items {
+			r := g.build(item)
+			out.nullable = out.nullable || r.nullable
+			out.first = append(out.first, r.first...)
+			out.last = append(out.last, r.last...)
+		}
+		return out
+	case mRep:
+		r := g.build(m.item)
+		if m.repeat {
+			g.connect(r.last, r.first)
+		}
+		return nfl{nullable: r.nullable || m.min0, first: r.first, last: r.last}
+	default:
+		return nfl{nullable: true}
+	}
+}
+
+// analyze derives the per-element facts from a content model.
+func analyze(name string, m model) *elementInfo {
+	info := &elementInfo{
+		name:        name,
+		tags:        map[string]bool{},
+		noMoreAfter: map[string][]string{},
+	}
+	if _, isAny := m.(mAny); isAny {
+		info.any = true
+		return info
+	}
+
+	g := &glushkov{}
+	g.build(m)
+	for _, tag := range g.tags {
+		info.tags[tag] = true
+	}
+	n := len(g.tags)
+	if n == 0 {
+		return info
+	}
+
+	// Transitive closure of follow ("can come strictly after").
+	reach := make([][]bool, n)
+	for i := range reach {
+		reach[i] = make([]bool, n)
+		for t := range g.follow[i] {
+			reach[i][int(t)] = true
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !reach[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if reach[k][j] {
+					reach[i][j] = true
+				}
+			}
+		}
+	}
+
+	// canAfter[d][c]: some position of tag c is reachable after some
+	// position of tag d.
+	canAfter := map[string]map[string]bool{}
+	for d := 0; d < n; d++ {
+		dt := g.tags[d]
+		set := canAfter[dt]
+		if set == nil {
+			set = map[string]bool{}
+			canAfter[dt] = set
+		}
+		for c := 0; c < n; c++ {
+			if reach[d][c] {
+				set[g.tags[c]] = true
+			}
+		}
+	}
+
+	for d := range info.tags {
+		var dead []string
+		for c := range info.tags {
+			if !canAfter[d][c] {
+				dead = append(dead, c)
+			}
+		}
+		if len(dead) > 0 {
+			sortStrings(dead)
+			info.noMoreAfter[d] = dead
+		}
+	}
+	return info
+}
+
+// sortStrings is a small insertion sort (avoids importing sort for tiny
+// slices and keeps fact order deterministic).
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"gcx/internal/static"
+)
+
+// TestEarlyUpdatesReducePeak: with many output matches per binding and
+// interleaved irrelevant content, early updates release each output node
+// right after emission instead of at the end of the enclosing scope
+// (Section 6, "Early Updates"). The peak buffer shrinks accordingly.
+func TestEarlyUpdatesReducePeak(t *testing.T) {
+	var doc strings.Builder
+	doc.WriteString("<bib><book>")
+	for i := 0; i < 200; i++ {
+		doc.WriteString("<title>some title text</title><junk>filler</junk>")
+	}
+	doc.WriteString("</book></bib>")
+	src := `<q>{ for $b in /bib/book return $b/title }</q>`
+
+	with := static.Options{EarlyUpdates: true, AggregateRoles: true, EliminateRedundantRoles: true}
+	without := static.Options{AggregateRoles: true, EliminateRedundantRoles: true}
+
+	_, stWith := runQuery(t, src, doc.String(), Config{Mode: ModeGCX, Static: &with})
+	_, stWithout := runQuery(t, src, doc.String(), Config{Mode: ModeGCX, Static: &without})
+
+	if stWith.Buffer.PeakNodes*10 > stWithout.Buffer.PeakNodes {
+		t.Fatalf("early updates must reduce the peak by >10x: with=%d without=%d",
+			stWith.Buffer.PeakNodes, stWithout.Buffer.PeakNodes)
+	}
+}
+
+// TestAggregateRolesReduceAssignments: aggregate roles replace one role
+// instance per subtree node by a single instance at the subtree root
+// (Section 6, "Aggregate Roles").
+func TestAggregateRolesReduceAssignments(t *testing.T) {
+	var doc strings.Builder
+	doc.WriteString("<bib>")
+	for i := 0; i < 50; i++ {
+		doc.WriteString("<book><a><b><c>deep</c></b></a><d>x</d><e>y</e></book>")
+	}
+	doc.WriteString("</bib>")
+	src := `<q>{ for $b in /bib/book return $b }</q>`
+
+	agg := static.Options{AggregateRoles: true}
+	plain := static.Options{}
+
+	_, stAgg := runQuery(t, src, doc.String(), Config{Mode: ModeGCX, Static: &agg})
+	_, stPlain := runQuery(t, src, doc.String(), Config{Mode: ModeGCX, Static: &plain})
+
+	if stAgg.Buffer.RoleAssignments*3 > stPlain.Buffer.RoleAssignments {
+		t.Fatalf("aggregate roles must cut assignments by >3x: agg=%d plain=%d",
+			stAgg.Buffer.RoleAssignments, stPlain.Buffer.RoleAssignments)
+	}
+	// Both runs stay balanced.
+	for _, cfg := range []static.Options{agg, plain} {
+		cfg := cfg
+		c := compile(t, src, Config{Mode: ModeGCX, Static: &cfg})
+		var out strings.Builder
+		if _, err := c.RunChecked(strings.NewReader(doc.String()), &out); err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+	}
+}
+
+// TestRoleEliminationReducesSignOffs: eliminated roles are neither
+// assigned nor signed off (Section 6, Figure 12).
+func TestRoleEliminationReducesSignOffs(t *testing.T) {
+	var doc strings.Builder
+	doc.WriteString("<bib>")
+	for i := 0; i < 100; i++ {
+		doc.WriteString("<book><title>t</title></book>")
+	}
+	doc.WriteString("</bib>")
+	src := `<q>{ for $b in /bib/book return $b/title }</q>`
+
+	elim := static.Options{EliminateRedundantRoles: true, AggregateRoles: true}
+	keep := static.Options{AggregateRoles: true}
+
+	_, stElim := runQuery(t, src, doc.String(), Config{Mode: ModeGCX, Static: &elim})
+	_, stKeep := runQuery(t, src, doc.String(), Config{Mode: ModeGCX, Static: &keep})
+
+	if stElim.Buffer.SignOffs >= stKeep.Buffer.SignOffs {
+		t.Fatalf("elimination must reduce signOff executions: elim=%d keep=%d",
+			stElim.Buffer.SignOffs, stKeep.Buffer.SignOffs)
+	}
+	if stElim.Buffer.RoleAssignments >= stKeep.Buffer.RoleAssignments {
+		t.Fatalf("elimination must reduce role assignments: elim=%d keep=%d",
+			stElim.Buffer.RoleAssignments, stKeep.Buffer.RoleAssignments)
+	}
+}
+
+// TestProjectionBeatsFullBuffering quantifies projection effectiveness:
+// on a selective query, the projected token count is a tiny fraction of
+// the document.
+func TestProjectionSelectivity(t *testing.T) {
+	var doc strings.Builder
+	doc.WriteString("<site><people>")
+	for i := 0; i < 100; i++ {
+		doc.WriteString("<person><id>p</id><name>n</name></person>")
+	}
+	doc.WriteString("</people><other>")
+	for i := 0; i < 5000; i++ {
+		doc.WriteString("<noise><deep>zzz</deep></noise>")
+	}
+	doc.WriteString("</other></site>")
+
+	src := `<q>{ for $p in /site/people/person return $p/name }</q>`
+	_, st := runQuery(t, src, doc.String(), Config{Mode: ModeGCX})
+	// ~10k noise elements are read but never buffered.
+	if st.Buffer.NodesAppended > 1000 {
+		t.Fatalf("buffered %d nodes; projection must skip the noise", st.Buffer.NodesAppended)
+	}
+	if st.TokensRead < 10000 {
+		t.Fatalf("tokens read %d; the whole stream must have been scanned", st.TokensRead)
+	}
+}

@@ -1,0 +1,226 @@
+// Package engine wires the GCX components together (the architecture of
+// Figure 11): query compilation (parser, normalizer, if-pushdown, static
+// analysis) and the pull-based runtime chain
+//
+//	query evaluator ⇄ buffer manager ⇄ stream pre-projector ⇄ tokenizer.
+//
+// Besides the full GCX mode it provides the two baselines used by the
+// benchmark harness as stand-ins for the systems of Table 1:
+//
+//   - StaticOnly: stream projection with roles assigned but signOffs
+//     ignored — "static analysis alone", the projection-based strategy of
+//     Galax [13]. Memory grows with the projected document size.
+//   - FullBuffer: no projection at all — the whole document is buffered,
+//     like naive in-memory engines. Memory grows with the document size.
+package engine
+
+import (
+	"fmt"
+	"io"
+
+	"gcx/internal/buffer"
+	"gcx/internal/dtd"
+	"gcx/internal/eval"
+	"gcx/internal/ifpush"
+	"gcx/internal/normalize"
+	"gcx/internal/proj"
+	"gcx/internal/projtree"
+	"gcx/internal/static"
+	"gcx/internal/xmlstream"
+	"gcx/internal/xqast"
+	"gcx/internal/xqparser"
+)
+
+// Mode selects the buffer management strategy.
+type Mode int
+
+const (
+	// ModeGCX is the paper's system: projection + active garbage
+	// collection.
+	ModeGCX Mode = iota
+	// ModeStaticOnly projects but never purges (no signOff execution).
+	ModeStaticOnly
+	// ModeFullBuffer buffers the entire document (no projection, no
+	// purging).
+	ModeFullBuffer
+)
+
+// String names the mode as used in reports.
+func (m Mode) String() string {
+	switch m {
+	case ModeGCX:
+		return "GCX"
+	case ModeStaticOnly:
+		return "StaticOnly"
+	case ModeFullBuffer:
+		return "FullBuffer"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config controls compilation.
+type Config struct {
+	Mode Mode
+	// Static selects the Section 6 optimizations; ignored for
+	// ModeFullBuffer. If nil, static.AllOptimizations() is used.
+	Static *static.Options
+	// Tokenizer options; zero value means xmlstream.DefaultOptions.
+	Tokenizer *xmlstream.Options
+	// Schema enables schema-aware early region termination (the
+	// capability of the schema-based FluX system [11] the paper compares
+	// against). Supplying it asserts the input is valid against the DTD.
+	Schema *dtd.Schema
+}
+
+// Compiled is a query prepared for execution.
+type Compiled struct {
+	Source   string
+	Mode     Mode
+	Analysis *static.Analysis
+	// MatchTree is the projection tree the projector runs with: the
+	// analysis tree in GCX/StaticOnly modes, the keep-everything tree in
+	// FullBuffer mode.
+	MatchTree *projtree.Tree
+	schema    *dtd.Schema
+	tokOpts   xmlstream.Options
+}
+
+// Compile parses, normalizes, rewrites, and statically analyzes a query.
+func Compile(src string, cfg Config) (*Compiled, error) {
+	q, err := xqparser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	n, err := normalize.Normalize(q)
+	if err != nil {
+		return nil, err
+	}
+	pushed := ifpush.Push(n)
+
+	opts := static.AllOptimizations()
+	if cfg.Static != nil {
+		opts = *cfg.Static
+	}
+	a, err := static.Analyze(pushed, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Compiled{
+		Source:    src,
+		Mode:      cfg.Mode,
+		Analysis:  a,
+		MatchTree: a.Tree,
+		schema:    cfg.Schema,
+		tokOpts:   xmlstream.DefaultOptions(),
+	}
+	if cfg.Tokenizer != nil {
+		c.tokOpts = *cfg.Tokenizer
+	}
+	if cfg.Mode == ModeFullBuffer {
+		c.MatchTree = fullBufferTree()
+	}
+	return c, nil
+}
+
+// fullBufferTree returns the keep-everything projection tree: a single
+// aggregate dos::node() capture below the root.
+func fullBufferTree() *projtree.Tree {
+	t := projtree.New()
+	leaf := t.AddNode(t.Root, xqast.Step{Axis: xqast.DescendantOrSelf, Test: xqast.NodeKindTest()})
+	r := t.AddRole(leaf, projtree.RoleOutput, xqast.RootVar, true, "full-buffer capture")
+	leaf.ChainRole = r.ID
+	return t
+}
+
+// Stats aggregates the measurements of one run.
+type Stats struct {
+	Buffer buffer.Stats
+	// TokensRead counts stream tokens consumed (the run may stop early if
+	// the query needs only a prefix of the input).
+	TokensRead int64
+	// OutputBytes counts serialized output.
+	OutputBytes int64
+}
+
+// RunOptions carries per-run hooks (tracing).
+type RunOptions struct {
+	// Trace, if non-nil, receives a buffer snapshot after every consumed
+	// token and executed signOff (drives the Figure 2 example).
+	Trace *Tracer
+}
+
+// Run executes the compiled query over the XML input, writing the result
+// to out.
+func (c *Compiled) Run(in io.Reader, out io.Writer) (Stats, error) {
+	st, _, err := c.run(in, out, RunOptions{})
+	return st, err
+}
+
+// RunWith executes with hooks.
+func (c *Compiled) RunWith(in io.Reader, out io.Writer, ro RunOptions) (Stats, error) {
+	st, _, err := c.run(in, out, ro)
+	return st, err
+}
+
+// RunChecked executes and then verifies the role assignment/removal
+// balance (Section 3's safety requirements: every assigned role instance
+// is removed, and the buffer is empty after evaluation). Only meaningful
+// in ModeGCX; other modes skip the check by design.
+func (c *Compiled) RunChecked(in io.Reader, out io.Writer) (Stats, error) {
+	st, buf, err := c.run(in, out, RunOptions{})
+	if err != nil {
+		return st, err
+	}
+	if c.Mode == ModeGCX {
+		if err := buf.CheckBalance(); err != nil {
+			return st, fmt.Errorf("%w\nbuffer:\n%s", err, buf.Dump())
+		}
+		if err := buf.CheckResidue(); err != nil {
+			return st, fmt.Errorf("%w\nbuffer:\n%s", err, buf.Dump())
+		}
+	}
+	return st, nil
+}
+
+func (c *Compiled) run(in io.Reader, out io.Writer, ro RunOptions) (Stats, *buffer.Buffer, error) {
+	syms := xmlstream.NewSymTab()
+	agg := make([]bool, len(c.MatchTree.Roles))
+	for i, r := range c.MatchTree.Roles {
+		if i > 0 && r.Aggregate {
+			agg[i] = true
+		}
+	}
+	buf := buffer.New(syms, len(c.MatchTree.Roles)-1, agg)
+	tok := xmlstream.NewTokenizerOptions(in, c.tokOpts)
+	aggregateMatching := c.Mode == ModeFullBuffer || c.Analysis.Opts.AggregateRoles
+	p := proj.New(tok, buf, c.MatchTree, proj.Options{AggregateRoles: aggregateMatching, Schema: c.schema})
+
+	w := xmlstream.NewWriter(out)
+	evOpts := eval.Options{ExecuteSignOffs: c.Mode == ModeGCX, Schema: c.schema}
+	if ro.Trace != nil {
+		ro.Trace.install(&evOpts, buf, p)
+	}
+	ev := eval.New(buf, p, w, evOpts)
+
+	err := ev.Run(c.Analysis.Query)
+	st := Stats{
+		Buffer:      buf.Stats(),
+		TokensRead:  p.TokensRead(),
+		OutputBytes: w.BytesWritten(),
+	}
+	return st, buf, err
+}
+
+// Explain renders the compilation diagnostics: variable tree,
+// dependencies, projection tree, role table, and the rewritten query.
+func (c *Compiled) Explain() string {
+	a := c.Analysis
+	return "mode: " + c.Mode.String() + "\n\n" +
+		"variable tree:\n" + a.FormatVariableTree() + "\n" +
+		"dependencies:\n" + a.FormatDeps() + "\n" +
+		"projection tree:\n" + a.Tree.Format() + "\n" +
+		"roles:\n" + a.Tree.FormatRoles() + "\n" +
+		"rewritten query:\n" + xqast.Format(a.Query)
+}

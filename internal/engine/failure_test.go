@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// failingReader yields n bytes of src and then a non-EOF error.
+type failingReader struct {
+	src io.Reader
+	n   int
+}
+
+func (r *failingReader) Read(p []byte) (int, error) {
+	if r.n <= 0 {
+		return 0, errors.New("disk on fire")
+	}
+	if len(p) > r.n {
+		p = p[:r.n]
+	}
+	m, err := r.src.Read(p)
+	r.n -= m
+	return m, err
+}
+
+// failingWriter accepts n bytes and then errors.
+type failingWriter struct{ n int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("pipe closed")
+	}
+	if len(p) > w.n {
+		m := w.n
+		w.n = 0
+		return m, errors.New("pipe closed")
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestReadErrorMidStreamSurfaces(t *testing.T) {
+	doc := `<bib>` + strings.Repeat(`<book><title>t</title></book>`, 100) + `</bib>`
+	c := compile(t, `<q>{ for $b in /bib/book return $b/title }</q>`, Config{Mode: ModeGCX})
+	_, err := c.Run(&failingReader{src: strings.NewReader(doc), n: 200}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "disk on fire") {
+		t.Fatalf("read error must surface verbatim, got %v", err)
+	}
+}
+
+func TestWriteErrorSurfaces(t *testing.T) {
+	doc := `<bib>` + strings.Repeat(`<book><title>some title</title></book>`, 500) + `</bib>`
+	c := compile(t, `<q>{ for $b in /bib/book return $b/title }</q>`, Config{Mode: ModeGCX})
+	_, err := c.Run(strings.NewReader(doc), &failingWriter{n: 64})
+	if err == nil || !strings.Contains(err.Error(), "pipe closed") {
+		t.Fatalf("write error must surface, got %v", err)
+	}
+}
+
+func TestEmptyInputFails(t *testing.T) {
+	c := compile(t, `<q>{ for $b in /a return $b }</q>`, Config{Mode: ModeGCX})
+	// An empty stream has no root element; the loop needs the root region
+	// finished, which happens at EOF, so evaluation completes with empty
+	// output (an empty document is a degenerate but safe input).
+	var out strings.Builder
+	if _, err := c.Run(strings.NewReader(""), &out); err != nil {
+		t.Fatalf("empty input must be tolerated, got %v", err)
+	}
+	if out.String() != "<q></q>" {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	// 10k-deep nesting must not blow the stack in tokenizer, projector,
+	// or buffer reclamation.
+	depth := 10000
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		b.WriteString("<d>")
+	}
+	b.WriteString("<leaf>x</leaf>")
+	for i := 0; i < depth; i++ {
+		b.WriteString("</d>")
+	}
+	c := compile(t, `<q>{ for $l in //leaf return $l }</q>`, Config{Mode: ModeGCX})
+	var out strings.Builder
+	if _, err := c.RunChecked(strings.NewReader(b.String()), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "<q><leaf>x</leaf></q>" {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+// TestManySiblingsGC: a million-sibling region streams through a bounded
+// buffer.
+func TestManySiblingsGC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large input")
+	}
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < 200000; i++ {
+		b.WriteString("<x><v>7</v></x>")
+	}
+	b.WriteString("</r>")
+	c := compile(t, `<q>{ for $x in /r/x return $x/v }</q>`, Config{Mode: ModeGCX})
+	var out countingDiscard
+	st, err := c.RunChecked(strings.NewReader(b.String()), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Buffer.PeakNodes > 16 {
+		t.Fatalf("peak %d nodes; streaming must bound the buffer", st.Buffer.PeakNodes)
+	}
+	if out.n == 0 {
+		t.Fatal("no output produced")
+	}
+}
+
+type countingDiscard struct{ n int64 }
+
+func (c *countingDiscard) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}

@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"gcx/internal/static"
+)
+
+// TestRegressionTextVarElimination is the minimized counterexample found
+// by TestTheorem1Equivalence (seed -8509200338473775066): a text() output
+// loop inside a navigation-transparent body. Criterion 2 of redundant-role
+// elimination must not eliminate the binding role of a text-binding
+// variable — text nodes carry no dos dependency, so the binding role is
+// the only thing keeping the emitted text buffered across the first
+// (match-less) pass.
+func TestRegressionTextVarElimination(t *testing.T) {
+	src := `<out>{ ($root/d/e, $root//d/text()) }</out>`
+	doc := `<root><d>1<c><a>xperson0</a>71</c>x</d><a>1</a></root>`
+	want := `<out>1x</out>`
+
+	for _, cfg := range allConfigs() {
+		got, _ := runQuery(t, src, doc, cfg)
+		if got != want {
+			t.Fatalf("%s %+v:\ngot  %s\nwant %s", cfg.Mode, cfg.Static, got, want)
+		}
+	}
+}
+
+// TestTextVarBindingRoleSurvivesElimination pins the static-analysis side
+// of the regression: the binding role of a text() loop variable stays
+// active even under full optimization.
+func TestTextVarBindingRoleSurvivesElimination(t *testing.T) {
+	opts := static.AllOptimizations()
+	c := compile(t, `<out>{ for $tv in /root/d/text() return $tv }</out>`,
+		Config{Mode: ModeGCX, Static: &opts})
+	found := false
+	for _, r := range c.Analysis.Tree.Roles[1:] {
+		if r.Var == "tv" && r.Kind.String() == "binding" {
+			found = true
+			if r.Eliminated {
+				t.Fatal("text-binding role must never be eliminated")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("text loop variable not found in role table")
+	}
+	// And the run produces the text.
+	var out strings.Builder
+	if _, err := c.RunChecked(strings.NewReader(`<root><d>ab<x/>cd</d></root>`), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "<out>abcd</out>" {
+		t.Fatalf("got %s", out.String())
+	}
+}

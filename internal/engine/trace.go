@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"gcx/internal/buffer"
+	"gcx/internal/eval"
+	"gcx/internal/proj"
+	"gcx/internal/xqast"
+)
+
+// Tracer records a step-by-step log of query evaluation: after every
+// consumed input token and every executed signOff statement it snapshots
+// the buffer contents. This regenerates the paper's Figure 2 ("Active
+// garbage collection") for arbitrary queries and inputs.
+type Tracer struct {
+	Steps []TraceStep
+}
+
+// TraceStep is one recorded event.
+type TraceStep struct {
+	// Event describes what happened, e.g. `read <book>` or
+	// `signOff($x, r3)`.
+	Event string
+	// Buffer is the indented buffer dump after the event.
+	Buffer string
+}
+
+func (t *Tracer) install(opts *eval.Options, buf *buffer.Buffer, p *proj.Projector) {
+	opts.OnToken = func() {
+		t.Steps = append(t.Steps, TraceStep{
+			Event:  "read " + p.LastToken().String(),
+			Buffer: buf.Dump(),
+		})
+	}
+	opts.OnSignOff = func(s xqast.SignOff) {
+		t.Steps = append(t.Steps, TraceStep{
+			Event:  fmt.Sprintf("signOff(%s, r%d)", s.Path, s.Role),
+			Buffer: buf.Dump(),
+		})
+	}
+}
+
+// Format renders the trace as a two-column table in the spirit of
+// Figure 2.
+func (t *Tracer) Format() string {
+	var b strings.Builder
+	for i, s := range t.Steps {
+		fmt.Fprintf(&b, "step %d: %s\n", i+1, s.Event)
+		if s.Buffer == "" {
+			b.WriteString("  (buffer empty)\n")
+			continue
+		}
+		for _, line := range strings.Split(strings.TrimRight(s.Buffer, "\n"), "\n") {
+			b.WriteString("  | " + line + "\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,168 @@
+package eval
+
+import (
+	"gcx/internal/buffer"
+	"gcx/internal/xqast"
+)
+
+// cursor iterates the buffered matches of one location step below a context
+// node in document order, blocking for more input while the relevant region
+// is unfinished.
+//
+// The cursor pins its current node: active garbage collection defers the
+// deletion of pinned nodes (exactly like unfinished ones, Section 5), so
+// the signOff batch at the end of a loop body may make the current binding
+// irrelevant without invalidating the cursor's position. The node is
+// reclaimed when the cursor advances past it.
+type cursor struct {
+	e    *Evaluator
+	ctx  *buffer.Node
+	step xqast.Step
+	// cur is the pinned current node (nil before the first next()).
+	cur *buffer.Node
+	// done marks an exhausted cursor.
+	done bool
+	// first tracks [1] steps: after one match the cursor is exhausted.
+	yielded bool
+}
+
+func newCursor(e *Evaluator, ctx *buffer.Node, step xqast.Step) *cursor {
+	c := &cursor{e: e, ctx: ctx, step: step}
+	// Schema shortcut: if the content model excludes this child tag
+	// entirely, the sequence is empty without reading anything.
+	if e.opts.Schema != nil && step.Axis == xqast.Child &&
+		step.Test.Kind == xqast.TestName && ctx.Kind == buffer.KindElement {
+		parent := e.buf.Syms().Name(ctx.Sym)
+		if can, known := e.opts.Schema.CanContain(parent, step.Test.Name); known && !can {
+			c.done = true
+		}
+	}
+	return c
+}
+
+// close releases the cursor's pin.
+func (c *cursor) close() {
+	if c.cur != nil {
+		c.e.buf.Unpin(c.cur)
+		c.cur = nil
+	}
+}
+
+// next returns the next match in document order, or nil when the sequence
+// is exhausted. The returned node is pinned until the following next() or
+// close().
+func (c *cursor) next() (*buffer.Node, error) {
+	if c.done {
+		return nil, nil
+	}
+	if c.step.First && c.yielded {
+		c.finish()
+		return nil, nil
+	}
+	for {
+		n := c.scan()
+		if n != nil {
+			c.e.buf.Pin(n)
+			if c.cur != nil {
+				c.e.buf.Unpin(c.cur)
+			}
+			c.cur = n
+			c.yielded = true
+			return n, nil
+		}
+		// No further match buffered: either the region is complete (the
+		// sequence is exhausted) or we must pull more input.
+		if c.regionFinished() {
+			c.finish()
+			return nil, nil
+		}
+		if _, err := c.e.pull(); err != nil {
+			c.finish()
+			return nil, err
+		}
+	}
+}
+
+func (c *cursor) finish() {
+	c.done = true
+	c.close()
+}
+
+// scan finds the next buffered match after the current position without
+// blocking.
+func (c *cursor) scan() *buffer.Node {
+	switch c.step.Axis {
+	case xqast.Child:
+		var n *buffer.Node
+		if c.cur == nil {
+			n = c.ctx.FirstChild
+		} else {
+			n = c.cur.NextSib
+		}
+		for ; n != nil; n = n.NextSib {
+			if c.e.buf.MatchTest(c.step.Test, n) {
+				return n
+			}
+		}
+		return nil
+	case xqast.Descendant, xqast.DescendantOrSelf:
+		// Document-order DFS through the buffered subtree. dos appears
+		// only in internal paths but is supported for completeness.
+		start := c.cur
+		if start == nil {
+			if c.step.Axis == xqast.DescendantOrSelf && c.e.buf.MatchTest(c.step.Test, c.ctx) {
+				return c.ctx
+			}
+			start = c.ctx
+		}
+		for n := c.nextInDocOrder(start); n != nil; n = c.nextInDocOrder(n) {
+			if c.e.buf.MatchTest(c.step.Test, n) {
+				return n
+			}
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// nextInDocOrder advances one position in the DFS over the subtree of
+// c.ctx, returning nil at the end of the currently buffered region.
+func (c *cursor) nextInDocOrder(n *buffer.Node) *buffer.Node {
+	if n.FirstChild != nil {
+		return n.FirstChild
+	}
+	for n != nil && n != c.ctx {
+		if n.NextSib != nil {
+			return n.NextSib
+		}
+		n = n.Parent
+	}
+	return nil
+}
+
+// regionFinished reports whether no further matches can appear: once the
+// context is finished (all descendants are then finished too), or — for
+// child-axis name tests with a schema — once the content model proves no
+// further match can arrive (the projector marks the context node when a
+// sibling tag kills the test tag; see package dtd).
+func (c *cursor) regionFinished() bool {
+	if c.ctx.Finished() {
+		return true
+	}
+	if c.step.Axis != xqast.Child {
+		return false
+	}
+	// Universal XML fact: a document has exactly one root element, so a
+	// child-axis cursor over the virtual root is exhausted after its
+	// first match.
+	if c.ctx.Kind == buffer.KindRoot && c.yielded {
+		return true
+	}
+	// Schema fact: the content model proves no further match can arrive.
+	if c.step.Test.Kind == xqast.TestName && c.ctx.Kind == buffer.KindElement &&
+		c.ctx.NoMore(c.e.buf.Syms().Lookup(c.step.Test.Name)) {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,470 @@
+// Package eval implements the GCX query evaluator (Section 6, Figure 11):
+// a strictly sequential, pull-based interpreter for rewritten XQ queries.
+//
+// The evaluator walks the buffer tree. Whenever it needs data that is not
+// buffered yet (the next node of a for-loop, a witness for an existence
+// check, the completion of a subtree that is being serialized), it blocks
+// and drives the stream pre-projector token by token until the data is
+// available or the relevant region is finished — the chain of commands of
+// Figure 11. SignOff statements are forwarded to the buffer manager, which
+// performs the role updates and invokes active garbage collection.
+package eval
+
+import (
+	"strconv"
+	"strings"
+
+	"gcx/internal/buffer"
+	"gcx/internal/dtd"
+	"gcx/internal/xmlstream"
+	"gcx/internal/xqast"
+)
+
+// Feeder supplies more input to the buffer; implemented by the stream
+// projector. Step processes one token and reports false at end of input.
+type Feeder interface {
+	Step() (bool, error)
+}
+
+// Options configures an evaluator run.
+type Options struct {
+	// ExecuteSignOffs enables active garbage collection. The StaticOnly
+	// baseline ("static analysis alone") disables it: the buffer then
+	// holds the full projected document, as in projection-based systems
+	// [13].
+	ExecuteSignOffs bool
+	// Schema, when non-nil, lets cursors terminate regions early using
+	// DTD content-model facts (must match the projector's schema).
+	Schema *dtd.Schema
+	// OnSignOff, if set, is invoked after each executed signOff statement
+	// (used by the Figure 2 trace example).
+	OnSignOff func(s xqast.SignOff)
+	// OnToken, if set, is invoked after each token pulled from the
+	// projector while the evaluator was blocked.
+	OnToken func()
+}
+
+// Evaluator evaluates one query over one document.
+type Evaluator struct {
+	buf  *buffer.Buffer
+	feed Feeder
+	out  *xmlstream.Writer
+	opts Options
+	env  map[string]*buffer.Node
+}
+
+// New creates an evaluator writing query output to out.
+func New(buf *buffer.Buffer, feed Feeder, out *xmlstream.Writer, opts Options) *Evaluator {
+	return &Evaluator{
+		buf:  buf,
+		feed: feed,
+		out:  out,
+		opts: opts,
+		env:  map[string]*buffer.Node{xqast.RootVar: buf.Root()},
+	}
+}
+
+// Run evaluates the query and flushes the output writer.
+func (e *Evaluator) Run(q *xqast.Query) error {
+	if err := e.expr(q.Root); err != nil {
+		return err
+	}
+	return e.out.Flush()
+}
+
+// pull drives the projector by one token. It returns false when the input
+// is exhausted.
+func (e *Evaluator) pull() (bool, error) {
+	more, err := e.feed.Step()
+	if err != nil {
+		return false, err
+	}
+	if e.opts.OnToken != nil {
+		e.opts.OnToken()
+	}
+	return more, nil
+}
+
+// waitFinished blocks until n's closing tag has been read.
+func (e *Evaluator) waitFinished(n *buffer.Node) error {
+	for !n.Finished() {
+		if _, err := e.pull(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Evaluator) expr(x xqast.Expr) error {
+	switch x := x.(type) {
+	case nil, xqast.Empty:
+		return nil
+	case xqast.Sequence:
+		for _, item := range x.Items {
+			if err := e.expr(item); err != nil {
+				return err
+			}
+		}
+		return nil
+	case xqast.Element:
+		e.out.StartElement(x.Name)
+		if err := e.expr(x.Child); err != nil {
+			return err
+		}
+		e.out.EndElement(x.Name)
+		return e.out.Err()
+	case xqast.Text:
+		e.out.Text(x.Data)
+		return e.out.Err()
+	case xqast.CondTag:
+		ok, err := e.cond(x.Cond)
+		if err != nil {
+			return err
+		}
+		if ok {
+			if x.Open {
+				e.out.StartElement(x.Name)
+			} else {
+				e.out.EndElement(x.Name)
+			}
+		}
+		return e.out.Err()
+	case xqast.VarRef:
+		n := e.env[x.Var]
+		return e.serialize(n)
+	case xqast.PathExpr:
+		return e.outputPath(x.Path)
+	case xqast.For:
+		return e.forLoop(x)
+	case xqast.If:
+		ok, err := e.cond(x.Cond)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return e.expr(x.Then)
+		}
+		return e.expr(x.Else)
+	case xqast.SignOff:
+		if !e.opts.ExecuteSignOffs {
+			return nil
+		}
+		binding := e.env[x.Path.Var]
+		if err := e.buf.SignOff(binding, x.Path.Steps, x.Role); err != nil {
+			return err
+		}
+		if e.opts.OnSignOff != nil {
+			e.opts.OnSignOff(x)
+		}
+		return nil
+	default:
+		return errUnsupported(x)
+	}
+}
+
+func errUnsupported(x interface{}) error {
+	return &Error{Msg: "unsupported expression in evaluator", Detail: x}
+}
+
+// Error is an evaluation failure.
+type Error struct {
+	Msg    string
+	Detail interface{}
+}
+
+func (e *Error) Error() string { return "eval: " + e.Msg }
+
+// forLoop iterates the binding sequence of a for-loop strictly
+// sequentially, evaluating the body (including its trailing signOff batch)
+// once per binding.
+func (e *Evaluator) forLoop(f xqast.For) error {
+	y := e.env[f.In.Var]
+	cur := newCursor(e, y, f.In.Steps[0])
+	defer cur.close()
+	for {
+		n, err := cur.next()
+		if err != nil {
+			return err
+		}
+		if n == nil {
+			return nil
+		}
+		e.env[f.Var] = n
+		if err := e.expr(f.Return); err != nil {
+			return err
+		}
+		delete(e.env, f.Var)
+	}
+}
+
+// outputPath copies all matches of a single-step path to the output in
+// document order (used when early updates are disabled).
+func (e *Evaluator) outputPath(p xqast.Path) error {
+	y := e.env[p.Var]
+	cur := newCursor(e, y, p.Steps[0])
+	defer cur.close()
+	for {
+		n, err := cur.next()
+		if err != nil {
+			return err
+		}
+		if n == nil {
+			return nil
+		}
+		if err := e.serialize(n); err != nil {
+			return err
+		}
+	}
+}
+
+// serialize copies a buffered node (with its complete subtree) to the
+// output, blocking for input while the subtree is unfinished. The subtree
+// is guaranteed to be fully buffered by the output dependencies of the
+// static analysis.
+func (e *Evaluator) serialize(n *buffer.Node) error {
+	switch n.Kind {
+	case buffer.KindText:
+		e.out.Text(n.Text)
+		return e.out.Err()
+	case buffer.KindElement:
+		name := e.buf.Syms().Name(n.Sym)
+		e.out.StartElement(name)
+		var prev *buffer.Node
+		for {
+			c, err := e.nextChildBlocking(n, prev)
+			if err != nil {
+				return err
+			}
+			if c == nil {
+				break
+			}
+			if err := e.serialize(c); err != nil {
+				return err
+			}
+			prev = c
+		}
+		e.out.EndElement(name)
+		return e.out.Err()
+	default:
+		// The virtual root: outputting $root copies the entire document.
+		var prev *buffer.Node
+		for {
+			c, err := e.nextChildBlocking(n, prev)
+			if err != nil {
+				return err
+			}
+			if c == nil {
+				return nil
+			}
+			if err := e.serialize(c); err != nil {
+				return err
+			}
+			prev = c
+		}
+	}
+}
+
+// nextChildBlocking returns the child of parent following prev (or the
+// first child if prev is nil), pulling input until one appears or parent
+// finishes. During serialization no signOffs run, so links are stable.
+func (e *Evaluator) nextChildBlocking(parent, prev *buffer.Node) (*buffer.Node, error) {
+	for {
+		var c *buffer.Node
+		if prev == nil {
+			c = parent.FirstChild
+		} else {
+			c = prev.NextSib
+		}
+		if c != nil {
+			return c, nil
+		}
+		if parent.Finished() {
+			return nil, nil
+		}
+		if _, err := e.pull(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// --- conditions ---
+
+func (e *Evaluator) cond(c xqast.Cond) (bool, error) {
+	switch c := c.(type) {
+	case xqast.TrueCond:
+		return true, nil
+	case xqast.Not:
+		v, err := e.cond(c.C)
+		return !v, err
+	case xqast.And:
+		l, err := e.cond(c.L)
+		if err != nil || !l {
+			return false, err
+		}
+		return e.cond(c.R)
+	case xqast.Or:
+		l, err := e.cond(c.L)
+		if err != nil || l {
+			return l, err
+		}
+		return e.cond(c.R)
+	case xqast.Exists:
+		n := e.env[c.Path.Var]
+		return e.exists(n, c.Path.Steps)
+	case xqast.Compare:
+		return e.compare(c)
+	default:
+		return false, &Error{Msg: "unsupported condition", Detail: c}
+	}
+}
+
+// exists searches for a witness of path steps below n, blocking until one
+// is found or the relevant region is finished. The projection guarantees
+// the first witness per context is buffered (the [1] predicate).
+func (e *Evaluator) exists(n *buffer.Node, steps []xqast.Step) (bool, error) {
+	if len(steps) == 0 {
+		return true, nil
+	}
+	cur := newCursor(e, n, steps[0])
+	defer cur.close()
+	for {
+		m, err := cur.next()
+		if err != nil {
+			return false, err
+		}
+		if m == nil {
+			return false, nil
+		}
+		ok, err := e.exists(m, steps[1:])
+		if err != nil || ok {
+			return ok, err
+		}
+	}
+}
+
+// compare evaluates a general comparison with existential semantics over
+// the operand sequences. Values compare numerically when both sides parse
+// as numbers, lexicographically otherwise ("atomic equality" of Section 3
+// extended to the RelOps of Figure 6).
+func (e *Evaluator) compare(c xqast.Compare) (bool, error) {
+	lhs, err := e.operandValues(c.LHS)
+	if err != nil {
+		return false, err
+	}
+	if len(lhs) == 0 {
+		return false, nil
+	}
+	rhs, err := e.operandValues(c.RHS)
+	if err != nil {
+		return false, err
+	}
+	for _, l := range lhs {
+		for _, r := range rhs {
+			if compareValues(l, c.Op, r) {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+func (e *Evaluator) operandValues(o xqast.Operand) ([]string, error) {
+	if o.IsLiteral {
+		return []string{o.Lit}, nil
+	}
+	n := e.env[o.Path.Var]
+	var out []string
+	if err := e.collectValues(n, o.Path.Steps, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (e *Evaluator) collectValues(n *buffer.Node, steps []xqast.Step, out *[]string) error {
+	if len(steps) == 0 {
+		v, err := e.stringValue(n)
+		if err != nil {
+			return err
+		}
+		*out = append(*out, v)
+		return nil
+	}
+	cur := newCursor(e, n, steps[0])
+	defer cur.close()
+	for {
+		m, err := cur.next()
+		if err != nil {
+			return err
+		}
+		if m == nil {
+			return nil
+		}
+		if err := e.collectValues(m, steps[1:], out); err != nil {
+			return err
+		}
+	}
+}
+
+// stringValue computes the concatenated text content of a node, blocking
+// until the subtree is complete (comparison dependencies buffer whole
+// subtrees, so all text is present).
+func (e *Evaluator) stringValue(n *buffer.Node) (string, error) {
+	if n.Kind == buffer.KindText {
+		return n.Text, nil
+	}
+	if err := e.waitFinished(n); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	var walk func(m *buffer.Node)
+	walk = func(m *buffer.Node) {
+		if m.Kind == buffer.KindText {
+			b.WriteString(m.Text)
+			return
+		}
+		for c := m.FirstChild; c != nil; c = c.NextSib {
+			walk(c)
+		}
+	}
+	walk(n)
+	return b.String(), nil
+}
+
+// compareValues applies a RelOp: numerically when both operands parse as
+// numbers, as strings otherwise.
+func compareValues(l string, op xqast.RelOp, r string) bool {
+	lf, lerr := strconv.ParseFloat(strings.TrimSpace(l), 64)
+	rf, rerr := strconv.ParseFloat(strings.TrimSpace(r), 64)
+	if lerr == nil && rerr == nil {
+		switch op {
+		case xqast.OpEq:
+			return lf == rf
+		case xqast.OpNe:
+			return lf != rf
+		case xqast.OpLt:
+			return lf < rf
+		case xqast.OpLe:
+			return lf <= rf
+		case xqast.OpGt:
+			return lf > rf
+		case xqast.OpGe:
+			return lf >= rf
+		}
+		return false
+	}
+	switch op {
+	case xqast.OpEq:
+		return l == r
+	case xqast.OpNe:
+		return l != r
+	case xqast.OpLt:
+		return l < r
+	case xqast.OpLe:
+		return l <= r
+	case xqast.OpGt:
+		return l > r
+	case xqast.OpGe:
+		return l >= r
+	}
+	return false
+}

@@ -1,0 +1,322 @@
+// Package normalize reduces surface queries to the XQ fragment of the paper
+// (Section 3, Figure 6) and validates the result.
+//
+// It mechanizes the adaptations Section 7 applied to the XMark queries:
+//
+//   - where-conditions have already been rewritten to if-then-else by the
+//     parser;
+//   - multi-step paths in for-loops are rewritten to nested single-step
+//     for-loops over fresh variables ("replacing for-loops with multi-steps
+//     by nested single-step for-loops");
+//   - multi-step output paths $x/a/b are rewritten to
+//     "for $g in $x/a return $g/b" so that every output path expression has
+//     exactly one step;
+//   - variables are consistently renamed so every for-loop binds a distinct
+//     name (shadowing is resolved; undefined variables are errors).
+//
+// Conditions may retain multi-step paths: the static analysis of package
+// static derives dependency chains for them directly (a conservative
+// generalization of Definition 2; single-step conditions behave exactly as
+// in the paper).
+package normalize
+
+import (
+	"fmt"
+
+	"gcx/internal/xqast"
+)
+
+// Error reports a query outside the supported fragment.
+type Error struct {
+	Msg string
+}
+
+func (e *Error) Error() string { return "normalize: " + e.Msg }
+
+func errf(format string, args ...interface{}) *Error {
+	return &Error{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Normalize rewrites q into fragment form. The input query is not modified.
+func Normalize(q *xqast.Query) (*xqast.Query, error) {
+	n := &normalizer{
+		reserved: map[string]bool{xqast.RootVar: true},
+		bound:    map[string]bool{xqast.RootVar: true},
+	}
+	// Pre-reserve all variable names appearing in the query so fresh names
+	// cannot collide.
+	xqast.Walk(q.Root, func(e xqast.Expr) bool {
+		if f, ok := e.(xqast.For); ok {
+			n.reserved[f.Var] = true
+		}
+		return true
+	})
+	scope := map[string]string{xqast.RootVar: xqast.RootVar}
+	child, err := n.expr(q.Root.Child, scope)
+	if err != nil {
+		return nil, err
+	}
+	out := &xqast.Query{Root: xqast.Element{Name: q.Root.Name, Child: child}}
+	if err := Validate(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+type normalizer struct {
+	reserved map[string]bool // every name appearing in the source query
+	bound    map[string]bool // names already assigned to an emitted binding
+	fresh    int
+}
+
+// freshVar returns an unused variable name derived from base.
+func (n *normalizer) freshVar(base string) string {
+	for {
+		n.fresh++
+		name := fmt.Sprintf("%s_%d", base, n.fresh)
+		if !n.reserved[name] && !n.bound[name] {
+			n.bound[name] = true
+			return name
+		}
+	}
+}
+
+// bind introduces a binding for surface name, returning the globally unique
+// name chosen for it and a child scope. Static analysis (Section 4) assumes
+// every for-loop binds a distinct variable; shadowing and reuse across
+// branches are resolved by renaming.
+func (n *normalizer) bind(name string, scope map[string]string) (string, map[string]string) {
+	unique := name
+	if n.bound[name] {
+		unique = n.freshVar(name)
+	} else {
+		n.bound[name] = true
+	}
+	child := make(map[string]string, len(scope)+1)
+	for k, v := range scope {
+		child[k] = v
+	}
+	child[name] = unique
+	return unique, child
+}
+
+func (n *normalizer) resolvePath(p xqast.Path, scope map[string]string) (xqast.Path, error) {
+	unique, ok := scope[p.Var]
+	if !ok {
+		return p, errf("undefined variable $%s", p.Var)
+	}
+	steps := make([]xqast.Step, len(p.Steps))
+	copy(steps, p.Steps)
+	return xqast.Path{Var: unique, Steps: steps}, nil
+}
+
+func (n *normalizer) expr(e xqast.Expr, scope map[string]string) (xqast.Expr, error) {
+	switch e := e.(type) {
+	case nil, xqast.Empty:
+		return xqast.Empty{}, nil
+	case xqast.Text:
+		return e, nil
+	case xqast.Element:
+		child, err := n.expr(e.Child, scope)
+		if err != nil {
+			return nil, err
+		}
+		return xqast.Element{Name: e.Name, Child: child}, nil
+	case xqast.Sequence:
+		items := make([]xqast.Expr, 0, len(e.Items))
+		for _, item := range e.Items {
+			out, err := n.expr(item, scope)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, out)
+		}
+		return xqast.FlattenSequence(items), nil
+	case xqast.VarRef:
+		unique, ok := scope[e.Var]
+		if !ok {
+			return nil, errf("undefined variable $%s", e.Var)
+		}
+		return xqast.VarRef{Var: unique}, nil
+	case xqast.PathExpr:
+		p, err := n.resolvePath(e.Path, scope)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkUserSteps(p, false); err != nil {
+			return nil, err
+		}
+		// Multi-step output: $x/a/b -> for $g in $x/a return $g/b.
+		return n.splitOutputPath(p), nil
+	case xqast.For:
+		return n.forLoop(e, scope)
+	case xqast.If:
+		cond, err := n.cond(e.Cond, scope)
+		if err != nil {
+			return nil, err
+		}
+		then, err := n.expr(e.Then, scope)
+		if err != nil {
+			return nil, err
+		}
+		els, err := n.expr(e.Else, scope)
+		if err != nil {
+			return nil, err
+		}
+		return xqast.If{Cond: cond, Then: then, Else: els}, nil
+	case xqast.CondTag:
+		return nil, errf("conditional tag constructors are internal forms and cannot appear in source queries")
+	case xqast.SignOff:
+		return nil, errf("signOff statements are internal forms and cannot appear in source queries")
+	default:
+		return nil, errf("unsupported expression %T", e)
+	}
+}
+
+// splitOutputPath rewrites a multi-step output path into nested for-loops so
+// only single-step output path expressions remain.
+func (n *normalizer) splitOutputPath(p xqast.Path) xqast.Expr {
+	if len(p.Steps) == 1 {
+		return xqast.PathExpr{Path: p}
+	}
+	v := p.Var
+	var out xqast.Expr
+	// Build loops for all steps but the last.
+	loops := make([]xqast.For, 0, len(p.Steps)-1)
+	for _, step := range p.Steps[:len(p.Steps)-1] {
+		g := n.freshVar(v)
+		loops = append(loops, xqast.For{Var: g, In: xqast.Path{Var: v, Steps: []xqast.Step{step}}})
+		v = g
+	}
+	out = xqast.PathExpr{Path: xqast.Path{Var: v, Steps: []xqast.Step{p.Steps[len(p.Steps)-1]}}}
+	for i := len(loops) - 1; i >= 0; i-- {
+		loops[i].Return = out
+		out = loops[i]
+	}
+	return out
+}
+
+// forLoop normalizes a for-loop, splitting multi-step iteration paths into
+// nested single-step loops.
+func (n *normalizer) forLoop(f xqast.For, scope map[string]string) (xqast.Expr, error) {
+	p, err := n.resolvePath(f.In, scope)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkUserSteps(p, false); err != nil {
+		return nil, err
+	}
+	// Intermediate loops over fresh variables for all but the last step.
+	v := p.Var
+	loops := make([]xqast.For, 0, len(p.Steps))
+	for _, step := range p.Steps[:len(p.Steps)-1] {
+		g := n.freshVar(f.Var)
+		loops = append(loops, xqast.For{Var: g, In: xqast.Path{Var: v, Steps: []xqast.Step{step}}})
+		v = g
+	}
+	unique, child := n.bind(f.Var, scope)
+	body, err := n.expr(f.Return, child)
+	if err != nil {
+		return nil, err
+	}
+	out := xqast.Expr(xqast.For{
+		Var:    unique,
+		In:     xqast.Path{Var: v, Steps: []xqast.Step{p.Steps[len(p.Steps)-1]}},
+		Return: body,
+	})
+	for i := len(loops) - 1; i >= 0; i-- {
+		loops[i].Return = out
+		out = loops[i]
+	}
+	return out, nil
+}
+
+func (n *normalizer) cond(c xqast.Cond, scope map[string]string) (xqast.Cond, error) {
+	switch c := c.(type) {
+	case xqast.TrueCond:
+		return c, nil
+	case xqast.Exists:
+		p, err := n.resolvePath(c.Path, scope)
+		if err != nil {
+			return nil, err
+		}
+		if len(p.Steps) == 0 {
+			return nil, errf("exists($%s) over a bare variable is always true; the fragment requires a path", p.Var)
+		}
+		if err := checkUserSteps(p, true); err != nil {
+			return nil, err
+		}
+		return xqast.Exists{Path: p}, nil
+	case xqast.Compare:
+		lhs, err := n.operand(c.LHS, scope)
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := n.operand(c.RHS, scope)
+		if err != nil {
+			return nil, err
+		}
+		return xqast.Compare{LHS: lhs, Op: c.Op, RHS: rhs}, nil
+	case xqast.And:
+		l, err := n.cond(c.L, scope)
+		if err != nil {
+			return nil, err
+		}
+		r, err := n.cond(c.R, scope)
+		if err != nil {
+			return nil, err
+		}
+		return xqast.And{L: l, R: r}, nil
+	case xqast.Or:
+		l, err := n.cond(c.L, scope)
+		if err != nil {
+			return nil, err
+		}
+		r, err := n.cond(c.R, scope)
+		if err != nil {
+			return nil, err
+		}
+		return xqast.Or{L: l, R: r}, nil
+	case xqast.Not:
+		inner, err := n.cond(c.C, scope)
+		if err != nil {
+			return nil, err
+		}
+		return xqast.Not{C: inner}, nil
+	default:
+		return nil, errf("unsupported condition %T", c)
+	}
+}
+
+func (n *normalizer) operand(o xqast.Operand, scope map[string]string) (xqast.Operand, error) {
+	if o.IsLiteral {
+		return o, nil
+	}
+	p, err := n.resolvePath(o.Path, scope)
+	if err != nil {
+		return o, err
+	}
+	if err := checkUserSteps(p, true); err != nil {
+		return o, err
+	}
+	return xqast.Operand{Path: p}, nil
+}
+
+// checkUserSteps validates that a user-written path stays inside the
+// fragment: child/descendant axes, name/*/text() tests, no predicates.
+// Conditions (inCond) may use multi-step paths; everything else is reduced
+// to single steps by the normalizer itself.
+func checkUserSteps(p xqast.Path, inCond bool) error {
+	for _, s := range p.Steps {
+		if s.Axis != xqast.Child && s.Axis != xqast.Descendant {
+			return errf("axis %s is not part of the query fragment (only child and descendant; %s)", s.Axis, p)
+		}
+		if s.Test.Kind == xqast.TestNode {
+			return errf("node() tests are reserved for projection paths (%s)", p)
+		}
+		if s.First {
+			return errf("positional predicates are not part of the query fragment (%s); existence checks keep first witnesses automatically", p)
+		}
+	}
+	return nil
+}

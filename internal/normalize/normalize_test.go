@@ -1,0 +1,255 @@
+package normalize
+
+import (
+	"strings"
+	"testing"
+
+	"gcx/internal/xqast"
+	"gcx/internal/xqparser"
+)
+
+func norm(t *testing.T, src string) *xqast.Query {
+	t.Helper()
+	q, err := xqparser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	out, err := Normalize(q)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	return out
+}
+
+func normErr(t *testing.T, src string) error {
+	t.Helper()
+	q, err := xqparser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Normalize(q)
+	if err == nil {
+		t.Fatalf("Normalize(%q) succeeded, want error", src)
+	}
+	return err
+}
+
+func TestMultiStepForLoopSplits(t *testing.T) {
+	q := norm(t, `<q>{ for $p in /site/people/person return $p }</q>`)
+	// Expect three nested single-step loops.
+	f1, ok := q.Root.Child.(xqast.For)
+	if !ok {
+		t.Fatalf("child: %T", q.Root.Child)
+	}
+	f2, ok := f1.Return.(xqast.For)
+	if !ok {
+		t.Fatalf("level 2: %T", f1.Return)
+	}
+	f3, ok := f2.Return.(xqast.For)
+	if !ok {
+		t.Fatalf("level 3: %T", f2.Return)
+	}
+	for _, f := range []xqast.For{f1, f2, f3} {
+		if len(f.In.Steps) != 1 {
+			t.Fatalf("loop over %s not single-step", f.In)
+		}
+	}
+	if f3.Var != "p" {
+		t.Fatalf("innermost loop must bind the user variable, got $%s", f3.Var)
+	}
+	if f1.In.Steps[0].Test.Name != "site" || f2.In.Steps[0].Test.Name != "people" || f3.In.Steps[0].Test.Name != "person" {
+		t.Fatalf("step order wrong: %s / %s / %s", f1.In, f2.In, f3.In)
+	}
+	if ref, ok := f3.Return.(xqast.VarRef); !ok || ref.Var != "p" {
+		t.Fatalf("body: %#v", f3.Return)
+	}
+}
+
+func TestMultiStepOutputPathSplits(t *testing.T) {
+	q := norm(t, `<q>{ for $p in /people return $p/name/text() }</q>`)
+	// for $p_? in /people ... innermost output must be single-step.
+	var sawLoopOverName, sawTextOutput bool
+	xqast.Walk(q.Root, func(e xqast.Expr) bool {
+		switch e := e.(type) {
+		case xqast.For:
+			if e.In.Steps[0].Test.Name == "name" {
+				sawLoopOverName = true
+			}
+		case xqast.PathExpr:
+			if len(e.Path.Steps) != 1 {
+				t.Fatalf("output path not single-step: %s", e.Path)
+			}
+			if e.Path.Steps[0].Test.Kind == xqast.TestText {
+				sawTextOutput = true
+			}
+		}
+		return true
+	})
+	if !sawLoopOverName || !sawTextOutput {
+		t.Fatalf("expected loop over name + text() output; got:\n%s", xqast.Format(q))
+	}
+	if err := Validate(q); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestShadowingRenamed(t *testing.T) {
+	q := norm(t, `<q>{ for $x in /a return (for $x in $x/b return $x, $x) }</q>`)
+	// Two distinct binder names; inner body refers to inner, trailing $x to outer.
+	outer := q.Root.Child.(xqast.For)
+	seq := outer.Return.(xqast.Sequence)
+	inner := seq.Items[0].(xqast.For)
+	if inner.Var == outer.Var {
+		t.Fatalf("shadowed variable not renamed: both $%s", inner.Var)
+	}
+	if inner.In.Var != outer.Var {
+		t.Fatalf("inner loop path rooted at $%s, want $%s", inner.In.Var, outer.Var)
+	}
+	if ref := inner.Return.(xqast.VarRef); ref.Var != inner.Var {
+		t.Fatalf("inner body binds $%s, want $%s", ref.Var, inner.Var)
+	}
+	if ref := seq.Items[1].(xqast.VarRef); ref.Var != outer.Var {
+		t.Fatalf("trailing ref binds $%s, want $%s", ref.Var, outer.Var)
+	}
+}
+
+func TestReuseAcrossBranchesRenamed(t *testing.T) {
+	q := norm(t, `<q>{ (for $x in /a return $x, for $x in /b return $x) }</q>`)
+	seq := q.Root.Child.(xqast.Sequence)
+	f1 := seq.Items[0].(xqast.For)
+	f2 := seq.Items[1].(xqast.For)
+	if f1.Var == f2.Var {
+		t.Fatal("reused binder across branches must be renamed")
+	}
+	if err := Validate(q); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestSequenceFlattening(t *testing.T) {
+	q := norm(t, `<q>{ ($root, ((), ($root, $root)), ()) }</q>`)
+	seq, ok := q.Root.Child.(xqast.Sequence)
+	if !ok {
+		t.Fatalf("child: %T", q.Root.Child)
+	}
+	if len(seq.Items) != 3 {
+		t.Fatalf("flattened to %d items, want 3: %#v", len(seq.Items), seq)
+	}
+	for _, item := range seq.Items {
+		if _, ok := item.(xqast.VarRef); !ok {
+			t.Fatalf("item %T, want VarRef", item)
+		}
+	}
+}
+
+func TestSingletonSequenceCollapses(t *testing.T) {
+	q := norm(t, `<q>{ (((($root)))) }</q>`)
+	if _, ok := q.Root.Child.(xqast.VarRef); !ok {
+		t.Fatalf("child: %T, want VarRef", q.Root.Child)
+	}
+}
+
+func TestUndefinedVariable(t *testing.T) {
+	err := normErr(t, `<q>{ $nope }</q>`)
+	if !strings.Contains(err.Error(), "undefined variable $nope") {
+		t.Fatalf("error: %v", err)
+	}
+}
+
+func TestUndefinedVariableInPath(t *testing.T) {
+	err := normErr(t, `<q>{ for $x in $ghost/a return $x }</q>`)
+	if !strings.Contains(err.Error(), "undefined variable $ghost") {
+		t.Fatalf("error: %v", err)
+	}
+}
+
+func TestVariableEscapesScope(t *testing.T) {
+	err := normErr(t, `<q>{ (for $x in /a return $x, $x) }</q>`)
+	if !strings.Contains(err.Error(), "undefined variable $x") {
+		t.Fatalf("error: %v", err)
+	}
+}
+
+func TestExistsBareVariableRejected(t *testing.T) {
+	err := normErr(t, `<q>{ for $x in /a return if (exists($x)) then $x else () }</q>`)
+	if !strings.Contains(err.Error(), "bare variable") {
+		t.Fatalf("error: %v", err)
+	}
+}
+
+func TestMultiStepConditionAccepted(t *testing.T) {
+	q := norm(t, `<q>{ for $p in /people return if ($p/profile/income > 5000) then $p/name else () }</q>`)
+	if err := Validate(q); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	// The condition path must survive with two steps.
+	var found bool
+	xqast.WalkConds(q.Root, func(c xqast.Cond) {
+		if cmp, ok := c.(xqast.Compare); ok {
+			if len(cmp.LHS.Path.Steps) == 2 {
+				found = true
+			}
+		}
+	})
+	if !found {
+		t.Fatalf("condition path was altered:\n%s", xqast.Format(q))
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	srcs := []string{
+		`<q>{ for $p in /site/people/person return if ($p/id = "person0") then $p/name else () }</q>`,
+		`<q>{ for $a in //a return <a>{ for $b in $a//b return <b/> }</a> }</q>`,
+	}
+	for _, src := range srcs {
+		q1 := norm(t, src)
+		s1 := xqast.Format(q1)
+		q2, err := Normalize(q1)
+		if err != nil {
+			t.Fatalf("re-normalize: %v", err)
+		}
+		s2 := xqast.Format(q2)
+		if s1 != s2 {
+			t.Fatalf("not idempotent:\nfirst:\n%s\nsecond:\n%s", s1, s2)
+		}
+	}
+}
+
+func TestValidateCatchesInternalForms(t *testing.T) {
+	q := &xqast.Query{Root: xqast.Element{
+		Name:  "q",
+		Child: xqast.SignOff{Path: xqast.Path{Var: xqast.RootVar}, Role: 1},
+	}}
+	if err := Validate(q); err == nil || !strings.Contains(err.Error(), "signOff") {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestValidateCatchesDosAxis(t *testing.T) {
+	q := &xqast.Query{Root: xqast.Element{
+		Name: "q",
+		Child: xqast.PathExpr{Path: xqast.Path{Var: xqast.RootVar, Steps: []xqast.Step{
+			{Axis: xqast.DescendantOrSelf, Test: xqast.NodeKindTest()},
+		}}},
+	}}
+	if err := Validate(q); err == nil {
+		t.Fatal("validate must reject dos axis in queries")
+	}
+}
+
+func TestWhereBecomesIf(t *testing.T) {
+	q := norm(t, `<q>{ for $t in /site/closed_auctions/closed_auction where $t/buyer/person = "person0" return $t/price }</q>`)
+	var sawIf bool
+	xqast.Walk(q.Root, func(e xqast.Expr) bool {
+		if _, ok := e.(xqast.If); ok {
+			sawIf = true
+		}
+		return true
+	})
+	if !sawIf {
+		t.Fatalf("where not desugared:\n%s", xqast.Format(q))
+	}
+	if err := Validate(q); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}

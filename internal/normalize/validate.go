@@ -1,0 +1,139 @@
+package normalize
+
+import (
+	"gcx/internal/xqast"
+)
+
+// Validate checks that a query conforms to the normalized fragment the
+// static analysis consumes:
+//
+//   - every for-loop iterates a single-step path with child or descendant
+//     axis and a name, "*", or text() test;
+//   - every output path expression has exactly one step;
+//   - condition paths use child/descendant axes with 1..n steps;
+//   - every for-loop binds a globally unique variable;
+//   - every used variable is bound (or $root);
+//   - no internal forms (signOff, conditional tags) appear.
+//
+// It is exported so tests and the engine can check invariants after each
+// rewriting phase that is supposed to preserve the fragment.
+func Validate(q *xqast.Query) error {
+	v := &validator{binders: map[string]bool{}}
+	v.expr(q.Root, map[string]bool{xqast.RootVar: true})
+	return v.err
+}
+
+type validator struct {
+	binders map[string]bool // names already used as for-loop binders
+	err     error
+}
+
+func (v *validator) fail(format string, args ...interface{}) {
+	if v.err == nil {
+		v.err = errf(format, args...)
+	}
+}
+
+func (v *validator) path(p xqast.Path, scope map[string]bool, what string, singleStep bool) {
+	if !scope[p.Var] {
+		v.fail("%s uses variable $%s outside its scope", what, p.Var)
+		return
+	}
+	if singleStep && len(p.Steps) != 1 {
+		v.fail("%s must have exactly one step after normalization: %s", what, p)
+		return
+	}
+	for _, s := range p.Steps {
+		if s.Axis != xqast.Child && s.Axis != xqast.Descendant {
+			v.fail("%s uses axis %s outside the fragment: %s", what, s.Axis, p)
+		}
+		switch s.Test.Kind {
+		case xqast.TestName, xqast.TestStar, xqast.TestText:
+		default:
+			v.fail("%s uses node test %s outside the fragment: %s", what, s.Test, p)
+		}
+		if s.First {
+			v.fail("%s carries a positional predicate: %s", what, p)
+		}
+	}
+}
+
+func (v *validator) expr(e xqast.Expr, scope map[string]bool) {
+	if v.err != nil {
+		return
+	}
+	switch e := e.(type) {
+	case nil, xqast.Empty, xqast.Text:
+	case xqast.Element:
+		v.expr(e.Child, scope)
+	case xqast.Sequence:
+		if len(e.Items) < 2 {
+			v.fail("degenerate sequence of %d item(s) after normalization", len(e.Items))
+		}
+		for _, item := range e.Items {
+			v.expr(item, scope)
+		}
+	case xqast.VarRef:
+		if !scope[e.Var] {
+			v.fail("variable $%s used outside its scope", e.Var)
+		}
+	case xqast.PathExpr:
+		v.path(e.Path, scope, "output path", true)
+	case xqast.For:
+		v.path(e.In, scope, "for-loop path", true)
+		if e.Var == xqast.RootVar || v.binders[e.Var] {
+			v.fail("variable $%s is bound by more than one for-loop (or rebinds $root)", e.Var)
+			return
+		}
+		v.binders[e.Var] = true
+		child := childScope(scope, e.Var)
+		v.expr(e.Return, child)
+	case xqast.If:
+		v.cond(e.Cond, scope)
+		v.expr(e.Then, scope)
+		v.expr(e.Else, scope)
+	case xqast.CondTag:
+		v.fail("conditional tag constructor in normalized query")
+	case xqast.SignOff:
+		v.fail("signOff statement in normalized query")
+	default:
+		v.fail("unsupported expression %T", e)
+	}
+}
+
+func (v *validator) cond(c xqast.Cond, scope map[string]bool) {
+	switch c := c.(type) {
+	case xqast.TrueCond:
+	case xqast.Exists:
+		v.path(c.Path, scope, "exists path", false)
+	case xqast.Compare:
+		if !c.LHS.IsLiteral {
+			v.path(c.LHS.Path, scope, "comparison path", false)
+		}
+		if !c.RHS.IsLiteral {
+			v.path(c.RHS.Path, scope, "comparison path", false)
+		}
+		if c.LHS.IsLiteral && c.RHS.IsLiteral {
+			v.fail("comparison between two literals")
+		}
+	case xqast.And:
+		v.cond(c.L, scope)
+		v.cond(c.R, scope)
+	case xqast.Or:
+		v.cond(c.L, scope)
+		v.cond(c.R, scope)
+	case xqast.Not:
+		v.cond(c.C, scope)
+	default:
+		v.fail("unsupported condition %T", c)
+	}
+}
+
+func childScope(scope map[string]bool, name string) map[string]bool {
+	child := make(map[string]bool, len(scope)+1)
+	for k, val := range scope {
+		child[k] = val
+	}
+	child[name] = true
+	return child
+}

@@ -1,0 +1,154 @@
+package proj
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gcx/internal/projtree"
+	"gcx/internal/xqast"
+)
+
+// DFA is the lazily constructed deterministic automaton of Section 2
+// (Figure 5(b)): states correspond to tag paths of the input document and
+// map to multisets of projection-tree nodes (Example 1). The projector
+// itself runs the per-instance NFA simulation (required for [1] predicates
+// and cancellation); this instance-free DFA is the paper's formulation and
+// serves diagnostics, tests, and the -explain tooling.
+type DFA struct {
+	tree   *projtree.Tree
+	states map[string]*DFAState
+	// Start is the state of the empty path "/".
+	Start *DFAState
+	order []*DFAState
+}
+
+// DFAState is one lazily materialized automaton state.
+type DFAState struct {
+	ID int
+	// Matches maps projection-node IDs to their match multiplicity at the
+	// current path (Example 1's multisets).
+	Matches map[int]int
+	// scopes maps projection-node IDs with descendant-axis children to
+	// the multiplicity with which they are pending at any ancestor.
+	scopes map[int]int
+	trans  map[string]*DFAState
+	key    string
+}
+
+// NewDFA creates the DFA for a projection tree with only the start state
+// materialized.
+func NewDFA(tree *projtree.Tree) *DFA {
+	d := &DFA{tree: tree, states: map[string]*DFAState{}}
+	matches := map[int]int{tree.Root.ID: 1}
+	scopes := map[int]int{}
+	if hasDescChildren(tree.Root) {
+		scopes[tree.Root.ID] = 1
+	}
+	d.Start = d.intern(matches, scopes)
+	return d
+}
+
+// StateCount returns the number of states materialized so far ("lazy"
+// construction: states appear only for paths that occur in the input).
+func (d *DFA) StateCount() int { return len(d.order) }
+
+func stateKey(matches, scopes map[int]int) string {
+	ids := make([]int, 0, len(matches)+len(scopes))
+	for id := range matches {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&b, "m%d:%d;", id, matches[id])
+	}
+	ids = ids[:0]
+	for id := range scopes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "s%d:%d;", id, scopes[id])
+	}
+	return b.String()
+}
+
+func (d *DFA) intern(matches, scopes map[int]int) *DFAState {
+	key := stateKey(matches, scopes)
+	if s, ok := d.states[key]; ok {
+		return s
+	}
+	s := &DFAState{
+		ID:      len(d.order),
+		Matches: matches,
+		scopes:  scopes,
+		trans:   map[string]*DFAState{},
+		key:     key,
+	}
+	d.states[key] = s
+	d.order = append(d.order, s)
+	return s
+}
+
+// Next returns the state reached from s by reading an opening tag with the
+// given name, materializing it on first use.
+func (d *DFA) Next(s *DFAState, name string) *DFAState {
+	if t, ok := s.trans[name]; ok {
+		return t
+	}
+	matches := map[int]int{}
+	for id, mult := range s.Matches {
+		for _, c := range d.tree.Nodes[id].Children {
+			if c.Step.Axis == xqast.Child && elementTestMatches(c.Step.Test, name) {
+				matches[c.ID] += mult
+			}
+		}
+	}
+	for id, mult := range s.scopes {
+		for _, c := range d.tree.Nodes[id].Children {
+			if c.Step.Axis == xqast.Descendant && elementTestMatches(c.Step.Test, name) {
+				matches[c.ID] += mult
+			}
+		}
+	}
+	scopes := make(map[int]int, len(s.scopes))
+	for id, mult := range s.scopes {
+		scopes[id] = mult
+	}
+	for id, mult := range matches {
+		if hasDescChildren(d.tree.Nodes[id]) {
+			scopes[id] += mult
+		}
+	}
+	t := d.intern(matches, scopes)
+	s.trans[name] = t
+	return t
+}
+
+// MatchPath runs the DFA over a path of tag names from the start state and
+// returns the final state.
+func (d *DFA) MatchPath(names ...string) *DFAState {
+	s := d.Start
+	for _, n := range names {
+		s = d.Next(s, n)
+	}
+	return s
+}
+
+// MatchesString renders a state's projection-node multiset like
+// "{v3, v3, v6}", using node IDs, sorted. Empty multisets render as "{}".
+func (s *DFAState) MatchesString() string {
+	var ids []int
+	for id, mult := range s.Matches {
+		for i := 0; i < mult; i++ {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("n%d", id)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

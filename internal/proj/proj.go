@@ -1,0 +1,505 @@
+// Package proj implements the GCX stream pre-projector (Sections 2 and 6 of
+// the paper): it matches the incoming token stream against the projection
+// tree, copies relevant tokens into the buffer, and assigns roles on the
+// fly.
+//
+// Matching is an NFA simulation over the stack of open elements, which is
+// the per-instance generalization of the paper's lazily constructed DFA
+// (the instance-free lazy DFA itself is implemented in dfa.go and used for
+// diagnostics and the Figure 5 tests). Per-instance state is required for
+//
+//   - first-witness suppression: a [position()=1] projection node buffers
+//     only the first match per context *instance*;
+//   - multiplicity: a token matched through several derivations receives
+//     the corresponding role once per derivation (Figure 4(c));
+//   - cancellation: a signOff executed while its target subtree is still
+//     open must suppress the role's future assignments (see DESIGN.md).
+//
+// A document node is preserved if (1) it matches a projection-tree node,
+// (2) it lies below a dos::node() capture, or (3) the structural guard of
+// Section 2 (case (2)) applies — discarding it could promote a descendant
+// into a false child-axis match.
+package proj
+
+import (
+	"fmt"
+
+	"gcx/internal/buffer"
+	"gcx/internal/dtd"
+	"gcx/internal/projtree"
+	"gcx/internal/xmlstream"
+	"gcx/internal/xqast"
+)
+
+// Options configures the projector. AggregateRoles must match the static
+// analysis configuration that produced the projection tree.
+type Options struct {
+	AggregateRoles bool
+	// Schema, when non-nil, enables schema-aware early region
+	// termination: content-model facts ("no further c child can occur
+	// after a d child") are recorded on buffered nodes so blocking
+	// cursors can stop without scanning to the end of the region.
+	// Supplying a schema asserts the input is valid against it.
+	Schema *dtd.Schema
+}
+
+// entry is one live NFA configuration: projection-tree node pn matched at a
+// specific open element, reached through mult derivations.
+type entry struct {
+	pn *projtree.Node
+	// owner is the frame at which pn matched (the context instance for
+	// [1] predicates on pn's children).
+	owner *frame
+	// anchor is the frame of the first-straight-ancestor variable instance
+	// on this derivation; signOff cancellation is keyed on (role, anchor).
+	anchor *frame
+	mult   int
+}
+
+// capture is an active dos::node() subtree preservation started at its
+// owner frame.
+type capture struct {
+	role   xqast.Role
+	anchor *frame
+	mult   int
+	live   bool
+}
+
+// frame is the per-open-element state.
+type frame struct {
+	parent *frame
+	depth  int
+	// node is the buffered node for this element (nil if not preserved).
+	node *buffer.Node
+	// attach is the nearest buffered ancestor-or-self; children of
+	// discarded elements are promoted to it (Definition 1's projection).
+	attach *buffer.Node
+	// matches are the projection nodes matched at this element.
+	matches []*entry
+	// scopes are entries (here or at ancestors) whose projection nodes
+	// have descendant-axis children; shared copy-on-append with parent.
+	scopes []*entry
+	// captures started at this element.
+	captures []*capture
+	liveCaps int
+	// firstUsed records [1]-children of nodes matched at this frame whose
+	// single witness has been consumed (keyed by projection node ID).
+	firstUsed map[int]bool
+}
+
+// cancellation suppresses future derivations of a role below an anchor
+// frame (registered by SignOff on unfinished subtrees).
+type cancellation struct {
+	role   xqast.Role
+	anchor *frame
+}
+
+// Projector drives tokenization, projection, and role assignment.
+type Projector struct {
+	tok  *xmlstream.Tokenizer
+	buf  *buffer.Buffer
+	tree *projtree.Tree
+	opts Options
+
+	stack []*frame
+	pool  []*frame
+	cancs []cancellation
+	eof   bool
+
+	// scratch for candidate merging.
+	cands []*entry
+
+	tokens    int64
+	lastToken xmlstream.Token
+}
+
+// New creates a projector reading from tok into buf, guided by tree.
+func New(tok *xmlstream.Tokenizer, buf *buffer.Buffer, tree *projtree.Tree, opts Options) *Projector {
+	p := &Projector{tok: tok, buf: buf, tree: tree, opts: opts}
+	rootFrame := &frame{depth: 0, node: buf.Root(), attach: buf.Root()}
+	rootEntry := &entry{pn: tree.Root, owner: rootFrame, anchor: rootFrame, mult: 1}
+	rootFrame.matches = []*entry{rootEntry}
+	if hasDescChildren(tree.Root) {
+		rootFrame.scopes = []*entry{rootEntry}
+	}
+	p.stack = append(p.stack, rootFrame)
+	// The root may itself start captures (e.g. the full-buffering baseline
+	// uses a projection tree whose root has a dos::node() child).
+	p.startCaptures(rootFrame, rootEntry)
+	p.buf.SetCanceller(p)
+	return p
+}
+
+// TokensRead returns the number of stream tokens consumed.
+func (p *Projector) TokensRead() int64 { return p.tokens }
+
+// LastToken returns the most recently consumed token (tracing support).
+func (p *Projector) LastToken() xmlstream.Token { return p.lastToken }
+
+// EOF reports whether the input is exhausted.
+func (p *Projector) EOF() bool { return p.eof }
+
+func hasDescChildren(pn *projtree.Node) bool {
+	for _, c := range pn.Children {
+		if c.Step.Axis == xqast.Descendant {
+			return true
+		}
+	}
+	return false
+}
+
+// Step reads and processes one token. It returns false once the input is
+// exhausted. This is the nextNode() interface of Figure 11: the buffer
+// manager calls Step until the data the evaluator blocks on is available.
+func (p *Projector) Step() (bool, error) {
+	if p.eof {
+		return false, nil
+	}
+	tk, err := p.tok.Next()
+	if err != nil {
+		return false, err
+	}
+	p.tokens++
+	p.lastToken = tk
+	switch tk.Kind {
+	case xmlstream.StartElement:
+		p.openElement(tk.Name)
+	case xmlstream.EndElement:
+		p.closeElement()
+	case xmlstream.Text:
+		p.text(tk.Data)
+	case xmlstream.EOF:
+		p.eof = true
+		if len(p.stack) != 1 {
+			return false, fmt.Errorf("proj: internal error: %d frames open at EOF", len(p.stack)-1)
+		}
+		p.buf.Finish(p.buf.Root())
+		return false, nil
+	}
+	return true, nil
+}
+
+// cancelled reports whether derivations of role below anchor are
+// suppressed.
+func (p *Projector) cancelled(role xqast.Role, anchor *frame) bool {
+	for _, c := range p.cancs {
+		if c.role == role && c.anchor == anchor {
+			return true
+		}
+	}
+	return false
+}
+
+// elementTestMatches reports whether an element with tag sym name matches a
+// step node test.
+func elementTestMatches(t xqast.NodeTest, name string) bool {
+	switch t.Kind {
+	case xqast.TestName:
+		return t.Name == name
+	case xqast.TestStar:
+		return true
+	default:
+		return false
+	}
+}
+
+func textTestMatches(t xqast.NodeTest) bool {
+	return t.Kind == xqast.TestText
+}
+
+// collectCands gathers candidate matches for a child of top with the given
+// matcher, merging derivations by (projection node, owner-to-be, anchor).
+func (p *Projector) collectCands(top *frame, match func(xqast.NodeTest) bool) []*entry {
+	p.cands = p.cands[:0]
+	add := func(pn *projtree.Node, owner, anchor *frame, mult int) {
+		for _, c := range p.cands {
+			if c.pn == pn && c.owner == owner && c.anchor == anchor {
+				c.mult += mult
+				return
+			}
+		}
+		p.cands = append(p.cands, &entry{pn: pn, owner: owner, anchor: anchor, mult: mult})
+	}
+	// Child-axis steps from nodes matched at the parent.
+	for _, e := range top.matches {
+		for _, c := range e.pn.Children {
+			if c.Step.Axis == xqast.Child && match(c.Step.Test) {
+				if p.cancelled(c.ChainRole, e.anchor) {
+					continue
+				}
+				add(c, top, e.anchor, e.mult)
+			}
+		}
+	}
+	// Descendant-axis steps from scope entries (matched here or above).
+	for _, e := range top.scopes {
+		for _, c := range e.pn.Children {
+			if c.Step.Axis == xqast.Descendant && match(c.Step.Test) {
+				if p.cancelled(c.ChainRole, e.anchor) {
+					continue
+				}
+				add(c, e.owner, e.anchor, e.mult)
+			}
+		}
+	}
+	return p.cands
+}
+
+// filterFirst applies first-witness suppression: a [1] candidate whose
+// context instance already consumed its witness is dropped; otherwise the
+// witness is consumed now.
+func filterFirst(cands []*entry) []*entry {
+	out := cands[:0]
+	for _, c := range cands {
+		if c.pn.Step.First {
+			ctx := c.owner
+			if ctx.firstUsed[c.pn.ID] {
+				continue
+			}
+			if ctx.firstUsed == nil {
+				ctx.firstUsed = make(map[int]bool, 2)
+			}
+			ctx.firstUsed[c.pn.ID] = true
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// covered reports whether any live capture is active at or above f.
+func covered(f *frame) bool {
+	for ; f != nil; f = f.parent {
+		if f.liveCaps > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// guard implements the structural preservation rule (Section 2, case (2)):
+// the current element must be kept when its parent's configuration pairs a
+// child-axis step with an overlapping descendant-axis step — discarding it
+// could later promote a descendant into a false child-axis match.
+func (p *Projector) guard(top *frame) bool {
+	for _, e := range top.matches {
+		for _, c := range e.pn.Children {
+			if c.Step.Axis != xqast.Child {
+				continue
+			}
+			for _, s := range top.scopes {
+				for _, d := range s.pn.Children {
+					if d.Step.Axis == xqast.Descendant && testsOverlap(c.Step.Test, d.Step.Test) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// testsOverlap reports whether two node tests can match the same token.
+func testsOverlap(a, b xqast.NodeTest) bool {
+	if a.Kind == xqast.TestText || b.Kind == xqast.TestText {
+		return a.Kind == b.Kind
+	}
+	// Element tests: * overlaps everything, names overlap on equality.
+	if a.Kind == xqast.TestStar || b.Kind == xqast.TestStar {
+		return true
+	}
+	return a.Kind == xqast.TestName && b.Kind == xqast.TestName && a.Name == b.Name
+}
+
+// applyCaptureRoles assigns the roles of live ancestor captures to a newly
+// buffered node. Under aggregate roles this is a no-op (the role sits on
+// the subtree root only); otherwise every preserved node inherits each
+// covering capture's role, as in the paper's base technique where e.g.
+// every node below a bib child carries r5 (Figure 2).
+func (p *Projector) applyCaptureRoles(n *buffer.Node, from *frame) {
+	if p.opts.AggregateRoles {
+		return
+	}
+	for f := from; f != nil; f = f.parent {
+		for _, cap := range f.captures {
+			if cap.live {
+				p.buf.AddRole(n, cap.role, cap.mult)
+			}
+		}
+	}
+}
+
+// startCaptures creates captures for dos::node() children of a matched
+// projection node and assigns the dos role to the matched element itself
+// (descendant-or-self includes self).
+func (p *Projector) startCaptures(f *frame, e *entry) {
+	for _, c := range e.pn.Children {
+		if !c.IsDosLeaf() {
+			continue
+		}
+		role := p.tree.Roles[c.Role]
+		if role == nil || role.Eliminated {
+			continue
+		}
+		if p.cancelled(c.ChainRole, e.anchor) {
+			continue
+		}
+		f.captures = append(f.captures, &capture{role: c.Role, anchor: e.anchor, mult: e.mult, live: true})
+		f.liveCaps++
+		p.buf.AddRole(f.node, c.Role, e.mult)
+	}
+}
+
+// openElement processes a start tag.
+func (p *Projector) openElement(name string) {
+	top := p.stack[len(p.stack)-1]
+	cands := p.collectCands(top, func(t xqast.NodeTest) bool { return elementTestMatches(t, name) })
+	cands = filterFirst(cands)
+
+	// Schema facts: a child with this tag excludes certain later child
+	// tags under the parent (recorded on the buffered parent node so
+	// blocking cursors can terminate the region early).
+	if p.opts.Schema != nil && top.node != nil && top.node.Kind == buffer.KindElement {
+		parentTag := p.buf.Syms().Name(top.node.Sym)
+		for _, dead := range p.opts.Schema.NoMoreAfter(parentTag, name) {
+			top.node.MarkNoMore(p.buf.Syms().Intern(dead))
+		}
+	}
+
+	f := p.newFrame(top)
+
+	keep := len(cands) > 0 || covered(top) || p.guard(top)
+	if keep {
+		sym := p.buf.Syms().Intern(name)
+		n := p.buf.AppendElement(top.attach, sym)
+		f.node = n
+		f.attach = n
+		p.applyCaptureRoles(n, top)
+	} else {
+		f.attach = top.attach
+	}
+
+	if len(cands) > 0 {
+		// Materialize match entries: resolve self-anchoring (straight
+		// variable instances anchor at their own frame), assign roles,
+		// start captures.
+		f.matches = make([]*entry, 0, len(cands))
+		for _, c := range cands {
+			e := &entry{pn: c.pn, owner: f, anchor: c.anchor, mult: c.mult}
+			if c.pn.AnchorSelf {
+				e.anchor = f
+			}
+			f.matches = append(f.matches, e)
+			if r := p.tree.Roles[c.pn.Role]; r != nil && !r.Eliminated {
+				p.buf.AddRole(f.node, c.pn.Role, c.mult)
+			}
+			p.startCaptures(f, e)
+		}
+		// Extend the descendant scope with matches that have
+		// descendant-axis children.
+		f.scopes = top.scopes
+		for _, e := range f.matches {
+			if hasDescChildren(e.pn) {
+				f.scopes = appendScope(f.scopes, e)
+			}
+		}
+	} else {
+		f.scopes = top.scopes
+	}
+
+	p.stack = append(p.stack, f)
+}
+
+// appendScope appends without aliasing the parent's backing array tail
+// (frames share scope slices copy-on-append; two siblings must not clobber
+// each other's extension).
+func appendScope(s []*entry, e *entry) []*entry {
+	out := make([]*entry, len(s), len(s)+1)
+	copy(out, s)
+	return append(out, e)
+}
+
+// closeElement processes an end tag.
+func (p *Projector) closeElement() {
+	f := p.stack[len(p.stack)-1]
+	p.stack = p.stack[:len(p.stack)-1]
+	// Drop cancellations anchored at the closing frame: the subtree is
+	// complete, nothing further can be assigned below it.
+	if len(p.cancs) > 0 {
+		kept := p.cancs[:0]
+		for _, c := range p.cancs {
+			if c.anchor != f {
+				kept = append(kept, c)
+			}
+		}
+		p.cancs = kept
+	}
+	if f.node != nil {
+		p.buf.Finish(f.node)
+	}
+	p.releaseFrame(f)
+}
+
+// text processes a character-data token.
+func (p *Projector) text(data string) {
+	top := p.stack[len(p.stack)-1]
+	cands := p.collectCands(top, textTestMatches)
+	cands = filterFirst(cands)
+
+	if len(cands) == 0 && !covered(top) {
+		return
+	}
+	n := p.buf.AppendText(top.attach, data)
+	p.applyCaptureRoles(n, top)
+	for _, c := range cands {
+		if r := p.tree.Roles[c.pn.Role]; r != nil && !r.Eliminated {
+			p.buf.AddRole(n, c.pn.Role, c.mult)
+		}
+		// text()/dos::node() chains do not occur (static analysis never
+		// appends dos below text tests), so no captures here.
+	}
+}
+
+// CancelRole implements buffer.Canceller: future derivations of role
+// anchored at the frame of binding are suppressed, and live captures for
+// the role anchored there are deactivated. Called by the buffer when a
+// signOff's binding subtree is still unfinished.
+func (p *Projector) CancelRole(binding *buffer.Node, role xqast.Role) {
+	var bf *frame
+	for i := len(p.stack) - 1; i >= 0; i-- {
+		if p.stack[i].node == binding {
+			bf = p.stack[i]
+			break
+		}
+	}
+	if bf == nil {
+		return // binding not on the open path: nothing future to cancel
+	}
+	p.cancs = append(p.cancs, cancellation{role: role, anchor: bf})
+	for i := bf.depth; i < len(p.stack); i++ {
+		f := p.stack[i]
+		for _, cap := range f.captures {
+			if cap.live && cap.role == role && cap.anchor == bf {
+				cap.live = false
+				f.liveCaps--
+			}
+		}
+	}
+}
+
+func (p *Projector) newFrame(parent *frame) *frame {
+	var f *frame
+	if n := len(p.pool); n > 0 {
+		f = p.pool[n-1]
+		p.pool = p.pool[:n-1]
+		*f = frame{}
+	} else {
+		f = &frame{}
+	}
+	f.parent = parent
+	f.depth = parent.depth + 1
+	return f
+}
+
+func (p *Projector) releaseFrame(f *frame) {
+	p.pool = append(p.pool, f)
+}

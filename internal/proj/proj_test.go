@@ -1,0 +1,341 @@
+package proj_test
+
+import (
+	"strings"
+	"testing"
+
+	"gcx/internal/buffer"
+	"gcx/internal/ifpush"
+	"gcx/internal/normalize"
+	"gcx/internal/proj"
+	"gcx/internal/projtree"
+	"gcx/internal/static"
+	"gcx/internal/xmlstream"
+	"gcx/internal/xqast"
+	"gcx/internal/xqparser"
+)
+
+// project runs the full projection of doc under the analysis of src,
+// without evaluating the query (so no signOffs run): the buffer ends up
+// holding the complete projected document with roles, as in the paper's
+// Figures 3 and 4.
+func project(t *testing.T, src, doc string, opts static.Options) (*buffer.Buffer, *static.Analysis) {
+	t.Helper()
+	q, err := xqparser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	n, err := normalize.Normalize(q)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	a, err := static.Analyze(ifpush.Push(n), opts)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+
+	syms := xmlstream.NewSymTab()
+	agg := make([]bool, len(a.Tree.Roles))
+	for i, r := range a.Tree.Roles {
+		if i > 0 && r.Aggregate {
+			agg[i] = true
+		}
+	}
+	buf := buffer.New(syms, len(a.Tree.Roles)-1, agg)
+	tok := xmlstream.NewTokenizer(strings.NewReader(doc))
+	p := proj.New(tok, buf, a.Tree, proj.Options{AggregateRoles: opts.AggregateRoles})
+	for {
+		more, err := p.Step()
+		if err != nil {
+			t.Fatalf("projection: %v", err)
+		}
+		if !more {
+			break
+		}
+	}
+	return buf, a
+}
+
+func dumpOf(t *testing.T, src, doc string, opts static.Options) string {
+	t.Helper()
+	buf, _ := project(t, src, doc, opts)
+	return buf.Dump()
+}
+
+// TestFigure4RoleAssignment reproduces Figure 4(c): with projection paths
+// //a and .//b below it, the b node at depth 3 of <a><a><b/></a><b/></a>
+// receives the b role twice (two derivations through the nested a's).
+func TestFigure4RoleAssignment(t *testing.T) {
+	src := `<q>{ for $a in //a return for $b in $a//b return <hit/> }</q>`
+	doc := `<a><a><b/></a><b/></a>`
+	dump := dumpOf(t, src, doc, static.Options{})
+	// Deep b: two derivations -> {r2,r2}; shallow b: one derivation.
+	if !strings.Contains(dump, "b{r2,r2}") {
+		t.Fatalf("deep b must carry the role twice (Figure 4(c)):\n%s", dump)
+	}
+	if !strings.Contains(dump, "b{r2}\n") {
+		t.Fatalf("shallow b must carry the role once:\n%s", dump)
+	}
+	// The nested a matches //a twice? No: //a from the root yields one
+	// derivation per node; the outer a carries r1 once, the inner a once.
+	if strings.Contains(dump, "a{r1,r1}") {
+		t.Fatalf("a nodes must carry the binding role once each:\n%s", dump)
+	}
+}
+
+// TestExample2StructuralGuard reproduces Example 2: with both /a/b and
+// /a//b in the projection tree, an unmatched intermediate node must be
+// preserved to avoid promoting a deep b into a false child match.
+func TestExample2StructuralGuard(t *testing.T) {
+	src := `<q>{ (for $x in /a return for $y in $x/b return <c1/>,
+	               for $u in /a return for $v in $u//b return <c2/>) }</q>`
+	doc := `<a><x><b/></x></a>`
+	dump := dumpOf(t, src, doc, static.Options{})
+	// The x element matches nothing but must be kept (skeleton), with b
+	// below it — not promoted to a child of a.
+	lines := strings.Split(strings.TrimRight(dump, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 buffered nodes (a, x, b), got:\n%s", dump)
+	}
+	if !strings.HasPrefix(lines[1], "  x") {
+		t.Fatalf("x must be preserved as a skeleton below a:\n%s", dump)
+	}
+	if !strings.HasPrefix(lines[2], "    b") {
+		t.Fatalf("b must stay below x (no promotion):\n%s", dump)
+	}
+}
+
+// TestPromotionWithoutGuard: with only a descendant path, intermediate
+// nodes are discarded and matches are promoted — the paper's more
+// aggressive projection ("we only preserve node n4" for //b, Figure 3).
+func TestPromotionWithoutGuard(t *testing.T) {
+	src := `<q>{ for $v in //b return <hit/> }</q>`
+	doc := `<a><x><b/></x><b/></a>`
+	dump := dumpOf(t, src, doc, static.Options{})
+	if strings.Contains(dump, "x") {
+		t.Fatalf("unmatched intermediate must be discarded:\n%s", dump)
+	}
+	if strings.Contains(dump, "a") && !strings.Contains(dump, "b") {
+		t.Fatalf("bs must be kept:\n%s", dump)
+	}
+	// Both b's end up as children of the root (a itself is unmatched too).
+	lines := strings.Split(strings.TrimRight(dump, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want exactly the two b nodes:\n%s", dump)
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "b{r1}") {
+			t.Fatalf("want promoted b{r1} at top level, got %q:\n%s", l, dump)
+		}
+	}
+}
+
+// TestFirstWitnessSuppression: an exists() dependency buffers only the
+// first witness per context instance (the [1] predicate of Section 2).
+func TestFirstWitnessSuppression(t *testing.T) {
+	src := `<q>{ for $x in /bib/book return if (exists($x/price)) then <y/> else () }</q>`
+	doc := `<bib><book><price>1</price><price>2</price></book><book><price>3</price></book></bib>`
+	dump := dumpOf(t, src, doc, static.Options{})
+	if got := strings.Count(dump, "price"); got != 2 {
+		t.Fatalf("want one witness per book (2 total), got %d:\n%s", got, dump)
+	}
+	// Witness subtrees are not needed: the text content below price is
+	// irrelevant for exists and must not be buffered.
+	if strings.Contains(dump, `"1"`) {
+		t.Fatalf("witness subtree must not be buffered:\n%s", dump)
+	}
+}
+
+// TestCaptureAggregateVsPerNode compares the two role assignment schemes of
+// Section 6 ("Aggregate Roles").
+func TestCaptureAggregateVsPerNode(t *testing.T) {
+	src := `<q>{ for $x in /bib/book return $x }</q>`
+	doc := `<bib><book><title>t</title></book></bib>`
+
+	// Role numbering: r1 = binding of the fresh bib loop (normalization
+	// splits /bib/book), r2 = binding of $x, r3 = the dos output role.
+	// Base technique: every node of the subtree carries the dos role.
+	plain := dumpOf(t, src, doc, static.Options{})
+	if !strings.Contains(plain, "book{r2,r3}") {
+		t.Fatalf("book must carry binding+dos roles:\n%s", plain)
+	}
+	if !strings.Contains(plain, "title{r3}") || !strings.Contains(plain, `"t"{r3}`) {
+		t.Fatalf("per-node mode must tag every subtree node with r3:\n%s", plain)
+	}
+
+	// Aggregate: only the subtree root carries the role; descendants are
+	// covered implicitly.
+	agg := dumpOf(t, src, doc, static.Options{AggregateRoles: true})
+	if !strings.Contains(agg, "book{r2,r3}") {
+		t.Fatalf("aggregate mode keeps both roles on the root:\n%s", agg)
+	}
+	if !strings.Contains(agg, "title{") {
+		// title must be buffered but role-free.
+		if !strings.Contains(agg, "title") {
+			t.Fatalf("title must be buffered:\n%s", agg)
+		}
+	} else {
+		t.Fatalf("aggregate mode must not tag descendants:\n%s", agg)
+	}
+}
+
+// TestIrrelevantRegionsSkipped: tokens outside all projection paths are
+// never buffered.
+func TestIrrelevantRegionsSkipped(t *testing.T) {
+	src := `<q>{ for $p in /site/people return $p/name }</q>`
+	doc := `<site><junk><deep><stuff>xxx</stuff></deep></junk><people><name>Ann</name></people></site>`
+	buf, _ := project(t, src, doc, static.Options{AggregateRoles: true})
+	dump := buf.Dump()
+	if strings.Contains(dump, "junk") || strings.Contains(dump, "stuff") {
+		t.Fatalf("irrelevant region buffered:\n%s", dump)
+	}
+	// site, people, name, text = 4 nodes + root.
+	if buf.Stats().LiveNodes != 5 {
+		t.Fatalf("LiveNodes = %d, want 5:\n%s", buf.Stats().LiveNodes, dump)
+	}
+}
+
+// TestEliminatedRolesNotAssigned: redundant-role elimination must suppress
+// assignment, not just signoffs (Figure 12).
+func TestEliminatedRolesNotAssigned(t *testing.T) {
+	src := `<q>{ for $x in /bib/book return $x }</q>`
+	doc := `<bib><book><title>t</title></book></bib>`
+	dump := dumpOf(t, src, doc, static.Options{AggregateRoles: true, EliminateRedundantRoles: true})
+	// The binding role of $x (r2) is eliminated (bare dos dependency), and
+	// the fresh bib loop's binding role (r1) by navigation transparency, so
+	// book carries only the aggregate output role r3 and bib is a skeleton.
+	if !strings.Contains(dump, "book{r3}") {
+		t.Fatalf("book must carry only the dos role after elimination:\n%s", dump)
+	}
+	if !strings.Contains(dump, "bib\n") {
+		t.Fatalf("bib must be buffered role-free:\n%s", dump)
+	}
+}
+
+// TestTextRoles: text() dependencies tag text nodes directly.
+func TestTextRoles(t *testing.T) {
+	src := `<q>{ for $n in /a/name return $n/text() }</q>`
+	doc := `<a><name>Bob<sub>x</sub>more</name></a>`
+	dump := dumpOf(t, src, doc, static.Options{})
+	// r1/r2 are the binding roles of the (split) a and name loops; r3 is
+	// the text() output role.
+	if !strings.Contains(dump, `"Bob"{r3}`) || !strings.Contains(dump, `"more"{r3}`) {
+		t.Fatalf("text nodes must carry the output role:\n%s", dump)
+	}
+	// The sub element matches nothing (text() test) and is dropped.
+	if strings.Contains(dump, "sub") {
+		t.Fatalf("elements must not match text():\n%s", dump)
+	}
+}
+
+// --- DFA diagnostics (Figure 5, Example 1) ---
+
+// fig5Tree builds the projection tree of Figure 5(a): /a/b/dos::node() and
+// /a//b/dos::node().
+func fig5Tree() *projtree.Tree {
+	t := projtree.New()
+	v2 := t.AddNode(t.Root, xqast.Step{Axis: xqast.Child, Test: xqast.NameTest("a")})
+	v3 := t.AddNode(v2, xqast.Step{Axis: xqast.Child, Test: xqast.NameTest("b")})
+	t.AddNode(v3, xqast.Step{Axis: xqast.DescendantOrSelf, Test: xqast.NodeKindTest()})
+	v5 := t.AddNode(t.Root, xqast.Step{Axis: xqast.Child, Test: xqast.NameTest("a")})
+	v6 := t.AddNode(v5, xqast.Step{Axis: xqast.Descendant, Test: xqast.NameTest("b")})
+	t.AddNode(v6, xqast.Step{Axis: xqast.DescendantOrSelf, Test: xqast.NodeKindTest()})
+	return t
+}
+
+// TestFigure5LazyDFA checks the state-to-multiset mapping of Example 1.
+// Node numbering: n0=root(v1), n1=v2(/a), n2=v3(/a/b), n4=v5(/a),
+// n5=v6(/a//b).
+func TestFigure5LazyDFA(t *testing.T) {
+	d := proj.NewDFA(fig5Tree())
+
+	if got := d.Start.MatchesString(); got != "{n0}" {
+		t.Fatalf("q0 maps to %s, want {n0}", got)
+	}
+	q1 := d.MatchPath("a")
+	if got := q1.MatchesString(); got != "{n1, n4}" {
+		t.Fatalf("q1 maps to %s, want {n1, n4} (v2 and v5)", got)
+	}
+	q2 := d.MatchPath("a", "a")
+	if got := q2.MatchesString(); got != "{}" {
+		t.Fatalf("q2 maps to %s, want {}", got)
+	}
+	q3 := d.MatchPath("a", "a", "b")
+	if got := q3.MatchesString(); got != "{n5}" {
+		t.Fatalf("q3 maps to %s, want {n5} (v6)", got)
+	}
+	q4 := d.MatchPath("a", "b")
+	if got := q4.MatchesString(); got != "{n2, n5}" {
+		t.Fatalf("q4 maps to %s, want {n2, n5} (v3 and v6)", got)
+	}
+}
+
+// TestExample1Multiplicity: for the projection tree of Figure 4(b)
+// (//a with .//b below), the path /a/a/b maps to the multiset {v3, v3}.
+func TestExample1Multiplicity(t *testing.T) {
+	tr := projtree.New()
+	v2 := tr.AddNode(tr.Root, xqast.Step{Axis: xqast.Descendant, Test: xqast.NameTest("a")})
+	tr.AddNode(v2, xqast.Step{Axis: xqast.Descendant, Test: xqast.NameTest("b")})
+
+	d := proj.NewDFA(tr)
+	s := d.MatchPath("a", "a", "b")
+	if got := s.MatchesString(); got != "{n2, n2}" {
+		t.Fatalf("path /a/a/b maps to %s, want {n2, n2} (multiplicity 2)", got)
+	}
+}
+
+// TestDFAIsLazyAndCached: repeated paths reuse states.
+func TestDFAIsLazyAndCached(t *testing.T) {
+	d := proj.NewDFA(fig5Tree())
+	if d.StateCount() != 1 {
+		t.Fatalf("fresh DFA must have only the start state, got %d", d.StateCount())
+	}
+	a := d.MatchPath("a", "b")
+	before := d.StateCount()
+	b := d.MatchPath("a", "b")
+	if a != b {
+		t.Fatal("identical paths must reach the identical state object")
+	}
+	if d.StateCount() != before {
+		t.Fatal("repeated paths must not materialize new states")
+	}
+	// Unrelated tags collapse into the empty sink state.
+	sink1 := d.MatchPath("zzz")
+	sink2 := d.MatchPath("a", "zzz", "k")
+	if sink1.MatchesString() != "{}" || sink2.MatchesString() != "{}" {
+		t.Fatal("unmatched paths must map to empty multisets")
+	}
+}
+
+// TestProjectionStatsTokens: the projector counts every token it consumes.
+func TestProjectionStatsTokens(t *testing.T) {
+	src := `<q>{ for $b in /a/b return <x/> }</q>`
+	doc := `<a><b/><c/>text</a>`
+	q, _ := xqparser.Parse(src)
+	n, _ := normalize.Normalize(q)
+	a, err := static.Analyze(ifpush.Push(n), static.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := buffer.New(xmlstream.NewSymTab(), len(a.Tree.Roles)-1, nil)
+	p := proj.New(xmlstream.NewTokenizer(strings.NewReader(doc)), buf, a.Tree, proj.Options{})
+	for {
+		more, err := p.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !more {
+			break
+		}
+	}
+	// <a> <b> </b> <c> </c> text </a> EOF = 8 token events.
+	if p.TokensRead() != 8 {
+		t.Fatalf("TokensRead = %d, want 8", p.TokensRead())
+	}
+	if !p.EOF() {
+		t.Fatal("EOF not reported")
+	}
+	if !buf.Root().Finished() {
+		t.Fatal("root must be finished at EOF")
+	}
+}

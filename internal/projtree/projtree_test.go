@@ -1,0 +1,105 @@
+package projtree
+
+import (
+	"strings"
+	"testing"
+
+	"gcx/internal/xqast"
+)
+
+// build constructs the introduction's projection tree by hand (Figure 1).
+func buildIntroTree() *Tree {
+	t := New()
+	bib := t.AddNode(t.Root, xqast.Step{Axis: xqast.Child, Test: xqast.NameTest("bib")})
+	t.AddRole(bib, RoleBinding, "bib", false, "for $bib")
+	star := t.AddNode(bib, xqast.Step{Axis: xqast.Child, Test: xqast.StarTest()})
+	t.AddRole(star, RoleBinding, "x", false, "for $x")
+	price := t.AddNode(star, xqast.Step{Axis: xqast.Child, Test: xqast.NameTest("price"), First: true})
+	t.AddRole(price, RoleExists, "x", false, "exists($x/price)")
+	dos := t.AddNode(star, xqast.Step{Axis: xqast.DescendantOrSelf, Test: xqast.NodeKindTest()})
+	t.AddRole(dos, RoleOutput, "x", true, "$x")
+	book := t.AddNode(bib, xqast.Step{Axis: xqast.Child, Test: xqast.NameTest("book")})
+	t.AddRole(book, RoleBinding, "b", false, "for $b")
+	title := t.AddNode(book, xqast.Step{Axis: xqast.Child, Test: xqast.NameTest("title")})
+	tdos := t.AddNode(title, xqast.Step{Axis: xqast.DescendantOrSelf, Test: xqast.NodeKindTest()})
+	t.AddRole(tdos, RoleOutput, "b", true, "$b/title")
+	return t
+}
+
+func TestXPathNotation(t *testing.T) {
+	tr := buildIntroTree()
+	cases := map[int]string{
+		0: "/",
+		1: "/bib",
+		2: "/bib/*",
+		3: "/bib/*/price[1]",
+		4: "/bib/*/dos::node()",
+		5: "/bib/book",
+		7: "/bib/book/title/dos::node()",
+	}
+	for id, want := range cases {
+		if got := XPath(tr.Nodes[id]); got != want {
+			t.Fatalf("XPath(n%d) = %q, want %q", id, got, want)
+		}
+	}
+}
+
+func TestPathToRoundTrip(t *testing.T) {
+	tr := buildIntroTree()
+	steps := PathTo(tr.Nodes[7])
+	if len(steps) != 4 {
+		t.Fatalf("PathTo depth %d, want 4", len(steps))
+	}
+	if steps[0].Test.Name != "bib" || steps[3].Axis != xqast.DescendantOrSelf {
+		t.Fatalf("steps: %v", steps)
+	}
+	if len(PathTo(tr.Root)) != 0 {
+		t.Fatal("PathTo(root) must be empty")
+	}
+}
+
+func TestDosLeafDetection(t *testing.T) {
+	tr := buildIntroTree()
+	if !tr.Nodes[4].IsDosLeaf() || !tr.Nodes[7].IsDosLeaf() {
+		t.Fatal("dos leaves not detected")
+	}
+	if tr.Nodes[2].IsDosLeaf() || tr.Root.IsDosLeaf() {
+		t.Fatal("false dos leaf")
+	}
+}
+
+func TestFormatShowsRolesAndFlags(t *testing.T) {
+	tr := buildIntroTree()
+	tr.Roles[2].Eliminated = true
+	out := tr.Format()
+	if !strings.Contains(out, "{r4 agg}") {
+		t.Fatalf("aggregate flag missing:\n%s", out)
+	}
+	if !strings.Contains(out, "{r2 eliminated}") {
+		t.Fatalf("eliminated flag missing:\n%s", out)
+	}
+	if !strings.Contains(out, "n3: /price[1]") {
+		t.Fatalf("first-witness label missing:\n%s", out)
+	}
+}
+
+func TestRoleTable(t *testing.T) {
+	tr := buildIntroTree()
+	if tr.ActiveRoleCount() != 6 {
+		t.Fatalf("active roles %d, want 6", tr.ActiveRoleCount())
+	}
+	tr.Roles[1].Eliminated = true
+	if tr.ActiveRoleCount() != 5 {
+		t.Fatalf("active roles after elimination %d, want 5", tr.ActiveRoleCount())
+	}
+	if tr.Role(0) != nil || tr.Role(99) != nil {
+		t.Fatal("out-of-range role lookups must return nil")
+	}
+	if tr.Role(3).Kind != RoleExists {
+		t.Fatalf("role 3 kind %s", tr.Role(3).Kind)
+	}
+	table := tr.FormatRoles()
+	if !strings.Contains(table, "exists") || !strings.Contains(table, "aggregate") {
+		t.Fatalf("role table:\n%s", table)
+	}
+}

@@ -1,0 +1,199 @@
+package queries
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gcx/internal/engine"
+	"gcx/internal/static"
+	"gcx/internal/xmark"
+)
+
+// testDoc generates a small XMark document shared by the tests.
+func testDoc(t *testing.T) string {
+	t.Helper()
+	var b bytes.Buffer
+	if _, err := xmark.Generate(&b, xmark.Config{Factor: 0.003, Seed: 42}); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return b.String()
+}
+
+func TestAllQueriesCompile(t *testing.T) {
+	for _, q := range All() {
+		for _, mode := range []engine.Mode{engine.ModeGCX, engine.ModeStaticOnly, engine.ModeFullBuffer} {
+			if _, err := engine.Compile(q.Text, engine.Config{Mode: mode}); err != nil {
+				t.Fatalf("%s (%s): %v", q.Name, mode, err)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("Q8").Name != "Q8" {
+		t.Fatal("ByName(Q8) failed")
+	}
+	if ByName("Q99").Name != "" {
+		t.Fatal("ByName must return zero value for unknown queries")
+	}
+}
+
+// TestQueriesAgreeAcrossModes runs every benchmark query on generated
+// XMark data in every mode and optimization mix; outputs must agree and
+// GCX must satisfy the balance invariants.
+func TestQueriesAgreeAcrossModes(t *testing.T) {
+	doc := testDoc(t)
+	optsets := []static.Options{
+		{},
+		{AggregateRoles: true},
+		static.AllOptimizations(),
+	}
+	for _, q := range All() {
+		q := q
+		t.Run(q.Name, func(t *testing.T) {
+			ref, err := engine.Compile(q.Text, engine.Config{Mode: engine.ModeFullBuffer})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want strings.Builder
+			if _, err := ref.Run(strings.NewReader(doc), &want); err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			if want.Len() < 20 {
+				t.Fatalf("suspiciously small output (%d bytes): workload not exercised", want.Len())
+			}
+
+			for i := range optsets {
+				o := optsets[i]
+				c, err := engine.Compile(q.Text, engine.Config{Mode: engine.ModeGCX, Static: &o})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var got strings.Builder
+				if _, err := c.RunChecked(strings.NewReader(doc), &got); err != nil {
+					t.Fatalf("gcx %+v: %v", o, err)
+				}
+				if got.String() != want.String() {
+					t.Fatalf("gcx %+v output differs from reference\ngcx: %.400s\nref: %.400s",
+						o, got.String(), want.String())
+				}
+			}
+
+			so, err := engine.Compile(q.Text, engine.Config{Mode: engine.ModeStaticOnly})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got strings.Builder
+			if _, err := so.Run(strings.NewReader(doc), &got); err != nil {
+				t.Fatalf("static-only: %v", err)
+			}
+			if got.String() != want.String() {
+				t.Fatal("static-only output differs from reference")
+			}
+		})
+	}
+}
+
+// TestQ1FindsPerson0: the generated data always contains person0 and Q1
+// must output exactly one name.
+func TestQ1FindsPerson0(t *testing.T) {
+	doc := testDoc(t)
+	c, err := engine.Compile(Q1.Text, engine.Config{Mode: engine.ModeGCX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if _, err := c.Run(strings.NewReader(doc), &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "<name>"); got != 1 {
+		t.Fatalf("Q1 output has %d names, want 1: %s", got, out.String())
+	}
+}
+
+// TestQ20Partition: every person lands in exactly one bracket, so the
+// marker count equals the person count.
+func TestQ20Partition(t *testing.T) {
+	doc := testDoc(t)
+	persons := strings.Count(doc, "<person ")
+	c, err := engine.Compile(Q20.Text, engine.Config{Mode: engine.ModeGCX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if _, err := c.Run(strings.NewReader(doc), &out); err != nil {
+		t.Fatal(err)
+	}
+	markers := strings.Count(out.String(), "<preferred>") +
+		strings.Count(out.String(), "<standard>") +
+		strings.Count(out.String(), "<challenge>") +
+		strings.Count(out.String(), "<na>")
+	if markers != persons {
+		t.Fatalf("Q20 emitted %d markers for %d persons", markers, persons)
+	}
+	if strings.Count(out.String(), "<na>") == 0 {
+		t.Fatal("Q20 must classify some income-less persons")
+	}
+}
+
+// TestQ8JoinCardinality: each closed auction has exactly one buyer, so the
+// total number of <bought/> markers equals the closed-auction count.
+func TestQ8JoinCardinality(t *testing.T) {
+	doc := testDoc(t)
+	auctions := strings.Count(doc, "<closed_auction>")
+	c, err := engine.Compile(Q8.Text, engine.Config{Mode: engine.ModeGCX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if _, err := c.Run(strings.NewReader(doc), &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "<bought>"); got != auctions {
+		t.Fatalf("Q8 emitted %d bought markers for %d auctions", got, auctions)
+	}
+}
+
+// TestMemoryShapes reproduces the qualitative claims of Table 1 on small
+// data: GCX needs a bounded buffer for Q1/Q6/Q13/Q20 while Q8 retains the
+// join region; StaticOnly needs the projected document; FullBuffer needs
+// everything.
+func TestMemoryShapes(t *testing.T) {
+	doc := testDoc(t)
+	peak := func(q Query, mode engine.Mode) int64 {
+		c, err := engine.Compile(q.Text, engine.Config{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out strings.Builder
+		st, err := c.Run(strings.NewReader(doc), &out)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", q.Name, mode, err)
+		}
+		return st.Buffer.PeakBytes
+	}
+
+	for _, q := range []Query{Q1, Q6, Q13, Q20} {
+		gcx := peak(q, engine.ModeGCX)
+		so := peak(q, engine.ModeStaticOnly)
+		full := peak(q, engine.ModeFullBuffer)
+		if !(gcx < so && so <= full) {
+			t.Fatalf("%s: peak ordering violated: gcx=%d static=%d full=%d", q.Name, gcx, so, full)
+		}
+		if gcx*10 > full {
+			t.Fatalf("%s: GCX peak %d not an order of magnitude below full buffering %d", q.Name, gcx, full)
+		}
+	}
+
+	// Q8 buffers the join region but still beats full buffering.
+	gcx8 := peak(Q8, engine.ModeGCX)
+	full8 := peak(Q8, engine.ModeFullBuffer)
+	if gcx8 >= full8 {
+		t.Fatalf("Q8: GCX peak %d must undercut full buffering %d", gcx8, full8)
+	}
+	gcx1 := peak(Q1, engine.ModeGCX)
+	if gcx8 <= gcx1*2 {
+		t.Fatalf("Q8 (join) peak %d should clearly exceed Q1 peak %d", gcx8, gcx1)
+	}
+}

@@ -1,0 +1,194 @@
+// Package static implements the compile-time analysis of the paper
+// (Section 4): variable trees, dependencies (Definition 2), straight
+// variables and first straight ancestors (Definitions 3-4), projection-tree
+// derivation, signOff insertion (algorithm suQ, Figure 8), and the
+// optimizations of Section 6 (early updates, aggregate roles,
+// redundant-role elimination).
+//
+// Input queries must be normalized (package normalize) and if-pushed
+// (package ifpush); Analyze checks the preconditions it relies on.
+package static
+
+import (
+	"fmt"
+
+	"gcx/internal/ifpush"
+	"gcx/internal/projtree"
+	"gcx/internal/xqast"
+)
+
+// Options selects the Section 6 optimizations. The zero value disables all
+// of them, which reproduces the paper's base technique (and the exact
+// rewritten queries shown in the paper's figures).
+type Options struct {
+	// EarlyUpdates rewrites output expressions $x/σ to
+	// "for $fresh in $x/σ return $fresh" so nodes lose their output roles
+	// immediately after being emitted (Section 6, "Early Updates").
+	EarlyUpdates bool
+	// AggregateRoles assigns dos::node() roles once at each subtree root
+	// instead of at every node of the subtree (Section 6, "Aggregate
+	// Roles").
+	AggregateRoles bool
+	// EliminateRedundantRoles drops roles whose buffering effect is
+	// subsumed by other roles (Section 6, "Elimination of Redundant
+	// Roles"); see DESIGN.md for the two criteria implemented.
+	EliminateRedundantRoles bool
+}
+
+// AllOptimizations returns the configuration GCX runs with by default.
+func AllOptimizations() Options {
+	return Options{EarlyUpdates: true, AggregateRoles: true, EliminateRedundantRoles: true}
+}
+
+// VarInfo records the static facts about one query variable.
+type VarInfo struct {
+	Name string
+	// Parent is parVarQ (Section 3); empty for $root.
+	Parent string
+	// Step is the single location step of the variable's for-loop.
+	Step xqast.Step
+	// Enclosing lists the binders of the for-loops syntactically enclosing
+	// this variable's for-loop, outermost first.
+	Enclosing []string
+	// Straight per Definition 3.
+	Straight bool
+	// FSA is the first straight ancestor per Definition 4.
+	FSA string
+	// Node is the variable's projection-tree node.
+	Node *projtree.Node
+	// BindingRole is the role assigned to nodes this variable binds to
+	// (0 for $root).
+	BindingRole xqast.Role
+}
+
+// Dep is one dependency tuple 〈$x/π, r〉 from Definition 2.
+type Dep struct {
+	Var   string
+	Steps []xqast.Step
+	Kind  projtree.RoleKind
+	Role  xqast.Role
+	Desc  string
+}
+
+// Path returns the dependency path rooted at its variable.
+func (d *Dep) Path() xqast.Path {
+	return xqast.Path{Var: d.Var, Steps: d.Steps}
+}
+
+// Analysis is the result of static analysis: the rewritten query with
+// signOff statements, the projection tree with its role table, and the
+// per-variable facts.
+type Analysis struct {
+	// Query is the rewritten query (early updates applied, signOff
+	// statements inserted).
+	Query *xqast.Query
+	// Tree is the projection tree driving stream projection and role
+	// assignment.
+	Tree *projtree.Tree
+	// Vars maps variable names to their analysis records.
+	Vars map[string]*VarInfo
+	// VarOrder lists variables in document order of their for-loops,
+	// starting with $root.
+	VarOrder []string
+	// Deps maps variables to their dependency tuples in derivation order.
+	Deps map[string][]*Dep
+	// Opts echoes the options used.
+	Opts Options
+}
+
+// Var returns the record for a variable name, or nil.
+func (a *Analysis) Var(name string) *VarInfo { return a.Vars[name] }
+
+// Analyze runs the full static analysis on a normalized, if-pushed query.
+func Analyze(q *xqast.Query, opts Options) (*Analysis, error) {
+	a := &Analysis{
+		Vars: map[string]*VarInfo{},
+		Deps: map[string][]*Dep{},
+		Opts: opts,
+	}
+
+	work := q
+	if opts.EarlyUpdates {
+		// Early updates introduce fresh for-loops around output paths;
+		// if-pushdown must run again afterwards so that no for-loop (and
+		// hence no signOff batch) remains inside an if-expression — the
+		// guarantee of Section 3 that keeps role assignment and removal
+		// balanced.
+		work = ifpush.Push(applyEarlyUpdates(work))
+	}
+
+	if err := a.collectVars(work); err != nil {
+		return nil, err
+	}
+	a.computeStraightness()
+	a.collectDeps(work)
+	a.buildTree()
+	if opts.EliminateRedundantRoles {
+		a.eliminateRedundantRoles(work)
+	}
+	a.Query = a.insertSignOffs(work)
+	return a, nil
+}
+
+// VarPath returns varpathQ($x, $z): the location steps leading from $x down
+// to $z along the variable tree (Section 3). It panics if $x is not an
+// ancestor-or-self of $z, which would indicate an analysis bug.
+func (a *Analysis) VarPath(x, z string) []xqast.Step {
+	var rev []xqast.Step
+	cur := z
+	for cur != x {
+		vi := a.Vars[cur]
+		if vi == nil || cur == xqast.RootVar {
+			panic(fmt.Sprintf("static: $%s is not an ancestor of $%s", x, z))
+		}
+		rev = append(rev, vi.Step)
+		cur = vi.Parent
+	}
+	steps := make([]xqast.Step, len(rev))
+	for i := range rev {
+		steps[i] = rev[len(rev)-1-i]
+	}
+	return steps
+}
+
+// FormatVariableTree renders the variable tree with straightness and fsa
+// annotations, for -explain diagnostics and golden tests.
+func (a *Analysis) FormatVariableTree() string {
+	var b []byte
+	var walk func(name string, depth int)
+	walk = func(name string, depth int) {
+		for i := 0; i < depth; i++ {
+			b = append(b, "  "...)
+		}
+		vi := a.Vars[name]
+		b = append(b, "$"...)
+		b = append(b, name...)
+		if name != xqast.RootVar {
+			b = append(b, fmt.Sprintf("  (step %s", vi.Step)...)
+			if !vi.Straight {
+				b = append(b, fmt.Sprintf(", not straight, fsa $%s", vi.FSA)...)
+			}
+			b = append(b, ')')
+		}
+		b = append(b, '\n')
+		for _, child := range a.VarOrder {
+			if a.Vars[child].Parent == name {
+				walk(child, depth+1)
+			}
+		}
+	}
+	walk(xqast.RootVar, 0)
+	return string(b)
+}
+
+// FormatDeps renders all dependency tuples in derivation order.
+func (a *Analysis) FormatDeps() string {
+	var b []byte
+	for _, v := range a.VarOrder {
+		for _, d := range a.Deps[v] {
+			p := d.Path()
+			b = append(b, fmt.Sprintf("dep($%s) ∋ 〈%s, r%d〉  (%s: %s)\n", v, p, d.Role, d.Kind, d.Desc)...)
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,58 @@
+package static
+
+import (
+	"gcx/internal/projtree"
+	"gcx/internal/xqast"
+)
+
+// buildTree derives the projection tree (Section 4, "Deriving Projection
+// Trees") in the paper's three steps, interleaved per variable so role
+// numbering follows document order:
+//
+//  1. the variable tree becomes the projection-tree skeleton (each variable
+//     node labeled with its for-loop step and carrying the binding role);
+//  2. each dependency 〈$x/π, r〉 adds a chain of step nodes below $x's node
+//     with role r on the chain's leaf;
+//  3. the root is labeled "/".
+//
+// Dependency chains are kept separate (no prefix sharing) so every chain
+// node belongs to exactly one role — required by signOff cancellation in
+// the stream projector.
+func (a *Analysis) buildTree() {
+	t := projtree.New()
+	a.Tree = t
+	a.Vars[xqast.RootVar].Node = t.Root
+
+	for _, name := range a.VarOrder {
+		vi := a.Vars[name]
+		if name != xqast.RootVar {
+			parent := a.Vars[vi.Parent].Node
+			n := t.AddNode(parent, vi.Step)
+			n.Var = name
+			n.AnchorSelf = vi.Straight
+			role := t.AddRole(n, projtree.RoleBinding, name, false, "for $"+name)
+			n.ChainRole = role.ID
+			vi.Node = n
+			vi.BindingRole = role.ID
+		}
+		for _, d := range a.Deps[name] {
+			a.addDepChain(vi.Node, d)
+		}
+	}
+}
+
+// addDepChain materializes one dependency tuple below the variable node.
+func (a *Analysis) addDepChain(varNode *projtree.Node, d *Dep) {
+	t := a.Tree
+	cur := varNode
+	for _, step := range d.Steps {
+		cur = t.AddNode(cur, step)
+	}
+	aggregate := a.Opts.AggregateRoles && cur.IsDosLeaf()
+	role := t.AddRole(cur, d.Kind, d.Var, aggregate, d.Desc)
+	d.Role = role.ID
+	// Mark the whole chain with the leaf's role for cancellation.
+	for n := cur; n != varNode; n = n.Parent {
+		n.ChainRole = role.ID
+	}
+}

@@ -1,0 +1,120 @@
+package static
+
+import (
+	"fmt"
+
+	"gcx/internal/projtree"
+	"gcx/internal/xqast"
+)
+
+// collectDeps derives the dependency sets dep($x) of Definition 2 from the
+// (early-update-rewritten) query:
+//
+//   - 〈axis::ν[1], r〉           for existence checks exists($x/axis::ν);
+//   - 〈axis::ν/dos::node(), r〉  for output paths $x/axis::ν and comparison
+//     operands;
+//   - 〈dos::node(), r〉          for bare outputs $x.
+//
+// Conditions with multi-step paths yield correspondingly longer chains (a
+// conservative generalization; see package normalize). Duplicate tuples for
+// the same variable are derived only once: a single tuple yields a single
+// role, a single assignment site, and a single signOff, so the balance
+// requirement of Section 3 is preserved.
+func (a *Analysis) collectDeps(q *xqast.Query) {
+	seen := map[string]bool{}
+	add := func(v string, steps []xqast.Step, kind projtree.RoleKind, desc string) {
+		key := fmt.Sprintf("%s|%v|%d", v, xqast.Path{Var: v, Steps: steps}, kind)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		a.Deps[v] = append(a.Deps[v], &Dep{Var: v, Steps: steps, Kind: kind, Desc: desc})
+	}
+
+	outputPath := func(p xqast.Path, kind projtree.RoleKind, desc string) {
+		steps := append([]xqast.Step(nil), p.Steps...)
+		if len(steps) == 0 {
+			// Bare variable use. If the variable binds text nodes
+			// (a text() for-loop), its binding role already keeps the
+			// node buffered and there is no subtree to capture: no
+			// dependency is needed.
+			if vi := a.Vars[p.Var]; vi != nil && vi.Step.Test.Kind == xqast.TestText {
+				return
+			}
+			steps = append(steps, xqast.Step{Axis: xqast.DescendantOrSelf, Test: xqast.NodeKindTest()})
+			add(p.Var, steps, kind, desc)
+			return
+		}
+		// Output and comparison dependencies need the complete subtree,
+		// expressed by a trailing dos::node() step — except for text()
+		// leaves, which have no descendants.
+		if steps[len(steps)-1].Test.Kind != xqast.TestText {
+			steps = append(steps, xqast.Step{Axis: xqast.DescendantOrSelf, Test: xqast.NodeKindTest()})
+		}
+		add(p.Var, steps, kind, desc)
+	}
+
+	condDeps := func(c xqast.Cond) {
+		switch c := c.(type) {
+		case xqast.Exists:
+			steps := append([]xqast.Step(nil), c.Path.Steps...)
+			steps[len(steps)-1].First = true
+			add(c.Path.Var, steps, projtree.RoleExists, "exists("+c.Path.String()+")")
+		case xqast.Compare:
+			desc := c.LHS.String() + " " + c.Op.String() + " " + c.RHS.String()
+			if !c.LHS.IsLiteral {
+				outputPath(c.LHS.Path, projtree.RoleCompare, desc)
+			}
+			if !c.RHS.IsLiteral {
+				outputPath(c.RHS.Path, projtree.RoleCompare, desc)
+			}
+		}
+	}
+
+	xqast.Walk(q.Root, func(e xqast.Expr) bool {
+		switch e := e.(type) {
+		case xqast.VarRef:
+			outputPath(xqast.Path{Var: e.Var}, projtree.RoleOutput, "$"+e.Var)
+		case xqast.PathExpr:
+			outputPath(e.Path, projtree.RoleOutput, e.Path.String())
+		}
+		return true
+	})
+	// Conditions of if-expressions and conditional tags, including nested
+	// and/or/not operands.
+	xqast.WalkConds(q.Root, condDeps)
+}
+
+// applyEarlyUpdates rewrites every output path expression $x/σ into
+// "for $fresh in $x/σ return $fresh" (Section 6, "Early Updates"), so the
+// per-node output role is signed off immediately after each node is
+// emitted instead of at the end of the enclosing scope.
+func applyEarlyUpdates(q *xqast.Query) *xqast.Query {
+	used := map[string]bool{xqast.RootVar: true}
+	xqast.Walk(q.Root, func(e xqast.Expr) bool {
+		if f, ok := e.(xqast.For); ok {
+			used[f.Var] = true
+		}
+		return true
+	})
+	fresh := 0
+	freshVar := func(base string) string {
+		for {
+			fresh++
+			name := fmt.Sprintf("%s_eu%d", base, fresh)
+			if !used[name] {
+				used[name] = true
+				return name
+			}
+		}
+	}
+	child := xqast.Rewrite(q.Root.Child, func(e xqast.Expr) xqast.Expr {
+		pe, ok := e.(xqast.PathExpr)
+		if !ok {
+			return e
+		}
+		v := freshVar(pe.Path.Var)
+		return xqast.For{Var: v, In: pe.Path, Return: xqast.VarRef{Var: v}}
+	})
+	return &xqast.Query{Root: xqast.Element{Name: q.Root.Name, Child: child}}
+}

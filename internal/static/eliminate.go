@@ -1,0 +1,114 @@
+package static
+
+import (
+	"gcx/internal/xqast"
+)
+
+// eliminateRedundantRoles implements Section 6, "Elimination of Redundant
+// Roles". The paper sketches the optimization by example (Figure 12: the
+// binding roles r3 and r6 of the introduction's query are dropped); we
+// implement two sound criteria derived from that example (see DESIGN.md):
+//
+//  1. A binding role is redundant when its variable has a bare
+//     〈dos::node(), r'〉 dependency: the dos role keeps the binding node
+//     (the "self" of descendant-or-self) buffered, and both roles are
+//     signed off in the same suQ batch, so the binding role never extends
+//     a node's lifetime. This is the r3/r5 case.
+//
+//  2. A binding role is redundant when the loop body is *navigation
+//     transparent*: it consists solely of for-loops over paths rooted at
+//     the variable (or at variables bound within the body) and of outputs
+//     of such inner variables. Every observable effect of an iteration
+//     then flows through dependency roles assigned to descendants at match
+//     time, so a binding node without role-carrying descendants can only
+//     drive iterations that produce no output. This is the r6/r7 case.
+//
+// Eliminated roles are not assigned during projection and their signOff
+// statements are not emitted; the projection-tree node remains, so matched
+// nodes are still buffered as structural anchors (Figure 12 keeps the
+// paths, merely unlabels them).
+func (a *Analysis) eliminateRedundantRoles(q *xqast.Query) {
+	// Criterion 1: bare dos dependency on the same variable.
+	for _, name := range a.VarOrder {
+		if name == xqast.RootVar {
+			continue
+		}
+		vi := a.Vars[name]
+		for _, d := range a.Deps[name] {
+			if len(d.Steps) == 1 && d.Steps[0].Axis == xqast.DescendantOrSelf &&
+				d.Steps[0].Test.Kind == xqast.TestNode {
+				a.Tree.Roles[vi.BindingRole].Eliminated = true
+				break
+			}
+		}
+	}
+
+	// Criterion 2: navigation-transparent loop bodies.
+	var visit func(e xqast.Expr)
+	visit = func(e xqast.Expr) {
+		switch e := e.(type) {
+		case xqast.Sequence:
+			for _, item := range e.Items {
+				visit(item)
+			}
+		case xqast.Element:
+			visit(e.Child)
+		case xqast.If:
+			visit(e.Then)
+			visit(e.Else)
+		case xqast.For:
+			// Text-binding variables are exempt: text nodes carry no
+			// output dependency (there is no subtree to capture), so
+			// their binding role is what keeps emitted text buffered —
+			// eliminating it would let the region be reclaimed before a
+			// later loop reads it.
+			if a.Vars[e.Var].Step.Test.Kind != xqast.TestText &&
+				transparent(e.Return, map[string]bool{e.Var: true}) {
+				a.Tree.Roles[a.Vars[e.Var].BindingRole].Eliminated = true
+			}
+			visit(e.Return)
+		}
+	}
+	visit(q.Root.Child)
+}
+
+// transparent reports whether e produces output only via nodes that carry
+// dependency roles of variables in scope (the set of variables rooted at
+// the candidate binding). Constructors, conditions, and bare outputs of the
+// candidate variable itself all defeat transparency.
+func transparent(e xqast.Expr, scope map[string]bool) bool {
+	switch e := e.(type) {
+	case nil, xqast.Empty:
+		return true
+	case xqast.Sequence:
+		for _, item := range e.Items {
+			if !transparent(item, scope) {
+				return false
+			}
+		}
+		return true
+	case xqast.For:
+		if !scope[e.In.Var] {
+			// Iterating a region unrelated to the candidate variable:
+			// skipping the iteration would lose that region's output.
+			return false
+		}
+		child := make(map[string]bool, len(scope)+1)
+		for k, v := range scope {
+			child[k] = v
+		}
+		child[e.Var] = true
+		return transparent(e.Return, child)
+	case xqast.PathExpr:
+		return scope[e.Path.Var]
+	case xqast.VarRef:
+		// Outputs of inner loop variables are protected by their own
+		// output dependencies; an output of an outer variable would need
+		// the candidate's subtree itself.
+		return scope[e.Var]
+	default:
+		// Element, Text, If, CondTag, SignOff: emission does not depend on
+		// buffered descendants, so the iteration count is observable.
+		return false
+	}
+}

@@ -1,0 +1,97 @@
+package static
+
+import (
+	"gcx/internal/xqast"
+)
+
+// insertSignOffs implements the static XQ rewriting of Section 4 (Figure 8,
+// algorithm suQ): at the end of the scope of each straight variable $x, all
+// nodes that depend on a variable $z with fsa($z) = $x lose their roles.
+//
+// Concretely, the batch emitted at the end of $x's for-loop body (or at the
+// end of the whole query for $x = $root) is, in order:
+//
+//	signOff($x, r)                 binding role of $x itself ($x ≠ $root)
+//	signOff($x/σ, r_z)             binding role of each non-straight $z with
+//	                               fsa($z) = $x, σ = varpath($x, $z)
+//	signOff($x/σ/π, r)             every dependency 〈π, r〉 of every $z with
+//	                               fsa($z) = $x
+//
+// matching the paper's examples: the introduction's rewritten query
+// (signOff($x,r3), signOff($x/price[1],r4), signOff($x/dos::node(),r5) at
+// the end of for$x) and Figure 9 (signOff($root//b, r2) at query end for
+// the non-straight $b).
+//
+// Under aggregate roles (Section 6), a dependency path ending in
+// dos::node() is signed off at the subtree root instead: the trailing dos
+// step is dropped and the buffer manager sweeps the subtree when the
+// aggregate role is removed.
+//
+// Eliminated roles produce no signOff statements.
+func (a *Analysis) insertSignOffs(q *xqast.Query) *xqast.Query {
+	child := a.rewriteExpr(q.Root.Child)
+	batch := a.suQ(xqast.RootVar)
+	child = xqast.FlattenSequence(append([]xqast.Expr{child}, batch...))
+	return &xqast.Query{Root: xqast.Element{Name: q.Root.Name, Child: child}}
+}
+
+func (a *Analysis) rewriteExpr(e xqast.Expr) xqast.Expr {
+	switch e := e.(type) {
+	case xqast.Sequence:
+		items := make([]xqast.Expr, len(e.Items))
+		for i, item := range e.Items {
+			items[i] = a.rewriteExpr(item)
+		}
+		return xqast.FlattenSequence(items)
+	case xqast.Element:
+		return xqast.Element{Name: e.Name, Child: a.rewriteExpr(e.Child)}
+	case xqast.If:
+		return xqast.If{Cond: e.Cond, Then: a.rewriteExpr(e.Then), Else: a.rewriteExpr(e.Else)}
+	case xqast.For:
+		body := a.rewriteExpr(e.Return)
+		if a.Vars[e.Var].Straight {
+			batch := a.suQ(e.Var)
+			body = xqast.FlattenSequence(append([]xqast.Expr{body}, batch...))
+		}
+		return xqast.For{Var: e.Var, In: e.In, Return: body}
+	default:
+		return e
+	}
+}
+
+// suQ emits the signOff statements for straight variable $x (Figure 8).
+func (a *Analysis) suQ(x string) []xqast.Expr {
+	var out []xqast.Expr
+	emit := func(path xqast.Path, role xqast.Role) {
+		if a.Tree.Roles[role].Eliminated {
+			return
+		}
+		out = append(out, xqast.SignOff{Path: path, Role: role})
+	}
+
+	if x != xqast.RootVar {
+		emit(xqast.Path{Var: x}, a.Vars[x].BindingRole)
+	}
+	for _, z := range a.VarOrder {
+		if a.Vars[z].FSA != x {
+			continue
+		}
+		sigma := a.VarPath(x, z)
+		if z != x && z != xqast.RootVar {
+			// Binding roles of non-straight variables are released at
+			// their first straight ancestor's scope end, via the variable
+			// path (Figure 9: signOff($root//b, r2)).
+			emit(xqast.Path{Var: x, Steps: sigma}, a.Vars[z].BindingRole)
+		}
+		for _, d := range a.Deps[z] {
+			steps := append(append([]xqast.Step(nil), sigma...), d.Steps...)
+			if a.Tree.Roles[d.Role].Aggregate {
+				// Aggregate roles live on the subtree root: drop the
+				// trailing dos::node() step.
+				steps = steps[:len(steps)-1]
+			}
+			emit(xqast.Path{Var: x, Steps: steps}, d.Role)
+		}
+	}
+	return out
+}

@@ -1,0 +1,404 @@
+package static
+
+import (
+	"strings"
+	"testing"
+
+	"gcx/internal/ifpush"
+	"gcx/internal/normalize"
+	"gcx/internal/xqast"
+	"gcx/internal/xqparser"
+)
+
+// introQuery is the running example from the paper's introduction.
+const introQuery = `
+<r> {
+  for $bib in /bib return
+  ((for $x in $bib/* return
+      if (not(exists($x/price))) then $x else ()),
+   for $b in $bib/book return $b/title)
+} </r>`
+
+// fig9Query is the left-hand query of Figure 9.
+const fig9Query = `
+<q>{ for $a in //a return
+     <a>{ for $b in //b return <b/> }</a>
+}</q>`
+
+// example4Query is the left-hand query of Example 4.
+const example4Query = `
+<q>{ for $a in //a return
+     <a>{ for $b in $a//b return <b/> }</a>
+}</q>`
+
+func analyze(t *testing.T, src string, opts Options) *Analysis {
+	t.Helper()
+	q, err := xqparser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	n, err := normalize.Normalize(q)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	p := ifpush.Push(n)
+	a, err := Analyze(p, opts)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return a
+}
+
+// TestFigure1ProjectionTree checks the projection tree derived for the
+// introduction's query against the paper's Figure 1 (modulo node/role
+// numbering; see DESIGN.md).
+func TestFigure1ProjectionTree(t *testing.T) {
+	a := analyze(t, introQuery, Options{})
+	got := a.Tree.Format()
+	want := `n0: /
+  n1: /bib  {r1}
+    n2: /*  {r2}
+      n3: dos::node()  {r3}
+      n4: /price[1]  {r4}
+    n5: /book  {r5}
+      n6: /title
+        n7: dos::node()  {r6}
+`
+	if got != want {
+		t.Fatalf("projection tree mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestIntroRewrittenQuery checks signOff insertion for the introduction's
+// query: each straight variable's batch appears at the end of its loop
+// body, exactly as in the paper's rewritten query.
+func TestIntroRewrittenQuery(t *testing.T) {
+	a := analyze(t, introQuery, Options{})
+	got := xqast.Format(a.Query)
+
+	for _, want := range []string{
+		"signOff($x, r2)",
+		"signOff($x/dos::node(), r3)",
+		"signOff($x/price[1], r4)",
+		"signOff($b, r5)",
+		"signOff($b/title/dos::node(), r6)",
+		"signOff($bib, r1)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("rewritten query missing %q:\n%s", want, got)
+		}
+	}
+	// The bib signoff must come after both inner loops (end of scope).
+	if strings.Index(got, "signOff($bib, r1)") < strings.Index(got, "signOff($b, r5)") {
+		t.Fatalf("signOff($bib) must close the scope:\n%s", got)
+	}
+}
+
+// TestFigure9SignOffInsertion: the inner variable $b iterates from $root
+// while nested in for$a, so it is not straight; its binding role is signed
+// off at the end of the whole query via the variable path //b.
+func TestFigure9SignOffInsertion(t *testing.T) {
+	a := analyze(t, fig9Query, Options{})
+
+	b := a.Var("b")
+	if b.Straight {
+		t.Fatal("$b must not be straight (Example 6)")
+	}
+	if b.FSA != xqast.RootVar {
+		t.Fatalf("fsa($b) = $%s, want $root (Example 6)", b.FSA)
+	}
+	if !a.Var("a").Straight {
+		t.Fatal("$a must be straight (Example 6)")
+	}
+
+	got := xqast.Format(a.Query)
+	if !strings.Contains(got, "signOff($root//b, r2)") {
+		t.Fatalf("missing root-scope signoff for $b (Figure 9):\n%s", got)
+	}
+	if !strings.Contains(got, "signOff($a, r1)") {
+		t.Fatalf("missing signoff for $a:\n%s", got)
+	}
+	// The $b signoff must be part of the root batch: after the for$a loop.
+	if strings.Index(got, "signOff($root//b, r2)") < strings.Index(got, "signOff($a, r1)") {
+		t.Fatalf("$b's binding signoff must be at query end:\n%s", got)
+	}
+}
+
+// TestExample4SignOffInsertion: both variables straight, both signed off in
+// their own loops.
+func TestExample4SignOffInsertion(t *testing.T) {
+	a := analyze(t, example4Query, Options{})
+	if !a.Var("a").Straight || !a.Var("b").Straight {
+		t.Fatal("both variables must be straight (Example 6)")
+	}
+	got := xqast.Format(a.Query)
+	if !strings.Contains(got, "signOff($b, r2)") || !strings.Contains(got, "signOff($a, r1)") {
+		t.Fatalf("missing per-loop signoffs (Example 4):\n%s", got)
+	}
+}
+
+// TestFigure12RedundantRoles: with elimination enabled, the binding roles
+// of $x (covered by its dos dependency) and $b (navigation-transparent
+// body) disappear, exactly as in Figure 12.
+func TestFigure12RedundantRoles(t *testing.T) {
+	a := analyze(t, introQuery, Options{EliminateRedundantRoles: true})
+
+	x := a.Var("x")
+	b := a.Var("b")
+	bib := a.Var("bib")
+	if !a.Tree.Roles[x.BindingRole].Eliminated {
+		t.Fatal("binding role of $x must be eliminated (criterion 1, the r3/r5 case)")
+	}
+	if !a.Tree.Roles[b.BindingRole].Eliminated {
+		t.Fatal("binding role of $b must be eliminated (criterion 2, the r6/r7 case)")
+	}
+	if a.Tree.Roles[bib.BindingRole].Eliminated {
+		t.Fatal("binding role of $bib must be kept (Figure 12 keeps /bib labeled)")
+	}
+
+	got := xqast.Format(a.Query)
+	if strings.Contains(got, "signOff($x, r") {
+		t.Fatalf("eliminated role still signed off:\n%s", got)
+	}
+	if strings.Contains(got, "signOff($b, r") {
+		t.Fatalf("eliminated role still signed off:\n%s", got)
+	}
+	// The dependency roles survive.
+	if !strings.Contains(got, "signOff($x/dos::node(), r") {
+		t.Fatalf("dependency signoffs must survive elimination:\n%s", got)
+	}
+}
+
+// TestFigure9NoElimination: $b's body constructs <b/> per iteration, so its
+// binding role is observable and must survive elimination.
+func TestFigure9NoElimination(t *testing.T) {
+	a := analyze(t, fig9Query, Options{EliminateRedundantRoles: true})
+	if a.Tree.Roles[a.Var("b").BindingRole].Eliminated {
+		t.Fatal("constructor body must defeat criterion 2")
+	}
+	if a.Tree.Roles[a.Var("a").BindingRole].Eliminated {
+		t.Fatal("constructor body must defeat criterion 2 for $a too")
+	}
+}
+
+// TestEliminationRejectsForeignLoops: a nested loop over an unrelated
+// region (a join) must defeat transparency — skipping an iteration would
+// drop the join partner's output.
+func TestEliminationRejectsForeignLoops(t *testing.T) {
+	a := analyze(t, `<q>{ for $p in /site/person return for $t in /site/auction return $t/price }</q>`,
+		Options{EliminateRedundantRoles: true})
+	if a.Tree.Roles[a.Var("p").BindingRole].Eliminated {
+		t.Fatal("loop over foreign region must defeat criterion 2 for $p")
+	}
+	// $t itself has a transparent body (output rooted at $t).
+	if !a.Tree.Roles[a.Var("t").BindingRole].Eliminated {
+		t.Fatal("$t's body is a pure output of $t and must be eliminated")
+	}
+}
+
+func TestAggregateRolesChangeSignOffPaths(t *testing.T) {
+	plain := analyze(t, introQuery, Options{})
+	agg := analyze(t, introQuery, Options{AggregateRoles: true})
+
+	plainStr := xqast.Format(plain.Query)
+	aggStr := xqast.Format(agg.Query)
+
+	if !strings.Contains(plainStr, "signOff($x/dos::node(), r3)") {
+		t.Fatalf("plain mode must sign off the dos path:\n%s", plainStr)
+	}
+	// Aggregate mode signs off at the subtree root: the dos step is gone.
+	if !strings.Contains(aggStr, "signOff($x, r3)") {
+		t.Fatalf("aggregate mode must sign off at the subtree root:\n%s", aggStr)
+	}
+	if !strings.Contains(aggStr, "signOff($b/title, r6)") {
+		t.Fatalf("aggregate mode must sign off titles at the title node:\n%s", aggStr)
+	}
+	if !agg.Tree.Roles[3].Aggregate {
+		t.Fatal("dos role must be flagged aggregate")
+	}
+}
+
+func TestEarlyUpdates(t *testing.T) {
+	a := analyze(t, introQuery, Options{EarlyUpdates: true})
+	// $b/title must have become "for $fresh in $b/title return $fresh" with
+	// a per-node signoff inside.
+	got := xqast.Format(a.Query)
+	if !strings.Contains(got, "for $b_eu") {
+		t.Fatalf("early updates did not rewrite the title output:\n%s", got)
+	}
+	var foundFreshLoop bool
+	xqast.Walk(a.Query.Root, func(e xqast.Expr) bool {
+		f, ok := e.(xqast.For)
+		if !ok || !strings.Contains(f.Var, "_eu") {
+			return true
+		}
+		foundFreshLoop = true
+		// Body must contain the VarRef and its signoffs.
+		seq, ok := f.Return.(xqast.Sequence)
+		if !ok {
+			t.Fatalf("fresh loop body: %T", f.Return)
+		}
+		if _, ok := seq.Items[0].(xqast.VarRef); !ok {
+			t.Fatalf("fresh loop body head: %T", seq.Items[0])
+		}
+		sawSignoff := false
+		for _, item := range seq.Items[1:] {
+			if _, ok := item.(xqast.SignOff); ok {
+				sawSignoff = true
+			}
+		}
+		if !sawSignoff {
+			t.Fatalf("fresh loop has no per-node signoff:\n%s", got)
+		}
+		return true
+	})
+	if !foundFreshLoop {
+		t.Fatalf("no fresh early-update loop found:\n%s", got)
+	}
+}
+
+func TestDependencyDeduplication(t *testing.T) {
+	// The same condition twice must yield a single dependency (and a single
+	// signOff), preserving the balance requirement.
+	a := analyze(t, `<q>{ for $x in /a return
+	   (if (exists($x/p)) then $x else (), if (exists($x/p)) then $x else ()) }</q>`, Options{})
+	count := 0
+	for _, d := range a.Deps["x"] {
+		if strings.Contains(d.Desc, "exists") {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("duplicate condition produced %d deps, want 1:\n%s", count, a.FormatDeps())
+	}
+}
+
+func TestQ8StyleJoinNotStraight(t *testing.T) {
+	a := analyze(t, `
+<q>{ for $p in /site/people/person return
+     <item>{ ($p/name,
+       for $t in /site/closed_auctions/closed_auction return
+         if ($t/buyer/person = $p/id) then <t/> else ()) }</item>
+}</q>`, Options{})
+
+	// The inner chain re-roots at $root, so every variable of the inner
+	// chain must be non-straight with fsa = $root: the closed_auctions
+	// region stays buffered until the end of the query (the paper's
+	// observed Q8 behaviour).
+	inner := a.Var("t")
+	if inner.Straight {
+		t.Fatal("$t must not be straight")
+	}
+	if inner.FSA != xqast.RootVar {
+		t.Fatalf("fsa($t) = $%s, want $root", inner.FSA)
+	}
+	// Outer person chain is straight.
+	if !a.Var("p").Straight {
+		t.Fatal("$p must be straight")
+	}
+
+	// Root batch must release the inner binding roles via variable paths.
+	got := xqast.Format(a.Query)
+	if !strings.Contains(got, "signOff($root/site/closed_auctions/closed_auction, r") {
+		t.Fatalf("missing root-scope release of the join region:\n%s", got)
+	}
+}
+
+func TestConditionDepsMultiStep(t *testing.T) {
+	a := analyze(t, `<q>{ for $p in /people return if ($p/profile/income > 5000) then $p/name else () }</q>`, Options{})
+	var found *Dep
+	for _, d := range a.Deps["p"] {
+		if d.Kind.String() == "compare" {
+			found = d
+		}
+	}
+	if found == nil {
+		t.Fatalf("no comparison dep derived:\n%s", a.FormatDeps())
+	}
+	// profile/income/dos::node()
+	if len(found.Steps) != 3 || found.Steps[2].Axis != xqast.DescendantOrSelf {
+		t.Fatalf("comparison dep steps: %v", found.Steps)
+	}
+}
+
+func TestTextOutputDepHasNoDos(t *testing.T) {
+	a := analyze(t, `<q>{ for $p in /people return $p/name/text() }</q>`, Options{})
+	// normalize splits $p/name/text() into a loop over name with a text()
+	// output; the text() output dep must not get a dos step (text nodes
+	// have no descendants).
+	for v, deps := range a.Deps {
+		for _, d := range deps {
+			last := d.Steps[len(d.Steps)-1]
+			if last.Test.Kind == xqast.TestText && len(d.Steps) > 0 {
+				for _, s := range d.Steps {
+					if s.Axis == xqast.DescendantOrSelf {
+						t.Fatalf("text output dep of $%s has dos step: %v", v, d.Steps)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestExistsDepGetsFirstPredicate(t *testing.T) {
+	a := analyze(t, introQuery, Options{})
+	var found bool
+	for _, d := range a.Deps["x"] {
+		if d.Kind.String() == "exists" {
+			if len(d.Steps) != 1 || !d.Steps[0].First {
+				t.Fatalf("exists dep must carry [1]: %v", d.Steps)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("exists dep missing:\n%s", a.FormatDeps())
+	}
+}
+
+func TestVariableTreeFormat(t *testing.T) {
+	a := analyze(t, introQuery, Options{})
+	got := a.FormatVariableTree()
+	want := `$root
+  $bib  (step child::bib)
+    $x  (step child::*)
+    $b  (step child::book)
+`
+	if got != want {
+		t.Fatalf("variable tree:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestRoleBalanceStatically: every non-eliminated role must appear in
+// exactly one signOff statement of the rewritten query.
+func TestRoleBalanceStatically(t *testing.T) {
+	srcs := []string{
+		introQuery,
+		fig9Query,
+		example4Query,
+		`<q>{ for $p in /site/people/person return if ($p/id = "person0") then $p/name else () }</q>`,
+		`<q>{ for $p in /a return <x>{ for $t in /b return if ($t/k = $p/k) then <hit/> else () }</x> }</q>`,
+	}
+	for _, src := range srcs {
+		for _, opts := range []Options{{}, AllOptimizations(), {AggregateRoles: true}, {EarlyUpdates: true}} {
+			a := analyze(t, src, opts)
+			counts := map[xqast.Role]int{}
+			xqast.Walk(a.Query.Root, func(e xqast.Expr) bool {
+				if s, ok := e.(xqast.SignOff); ok {
+					counts[s.Role]++
+				}
+				return true
+			})
+			for _, r := range a.Tree.Roles[1:] {
+				want := 1
+				if r.Eliminated {
+					want = 0
+				}
+				if counts[r.ID] != want {
+					t.Fatalf("opts %+v: role r%d (%s, $%s) has %d signoff sites, want %d\n%s",
+						opts, r.ID, r.Kind, r.Var, counts[r.ID], want, xqast.Format(a.Query))
+				}
+			}
+		}
+	}
+}

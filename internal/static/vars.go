@@ -1,0 +1,102 @@
+package static
+
+import (
+	"fmt"
+
+	"gcx/internal/xqast"
+)
+
+// collectVars builds the variable tree (Section 3): one VarInfo per for-loop
+// binder plus $root, recording parVar, the loop step, and the syntactically
+// enclosing binders needed for the straightness check.
+func (a *Analysis) collectVars(q *xqast.Query) error {
+	a.Vars[xqast.RootVar] = &VarInfo{Name: xqast.RootVar, Straight: true, FSA: xqast.RootVar}
+	a.VarOrder = append(a.VarOrder, xqast.RootVar)
+
+	var err error
+	var walk func(e xqast.Expr, enclosing []string)
+	walk = func(e xqast.Expr, enclosing []string) {
+		if err != nil {
+			return
+		}
+		switch e := e.(type) {
+		case xqast.Sequence:
+			for _, item := range e.Items {
+				walk(item, enclosing)
+			}
+		case xqast.Element:
+			walk(e.Child, enclosing)
+		case xqast.If:
+			walk(e.Then, enclosing)
+			walk(e.Else, enclosing)
+		case xqast.For:
+			if len(e.In.Steps) != 1 {
+				err = fmt.Errorf("static: for $%s iterates a %d-step path; run normalize first", e.Var, len(e.In.Steps))
+				return
+			}
+			if _, dup := a.Vars[e.Var]; dup {
+				err = fmt.Errorf("static: variable $%s bound twice; run normalize first", e.Var)
+				return
+			}
+			if _, ok := a.Vars[e.In.Var]; !ok {
+				err = fmt.Errorf("static: for $%s iterates over undefined $%s", e.Var, e.In.Var)
+				return
+			}
+			vi := &VarInfo{
+				Name:      e.Var,
+				Parent:    e.In.Var,
+				Step:      e.In.Steps[0],
+				Enclosing: append([]string(nil), enclosing...),
+			}
+			a.Vars[e.Var] = vi
+			a.VarOrder = append(a.VarOrder, e.Var)
+			walk(e.Return, append(enclosing, e.Var))
+		}
+	}
+	walk(q.Root, nil)
+	return err
+}
+
+// isAncestorVar reports $z <Q $u: $u lies on the parVar chain of $z.
+func (a *Analysis) isAncestorVar(u, z string) bool {
+	cur := a.Vars[z]
+	for cur != nil && cur.Name != xqast.RootVar {
+		if cur.Parent == u {
+			return true
+		}
+		cur = a.Vars[cur.Parent]
+	}
+	return false
+}
+
+// computeStraightness evaluates Definition 3 for every variable:
+// $z is straight iff $z = $root, or its parent variable is straight and
+// every for-loop enclosing $z's own loop binds an ancestor variable of $z.
+// fsa (Definition 4) is the first straight variable on the parVar chain.
+func (a *Analysis) computeStraightness() {
+	// VarOrder is document order, so enclosing loops (which are also
+	// ancestors in the walk) are processed before inner ones; parVar
+	// binders are always processed before their dependents because a
+	// variable must be in scope to be referenced.
+	for _, name := range a.VarOrder {
+		if name == xqast.RootVar {
+			continue
+		}
+		vi := a.Vars[name]
+		straight := a.Vars[vi.Parent].Straight
+		if straight {
+			for _, u := range vi.Enclosing {
+				if !a.isAncestorVar(u, name) {
+					straight = false
+					break
+				}
+			}
+		}
+		vi.Straight = straight
+		if straight {
+			vi.FSA = name
+		} else {
+			vi.FSA = a.Vars[vi.Parent].FSA
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package xmark
+
+// Word banks for synthetic text. The original XMark generator fills text
+// content with Shakespearean prose; any fixed word distribution preserves
+// the properties our queries depend on (element structure, value joins,
+// realistic text-to-markup ratio), so a compact bank suffices.
+
+var words = []string{
+	"angel", "anger", "ant", "apple", "arrow", "autumn", "banner", "basket",
+	"battle", "beacon", "bishop", "blade", "blossom", "border", "bottle",
+	"branch", "bridge", "candle", "canyon", "carpet", "castle", "cattle",
+	"cellar", "censor", "charge", "chorus", "cipher", "circle", "cloud",
+	"clover", "coffer", "copper", "corner", "cradle", "crystal", "current",
+	"dagger", "damsel", "dealer", "decree", "desert", "donkey", "dragon",
+	"duchess", "eagle", "editor", "embers", "empire", "falcon", "feather",
+	"fiddle", "finger", "flagon", "forest", "fountain", "galley", "garden",
+	"gospel", "granite", "hammer", "harbor", "herald", "hunter", "island",
+	"ivory", "jester", "jewel", "kettle", "kingdom", "ladder", "lantern",
+	"legend", "lumber", "marble", "market", "meadow", "mirror", "monarch",
+	"needle", "orchard", "palace", "parson", "pebble", "pillar", "pirate",
+	"planet", "portal", "powder", "prince", "quarry", "raven", "ribbon",
+	"saddle", "scholar", "shadow", "silver", "spider", "temple", "thunder",
+	"timber", "valley", "willow", "winter",
+}
+
+var firstNames = []string{
+	"Ada", "Alan", "Barbara", "Blaise", "Claude", "Donald", "Edgar",
+	"Edsger", "Frances", "Grace", "Hedy", "John", "Katherine", "Kurt",
+	"Leslie", "Margaret", "Niklaus", "Robin", "Sophie", "Tim",
+}
+
+var lastNames = []string{
+	"Babbage", "Backus", "Church", "Codd", "Dijkstra", "Floyd", "Gray",
+	"Hamilton", "Hoare", "Hopper", "Karp", "Knuth", "Lamport", "Liskov",
+	"Lovelace", "McCarthy", "Milner", "Shannon", "Turing", "Wirth",
+}
+
+var countries = []string{
+	"United States", "Germany", "France", "Japan", "Brazil", "Australia",
+	"Canada", "Italy", "Spain", "Netherlands", "Austria", "Switzerland",
+}
+
+var cities = []string{
+	"Springfield", "Riverton", "Lakewood", "Fairview", "Georgetown",
+	"Ashland", "Milton", "Clayton", "Dayton", "Franklin", "Salem",
+	"Bristol", "Clinton", "Dover", "Hudson", "Kingston",
+}
+
+var streets = []string{
+	"Maple Street", "Oak Avenue", "Pine Road", "Cedar Lane", "Elm Drive",
+	"Walnut Court", "Birch Boulevard", "Chestnut Way",
+}
+
+var categoriesWords = []string{
+	"antiques", "books", "coins", "computers", "crafts", "electronics",
+	"garden", "jewelry", "music", "photography", "pottery", "sports",
+	"stamps", "tools", "toys", "travel",
+}
+
+var education = []string{
+	"High School", "College", "Graduate School", "Other",
+}
+
+var auctionTypes = []string{"Regular", "Featured", "Dutch"}

@@ -1,0 +1,589 @@
+package xmlstream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// SyntaxError reports malformed XML input with a byte offset.
+type SyntaxError struct {
+	Offset int64
+	Msg    string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xmlstream: syntax error at byte %d: %s", e.Offset, e.Msg)
+}
+
+// Options configures a Tokenizer.
+type Options struct {
+	// AttributesAsElements, when true (the default used by the engine),
+	// reports each attribute name="value" on an opening tag as a leading
+	// child element <name>value</name>. This implements the paper's
+	// attribute adaptation (Sections 2 and 7). When false, attributes are
+	// discarded.
+	AttributesAsElements bool
+	// KeepWhitespaceText, when true, reports whitespace-only character
+	// data. The engine default is false (ignorable whitespace between
+	// elements is dropped), which matches how the paper's example streams
+	// are written.
+	KeepWhitespaceText bool
+}
+
+// DefaultOptions returns the configuration the engine uses.
+func DefaultOptions() Options {
+	return Options{AttributesAsElements: true, KeepWhitespaceText: false}
+}
+
+// Tokenizer reads an XML document from an io.Reader and produces a stream of
+// Tokens. It supports the subset of XML needed for the engine: elements,
+// attributes (converted or discarded), character data, CDATA sections,
+// comments, processing instructions, and an optional XML declaration and
+// DOCTYPE (skipped). Namespaces are not interpreted; qualified names are
+// treated as plain tag names.
+//
+// Well-formedness of tag nesting is checked; the tokenizer returns a
+// *SyntaxError on mismatched or unclosed tags.
+type Tokenizer struct {
+	r    io.Reader
+	opts Options
+
+	buf    []byte
+	pos    int   // next unread byte in buf
+	n      int   // valid bytes in buf
+	off    int64 // stream offset of buf[0]
+	err    error // sticky read error (io.EOF or real error)
+	closed bool
+
+	// pending tokens produced by attribute expansion or self-closing tags.
+	pending  []Token
+	stack    []string // open element names for well-formedness checking
+	rootSeen bool     // a root element has been produced (rejects forests)
+
+	nameBuf []byte // scratch for tag/attr names
+	textBuf []byte // scratch for text content
+
+	// names interns tag and attribute names: documents use few distinct
+	// names, and the map lookup on string(nameBuf) does not allocate, so
+	// steady-state tokenizing allocates only for character data.
+	names map[string]string
+}
+
+// NewTokenizer returns a tokenizer reading from r with default options.
+func NewTokenizer(r io.Reader) *Tokenizer {
+	return NewTokenizerOptions(r, DefaultOptions())
+}
+
+// NewTokenizerOptions returns a tokenizer with explicit options.
+func NewTokenizerOptions(r io.Reader, opts Options) *Tokenizer {
+	return &Tokenizer{
+		r:     r,
+		opts:  opts,
+		buf:   make([]byte, 0, 64<<10),
+		names: make(map[string]string, 64),
+	}
+}
+
+// Depth returns the number of currently open elements.
+func (t *Tokenizer) Depth() int { return len(t.stack) }
+
+var errUnexpectedEOF = errors.New("unexpected end of input")
+
+func (t *Tokenizer) syntaxErr(msg string) error {
+	return &SyntaxError{Offset: t.off + int64(t.pos), Msg: msg}
+}
+
+// fill ensures at least one unread byte is available, reading more input if
+// necessary. It returns false at end of input or on error.
+func (t *Tokenizer) fill() bool {
+	if t.pos < t.n {
+		return true
+	}
+	if t.err != nil {
+		return false
+	}
+	// Slide the window.
+	t.off += int64(t.n)
+	t.pos = 0
+	t.n = 0
+	if cap(t.buf) == 0 {
+		t.buf = make([]byte, 64<<10)
+	}
+	t.buf = t.buf[:cap(t.buf)]
+	for {
+		n, err := t.r.Read(t.buf)
+		if n > 0 {
+			t.n = n
+			if err != nil {
+				t.err = err
+			}
+			return true
+		}
+		if err != nil {
+			t.err = err
+			return false
+		}
+	}
+}
+
+func (t *Tokenizer) peek() (byte, bool) {
+	if !t.fill() {
+		return 0, false
+	}
+	return t.buf[t.pos], true
+}
+
+func (t *Tokenizer) next() (byte, bool) {
+	if !t.fill() {
+		return 0, false
+	}
+	c := t.buf[t.pos]
+	t.pos++
+	return c, true
+}
+
+// skipUntil consumes input through the first occurrence of the literal
+// sequence seq and returns true, or false on EOF.
+func (t *Tokenizer) skipUntil(seq string) bool {
+	matched := 0
+	for {
+		c, ok := t.next()
+		if !ok {
+			return false
+		}
+		if c == seq[matched] {
+			matched++
+			if matched == len(seq) {
+				return true
+			}
+		} else if c == seq[0] {
+			matched = 1
+		} else {
+			matched = 0
+		}
+	}
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isNameByte(c byte) bool {
+	return isNameStart(c) || c == '-' || c == '.' || (c >= '0' && c <= '9')
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+// readName reads an XML name into nameBuf and returns it as a string.
+func (t *Tokenizer) readName() (string, error) {
+	c, ok := t.peek()
+	if !ok {
+		return "", errUnexpectedEOF
+	}
+	if !isNameStart(c) {
+		return "", t.syntaxErr(fmt.Sprintf("expected name, found %q", c))
+	}
+	t.nameBuf = t.nameBuf[:0]
+	for {
+		c, ok := t.peek()
+		if !ok || !isNameByte(c) {
+			break
+		}
+		t.nameBuf = append(t.nameBuf, c)
+		t.pos++
+	}
+	if interned, ok := t.names[string(t.nameBuf)]; ok {
+		return interned, nil
+	}
+	name := string(t.nameBuf)
+	t.names[name] = name
+	return name, nil
+}
+
+func (t *Tokenizer) skipSpace() {
+	for {
+		c, ok := t.peek()
+		if !ok || !isSpace(c) {
+			return
+		}
+		t.pos++
+	}
+}
+
+// resolveEntity appends the expansion of the entity starting after '&' to
+// dst. It consumes through the terminating ';'.
+func (t *Tokenizer) resolveEntity(dst []byte) ([]byte, error) {
+	t.nameBuf = t.nameBuf[:0]
+	for {
+		c, ok := t.next()
+		if !ok {
+			return dst, errUnexpectedEOF
+		}
+		if c == ';' {
+			break
+		}
+		if len(t.nameBuf) > 10 {
+			return dst, t.syntaxErr("entity reference too long")
+		}
+		t.nameBuf = append(t.nameBuf, c)
+	}
+	ent := string(t.nameBuf)
+	switch ent {
+	case "amp":
+		return append(dst, '&'), nil
+	case "lt":
+		return append(dst, '<'), nil
+	case "gt":
+		return append(dst, '>'), nil
+	case "apos":
+		return append(dst, '\''), nil
+	case "quot":
+		return append(dst, '"'), nil
+	}
+	if strings.HasPrefix(ent, "#") {
+		numeric := ent[1:]
+		base := 10
+		if strings.HasPrefix(numeric, "x") || strings.HasPrefix(numeric, "X") {
+			numeric, base = numeric[1:], 16
+		}
+		n, err := strconv.ParseUint(numeric, base, 32)
+		if err != nil {
+			return dst, t.syntaxErr("bad character reference &" + ent + ";")
+		}
+		return appendRune(dst, rune(n)), nil
+	}
+	return dst, t.syntaxErr("unknown entity &" + ent + ";")
+}
+
+func appendRune(dst []byte, r rune) []byte {
+	var tmp [4]byte
+	n := encodeRune(tmp[:], r)
+	return append(dst, tmp[:n]...)
+}
+
+// encodeRune is a minimal UTF-8 encoder (avoids importing unicode/utf8 in
+// the hot path file; behaviour matches utf8.EncodeRune for valid runes).
+func encodeRune(p []byte, r rune) int {
+	switch {
+	case r < 0x80:
+		p[0] = byte(r)
+		return 1
+	case r < 0x800:
+		p[0] = 0xC0 | byte(r>>6)
+		p[1] = 0x80 | byte(r)&0x3F
+		return 2
+	case r < 0x10000:
+		p[0] = 0xE0 | byte(r>>12)
+		p[1] = 0x80 | byte(r>>6)&0x3F
+		p[2] = 0x80 | byte(r)&0x3F
+		return 3
+	default:
+		p[0] = 0xF0 | byte(r>>18)
+		p[1] = 0x80 | byte(r>>12)&0x3F
+		p[2] = 0x80 | byte(r>>6)&0x3F
+		p[3] = 0x80 | byte(r)&0x3F
+		return 4
+	}
+}
+
+// Next returns the next token in the stream. At end of input it returns a
+// token with Kind == EOF and a nil error; subsequent calls keep returning
+// EOF. A non-nil error indicates malformed input or a read failure; read
+// failures take precedence over the syntax confusion they cause.
+func (t *Tokenizer) Next() (Token, error) {
+	tok, err := t.nextToken()
+	if err != nil && t.err != nil && t.err != io.EOF {
+		return Token{}, t.err
+	}
+	return tok, err
+}
+
+func (t *Tokenizer) nextToken() (Token, error) {
+	if len(t.pending) > 0 {
+		tok := t.pending[0]
+		copy(t.pending, t.pending[1:])
+		t.pending = t.pending[:len(t.pending)-1]
+		return tok, nil
+	}
+	if t.closed {
+		return Token{Kind: EOF}, nil
+	}
+	for {
+		c, ok := t.peek()
+		if !ok {
+			if t.err != nil && t.err != io.EOF {
+				return Token{}, t.err
+			}
+			if len(t.stack) > 0 {
+				return Token{}, t.syntaxErr("unexpected end of input: unclosed element <" + t.stack[len(t.stack)-1] + ">")
+			}
+			t.closed = true
+			return Token{Kind: EOF}, nil
+		}
+		if c == '<' {
+			t.pos++
+			tok, produced, err := t.readMarkup()
+			if err != nil {
+				return Token{}, err
+			}
+			if produced {
+				return tok, nil
+			}
+			continue // comment/PI/declaration: keep scanning
+		}
+		tok, produced, err := t.readText()
+		if err != nil {
+			return Token{}, err
+		}
+		if produced {
+			return tok, nil
+		}
+	}
+}
+
+// readText consumes character data up to the next '<' and reports whether a
+// Text token was produced (whitespace-only runs may be suppressed).
+func (t *Tokenizer) readText() (Token, bool, error) {
+	t.textBuf = t.textBuf[:0]
+	whitespaceOnly := true
+	for {
+		c, ok := t.peek()
+		if !ok || c == '<' {
+			break
+		}
+		t.pos++
+		if c == '&' {
+			var err error
+			t.textBuf, err = t.resolveEntity(t.textBuf)
+			if err != nil {
+				return Token{}, false, err
+			}
+			whitespaceOnly = false
+			continue
+		}
+		if whitespaceOnly && !isSpace(c) {
+			whitespaceOnly = false
+		}
+		t.textBuf = append(t.textBuf, c)
+	}
+	if len(t.textBuf) == 0 {
+		return Token{}, false, nil
+	}
+	if whitespaceOnly && !t.opts.KeepWhitespaceText {
+		return Token{}, false, nil
+	}
+	if len(t.stack) == 0 {
+		if whitespaceOnly {
+			return Token{}, false, nil
+		}
+		return Token{}, false, t.syntaxErr("character data outside the root element")
+	}
+	return Token{Kind: Text, Data: string(t.textBuf)}, true, nil
+}
+
+// readMarkup handles input immediately after '<'. It reports whether a token
+// was produced (comments, PIs, and declarations produce none).
+func (t *Tokenizer) readMarkup() (Token, bool, error) {
+	c, ok := t.peek()
+	if !ok {
+		return Token{}, false, errUnexpectedEOF
+	}
+	switch c {
+	case '?': // processing instruction or XML declaration
+		t.pos++
+		if !t.skipUntil("?>") {
+			return Token{}, false, t.syntaxErr("unterminated processing instruction")
+		}
+		return Token{}, false, nil
+	case '!':
+		t.pos++
+		return t.readBang()
+	case '/':
+		t.pos++
+		name, err := t.readName()
+		if err != nil {
+			return Token{}, false, err
+		}
+		t.skipSpace()
+		if c, ok := t.next(); !ok || c != '>' {
+			return Token{}, false, t.syntaxErr("malformed closing tag </" + name)
+		}
+		if len(t.stack) == 0 {
+			return Token{}, false, t.syntaxErr("closing tag </" + name + "> with no open element")
+		}
+		top := t.stack[len(t.stack)-1]
+		if top != name {
+			return Token{}, false, t.syntaxErr("mismatched closing tag </" + name + ">, expected </" + top + ">")
+		}
+		t.stack = t.stack[:len(t.stack)-1]
+		return Token{Kind: EndElement, Name: name}, true, nil
+	default:
+		return t.readStartTag()
+	}
+}
+
+// readBang handles "<!" constructs: comments, CDATA, DOCTYPE.
+func (t *Tokenizer) readBang() (Token, bool, error) {
+	c, ok := t.peek()
+	if !ok {
+		return Token{}, false, errUnexpectedEOF
+	}
+	switch c {
+	case '-': // comment
+		t.pos++
+		if c, ok := t.next(); !ok || c != '-' {
+			return Token{}, false, t.syntaxErr("malformed comment")
+		}
+		if !t.skipUntil("-->") {
+			return Token{}, false, t.syntaxErr("unterminated comment")
+		}
+		return Token{}, false, nil
+	case '[': // CDATA
+		for _, want := range "[CDATA[" {
+			c, ok := t.next()
+			if !ok || c != byte(want) {
+				return Token{}, false, t.syntaxErr("malformed CDATA section")
+			}
+		}
+		return t.readCDATA()
+	default: // DOCTYPE or other declaration: skip to matching '>'
+		depth := 1
+		for {
+			c, ok := t.next()
+			if !ok {
+				return Token{}, false, t.syntaxErr("unterminated declaration")
+			}
+			switch c {
+			case '<':
+				depth++
+			case '>':
+				depth--
+				if depth == 0 {
+					return Token{}, false, nil
+				}
+			}
+		}
+	}
+}
+
+func (t *Tokenizer) readCDATA() (Token, bool, error) {
+	if len(t.stack) == 0 {
+		return Token{}, false, t.syntaxErr("CDATA outside the root element")
+	}
+	t.textBuf = t.textBuf[:0]
+	matched := 0
+	for {
+		c, ok := t.next()
+		if !ok {
+			return Token{}, false, t.syntaxErr("unterminated CDATA section")
+		}
+		switch {
+		case c == ']' && matched < 2:
+			matched++
+			continue
+		case c == '>' && matched == 2:
+			if len(t.textBuf) == 0 {
+				return Token{}, false, nil
+			}
+			return Token{Kind: Text, Data: string(t.textBuf)}, true, nil
+		default:
+			for ; matched > 0; matched-- {
+				t.textBuf = append(t.textBuf, ']')
+			}
+			t.textBuf = append(t.textBuf, c)
+		}
+	}
+}
+
+// readStartTag parses an opening tag (after '<'), including attributes.
+func (t *Tokenizer) readStartTag() (Token, bool, error) {
+	name, err := t.readName()
+	if err != nil {
+		return Token{}, false, err
+	}
+	if len(t.stack) == 0 && t.sawRoot() {
+		return Token{}, false, t.syntaxErr("multiple root elements: <" + name + ">")
+	}
+	type attr struct{ name, value string }
+	var attrs []attr
+	selfClosing := false
+	for {
+		t.skipSpace()
+		c, ok := t.peek()
+		if !ok {
+			return Token{}, false, errUnexpectedEOF
+		}
+		if c == '>' {
+			t.pos++
+			break
+		}
+		if c == '/' {
+			t.pos++
+			if c, ok := t.next(); !ok || c != '>' {
+				return Token{}, false, t.syntaxErr("malformed self-closing tag <" + name)
+			}
+			selfClosing = true
+			break
+		}
+		aname, err := t.readName()
+		if err != nil {
+			return Token{}, false, err
+		}
+		t.skipSpace()
+		if c, ok := t.next(); !ok || c != '=' {
+			return Token{}, false, t.syntaxErr("attribute " + aname + " missing '='")
+		}
+		t.skipSpace()
+		quote, ok := t.next()
+		if !ok || (quote != '"' && quote != '\'') {
+			return Token{}, false, t.syntaxErr("attribute " + aname + " missing quoted value")
+		}
+		t.textBuf = t.textBuf[:0]
+		for {
+			c, ok := t.next()
+			if !ok {
+				return Token{}, false, errUnexpectedEOF
+			}
+			if c == quote {
+				break
+			}
+			if c == '&' {
+				t.textBuf, err = t.resolveEntity(t.textBuf)
+				if err != nil {
+					return Token{}, false, err
+				}
+				continue
+			}
+			t.textBuf = append(t.textBuf, c)
+		}
+		if t.opts.AttributesAsElements {
+			attrs = append(attrs, attr{aname, string(t.textBuf)})
+		}
+	}
+
+	t.rootSeen = true
+	start := Token{Kind: StartElement, Name: name}
+	if !selfClosing {
+		t.stack = append(t.stack, name)
+	}
+	// Queue attribute subelements (and the closing tag for self-closing
+	// elements) behind the start token.
+	for _, a := range attrs {
+		t.pending = append(t.pending, Token{Kind: StartElement, Name: a.name})
+		if a.value != "" {
+			t.pending = append(t.pending, Token{Kind: Text, Data: a.value})
+		}
+		t.pending = append(t.pending, Token{Kind: EndElement, Name: a.name})
+	}
+	if selfClosing {
+		t.pending = append(t.pending, Token{Kind: EndElement, Name: name})
+	}
+	return start, true, nil
+}
+
+func (t *Tokenizer) sawRoot() bool { return t.rootSeen }

@@ -1,0 +1,150 @@
+package xmlstream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Writer serializes a token stream back to XML text. It performs minimal
+// escaping of character data (&, <, >) and checks tag balance, so any
+// well-formed token sequence produces well-formed XML.
+//
+// The zero value is not usable; construct with NewWriter.
+type Writer struct {
+	w     *bufio.Writer
+	stack []string
+	n     int64
+	err   error
+}
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer) *Writer {
+	if bw, ok := w.(*bufio.Writer); ok {
+		return &Writer{w: bw}
+	}
+	return &Writer{w: bufio.NewWriterSize(w, 32<<10)}
+}
+
+// BytesWritten returns the number of bytes emitted so far (pre-buffering).
+func (w *Writer) BytesWritten() int64 { return w.n }
+
+// Depth returns the number of currently open elements.
+func (w *Writer) Depth() int { return len(w.stack) }
+
+// Err returns the first error encountered, if any.
+func (w *Writer) Err() error { return w.err }
+
+func (w *Writer) writeString(s string) {
+	if w.err != nil {
+		return
+	}
+	n, err := w.w.WriteString(s)
+	w.n += int64(n)
+	if err != nil {
+		w.err = err
+	}
+}
+
+func (w *Writer) writeByte(c byte) {
+	if w.err != nil {
+		return
+	}
+	if err := w.w.WriteByte(c); err != nil {
+		w.err = err
+		return
+	}
+	w.n++
+}
+
+// StartElement emits an opening tag.
+func (w *Writer) StartElement(name string) {
+	w.writeByte('<')
+	w.writeString(name)
+	w.writeByte('>')
+	w.stack = append(w.stack, name)
+}
+
+// EndElement emits a closing tag. The name must match the innermost open
+// element; a mismatch is recorded as an error.
+func (w *Writer) EndElement(name string) {
+	if w.err == nil {
+		if len(w.stack) == 0 {
+			w.err = fmt.Errorf("xmlstream: closing </%s> with no open element", name)
+			return
+		}
+		if top := w.stack[len(w.stack)-1]; top != name {
+			w.err = fmt.Errorf("xmlstream: closing </%s>, expected </%s>", name, top)
+			return
+		}
+	}
+	w.stack = w.stack[:len(w.stack)-1]
+	w.writeString("</")
+	w.writeString(name)
+	w.writeByte('>')
+}
+
+// Text emits escaped character data.
+func (w *Writer) Text(data string) {
+	start := 0
+	for i := 0; i < len(data); i++ {
+		var esc string
+		switch data[i] {
+		case '&':
+			esc = "&amp;"
+		case '<':
+			esc = "&lt;"
+		case '>':
+			esc = "&gt;"
+		default:
+			continue
+		}
+		w.writeString(data[start:i])
+		w.writeString(esc)
+		start = i + 1
+	}
+	w.writeString(data[start:])
+}
+
+// WriteToken dispatches a token to the matching method. EOF is ignored.
+func (w *Writer) WriteToken(t Token) {
+	switch t.Kind {
+	case StartElement:
+		w.StartElement(t.Name)
+	case EndElement:
+		w.EndElement(t.Name)
+	case Text:
+		w.Text(t.Data)
+	}
+}
+
+// Flush flushes buffered output and returns the first error seen, including
+// unbalanced open elements.
+func (w *Writer) Flush() error {
+	if w.err == nil && len(w.stack) > 0 {
+		w.err = fmt.Errorf("xmlstream: %d unclosed element(s), innermost <%s>", len(w.stack), w.stack[len(w.stack)-1])
+	}
+	if err := w.w.Flush(); err != nil && w.err == nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// EscapeText returns data with XML character escaping applied, as Text would
+// emit it. Useful for tests and tools.
+func EscapeText(data string) string {
+	out := make([]byte, 0, len(data))
+	for i := 0; i < len(data); i++ {
+		switch data[i] {
+		case '&':
+			out = append(out, "&amp;"...)
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		default:
+			out = append(out, data[i])
+		}
+	}
+	return string(out)
+}

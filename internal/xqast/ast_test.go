@@ -1,0 +1,162 @@
+package xqast
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFlattenSequence(t *testing.T) {
+	v := VarRef{Var: "x"}
+	cases := []struct {
+		name  string
+		items []Expr
+		want  string
+	}{
+		{"empty", nil, "()"},
+		{"only empties", []Expr{Empty{}, Empty{}, nil}, "()"},
+		{"singleton", []Expr{Empty{}, v}, "$x"},
+		{"nested", []Expr{Sequence{Items: []Expr{v, Sequence{Items: []Expr{v, v}}}}, v}, "4 items"},
+	}
+	for _, tc := range cases {
+		got := FlattenSequence(tc.items)
+		switch tc.want {
+		case "()":
+			if _, ok := got.(Empty); !ok {
+				t.Fatalf("%s: got %T", tc.name, got)
+			}
+		case "$x":
+			if _, ok := got.(VarRef); !ok {
+				t.Fatalf("%s: got %T", tc.name, got)
+			}
+		case "4 items":
+			seq, ok := got.(Sequence)
+			if !ok || len(seq.Items) != 4 {
+				t.Fatalf("%s: got %#v", tc.name, got)
+			}
+			// No nested sequences remain.
+			for _, item := range seq.Items {
+				if _, bad := item.(Sequence); bad {
+					t.Fatalf("%s: nested sequence survived", tc.name)
+				}
+			}
+		}
+	}
+}
+
+func TestWalkOrderAndPruning(t *testing.T) {
+	e := Sequence{Items: []Expr{
+		Element{Name: "a", Child: VarRef{Var: "x"}},
+		For{Var: "y", In: Path{Var: "x"}, Return: VarRef{Var: "y"}},
+	}}
+	var order []string
+	Walk(e, func(x Expr) bool {
+		switch x := x.(type) {
+		case Sequence:
+			order = append(order, "seq")
+		case Element:
+			order = append(order, "elem")
+		case VarRef:
+			order = append(order, "$"+x.Var)
+		case For:
+			order = append(order, "for")
+		}
+		return true
+	})
+	want := "seq elem $x for $y"
+	if got := strings.Join(order, " "); got != want {
+		t.Fatalf("walk order %q, want %q", got, want)
+	}
+
+	// Pruning: returning false stops descent.
+	count := 0
+	Walk(e, func(x Expr) bool {
+		count++
+		_, isElem := x.(Element)
+		return !isElem
+	})
+	if count != 4 { // seq, elem, for, $y — $x pruned
+		t.Fatalf("pruned walk visited %d nodes, want 4", count)
+	}
+}
+
+func TestRewriteBottomUp(t *testing.T) {
+	e := Element{Name: "a", Child: Sequence{Items: []Expr{
+		VarRef{Var: "x"}, VarRef{Var: "y"},
+	}}}
+	// Replace every VarRef with Empty; the sequence then still has two
+	// (Empty) items because Rewrite preserves structure.
+	out := Rewrite(e, func(x Expr) Expr {
+		if _, ok := x.(VarRef); ok {
+			return Empty{}
+		}
+		return x
+	})
+	el := out.(Element)
+	seq := el.Child.(Sequence)
+	for _, item := range seq.Items {
+		if _, ok := item.(Empty); !ok {
+			t.Fatalf("item %T, want Empty", item)
+		}
+	}
+}
+
+func TestVars(t *testing.T) {
+	q := &Query{Root: Element{Name: "q", Child: For{
+		Var: "a", In: Path{Var: RootVar, Steps: []Step{{Axis: Child, Test: NameTest("x")}}},
+		Return: For{Var: "b", In: Path{Var: "a", Steps: []Step{{Axis: Child, Test: NameTest("y")}}},
+			Return: Empty{}},
+	}}}
+	got := Vars(q)
+	if len(got) != 3 || got[0] != "root" || got[1] != "a" || got[2] != "b" {
+		t.Fatalf("Vars = %v", got)
+	}
+}
+
+func TestStepAndPathStrings(t *testing.T) {
+	s := Step{Axis: Child, Test: NameTest("price"), First: true}
+	if s.String() != "child::price[1]" {
+		t.Fatalf("step: %s", s)
+	}
+	p := Path{Var: "x", Steps: []Step{
+		{Axis: Descendant, Test: StarTest()},
+		{Axis: DescendantOrSelf, Test: NodeKindTest()},
+	}}
+	if p.String() != "$x/descendant::*/dos::node()" {
+		t.Fatalf("path: %s", p)
+	}
+}
+
+func TestEqualCond(t *testing.T) {
+	a := And{L: Exists{Path: Path{Var: "x", Steps: []Step{{Axis: Child, Test: NameTest("p")}}}}, R: TrueCond{}}
+	b := And{L: Exists{Path: Path{Var: "x", Steps: []Step{{Axis: Child, Test: NameTest("p")}}}}, R: TrueCond{}}
+	c := And{L: Exists{Path: Path{Var: "x", Steps: []Step{{Axis: Child, Test: NameTest("q")}}}}, R: TrueCond{}}
+	if !EqualCond(a, b) {
+		t.Fatal("structurally equal conditions must compare equal")
+	}
+	if EqualCond(a, c) {
+		t.Fatal("different conditions must not compare equal")
+	}
+}
+
+func TestFormatCoversAllForms(t *testing.T) {
+	q := &Query{Root: Element{Name: "q", Child: Sequence{Items: []Expr{
+		Text{Data: "hi"},
+		CondTag{Cond: TrueCond{}, Name: "t", Open: true},
+		SignOff{Path: Path{Var: "x"}, Role: 3},
+		CondTag{Cond: TrueCond{}, Name: "t", Open: false},
+		If{Cond: Not{C: Or{L: TrueCond{}, R: Compare{
+			LHS: Operand{Path: Path{Var: "x", Steps: []Step{{Axis: Child, Test: NameTest("a")}}}},
+			Op:  OpGe,
+			RHS: Operand{IsLiteral: true, Lit: "5"},
+		}}}, Then: Empty{}, Else: VarRef{Var: "x"}},
+	}}}}
+	out := Format(q)
+	for _, want := range []string{
+		`text { "hi" }`, "then <t> else ()", "then </t> else ()",
+		"signOff($x, r3)", ">= \"5\"", "or", "not(",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package xqparser
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickParserNeverPanics feeds the parser random byte soup and random
+// mutations of valid queries: it must always return (possibly an error)
+// without panicking, and errors must carry positions.
+func TestQuickParserNeverPanics(t *testing.T) {
+	corpus := []string{
+		`<q>{ for $x in /a/b return if (exists($x/c)) then $x else () }</q>`,
+		`<q>{ (for $a in //a return <r>{ $a/name }</r>, $root) }</q>`,
+		`<q>{ if ($root/a = "x" and true()) then <y/> else <n/> }</q>`,
+	}
+	alphabet := `<>/{}()$="' abcdefor return in if then else exists not and`
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var src string
+		if r.Intn(2) == 0 {
+			// Pure random soup.
+			n := r.Intn(120)
+			b := make([]byte, n)
+			for i := range b {
+				b[i] = alphabet[r.Intn(len(alphabet))]
+			}
+			src = string(b)
+		} else {
+			// Mutate a valid query: delete, duplicate, or flip bytes.
+			src = corpus[r.Intn(len(corpus))]
+			for k := 0; k < 1+r.Intn(4); k++ {
+				if len(src) < 2 {
+					break
+				}
+				i := r.Intn(len(src) - 1)
+				switch r.Intn(3) {
+				case 0:
+					src = src[:i] + src[i+1:]
+				case 1:
+					src = src[:i] + string(src[i]) + src[i:]
+				case 2:
+					src = src[:i] + string(alphabet[r.Intn(len(alphabet))]) + src[i+1:]
+				}
+			}
+		}
+		defer func() {
+			if p := recover(); p != nil {
+				t.Logf("seed %d: panic on %q: %v", seed, src, p)
+				t.Fail()
+			}
+		}()
+		q, err := Parse(src)
+		if err != nil {
+			if perr, ok := err.(*Error); ok && (perr.Line < 1 || perr.Col < 1) {
+				t.Logf("seed %d: error without position: %v", seed, err)
+				return false
+			}
+			return true
+		}
+		_ = q
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
