@@ -1,0 +1,143 @@
+package gcx
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// Alloc-regression guards for the pooled run state: a compiled Engine
+// recycles its tokenizer, buffer arena, projector, evaluator, and writer
+// through a sync.Pool, so repeated runs must not rebuild the runtime.
+// Before pooling, the evaluation below cost ~2700 allocs/run; the bounds
+// here are far below that and catch any reintroduced per-run or
+// per-element allocation.
+
+func allocTestDoc(books int, withPrice bool) string {
+	var doc strings.Builder
+	doc.WriteString("<bib>")
+	for i := 0; i < books; i++ {
+		doc.WriteString("<book><title>T</title>")
+		if withPrice || i%2 == 0 {
+			doc.WriteString("<price>5</price>")
+		}
+		doc.WriteString("</book>")
+	}
+	doc.WriteString("</bib>")
+	return doc.String()
+}
+
+// TestSteadyStateAllocsStructural: a query that buffers only structure
+// (existence witnesses, no text serialization) must run allocation-free
+// once the pool is warm — the paper's engine as a zero-garbage server.
+func TestSteadyStateAllocsStructural(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	eng := MustCompile(`<out>{
+	    for $b in /bib/book return
+	        if (exists($b/price)) then <hit/> else ()
+	}</out>`)
+	data := allocTestDoc(100, false)
+	r := strings.NewReader(data)
+
+	run := func() {
+		r.Reset(data)
+		if _, err := eng.Run(r, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the pool
+
+	if allocs := testing.AllocsPerRun(30, run); allocs > 8 {
+		t.Fatalf("structural steady-state run allocates: %.1f allocs/run, want <= 8", allocs)
+	}
+}
+
+// TestSteadyStateAllocsWithOutput: serializing buffered text necessarily
+// copies it out of the tokenizer's scratch (one allocation per buffered
+// text node); nothing else may allocate on a warm pool.
+func TestSteadyStateAllocsWithOutput(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	eng := MustCompile(`<out>{
+	    for $b in /bib/book return
+	        if (exists($b/price)) then $b/title else ()
+	}</out>`)
+	data := allocTestDoc(100, true)
+	r := strings.NewReader(data)
+
+	run := func() {
+		r.Reset(data)
+		if _, err := eng.Run(r, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+
+	// 100 buffered <title> texts -> ~100 unavoidable copies; allow slack
+	// for map growth, none for per-run reconstruction (which costs
+	// thousands).
+	if allocs := testing.AllocsPerRun(30, run); allocs > 150 {
+		t.Fatalf("output steady-state run allocates: %.1f allocs/run, want <= 150", allocs)
+	}
+}
+
+// TestPooledRunsDeterministic: recycled run state must not leak between
+// runs — repeated and interleaved runs of one Engine produce identical
+// output and stats.
+func TestPooledRunsDeterministic(t *testing.T) {
+	eng := MustCompile(`<out>{
+	    for $b in /bib/book return
+	        if (exists($b/price)) then $b/title else ()
+	}</out>`)
+	docA := allocTestDoc(50, true)
+	docB := allocTestDoc(31, false)
+
+	outA, statsA, err := eng.RunString(docA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		gotB, _, err := eng.RunString(docB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotA, stats, err := eng.RunString(docA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotA != outA {
+			t.Fatalf("run %d: output drift:\n got  %q\n want %q", i, gotA, outA)
+		}
+		if stats != statsA {
+			t.Fatalf("run %d: stats drift:\n got  %+v\n want %+v", i, stats, statsA)
+		}
+		_ = gotB
+	}
+}
+
+// BenchmarkGCXWarmPool reports the steady-state cost of one evaluation on
+// a warm pool (the serving hot path).
+func BenchmarkGCXWarmPool(b *testing.B) {
+	eng := MustCompile(`<out>{
+	    for $b in /bib/book return
+	        if (exists($b/price)) then $b/title else ()
+	}</out>`)
+	data := []byte(allocTestDoc(100, true))
+	r := bytes.NewReader(data)
+	if _, err := eng.Run(r, io.Discard); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(data)
+		if _, err := eng.Run(r, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

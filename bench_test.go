@@ -104,6 +104,36 @@ func BenchmarkAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelRuns exercises the serving scenario: many goroutines
+// sharing one compiled Engine, each run drawing a recycled run state from
+// the engine's pool. allocs/op is the headline number — after warm-up it
+// must stay near the per-run floor (text copies into the buffer), not
+// scale with the runtime structures.
+func BenchmarkParallelRuns(b *testing.B) {
+	doc := benchDocument(b)
+	eng, err := Compile(queries.Q1.Text)
+	if err != nil {
+		b.Fatalf("compile: %v", err)
+	}
+	// Warm the pool before measuring.
+	if _, err := eng.Run(bytes.NewReader(doc), io.Discard); err != nil {
+		b.Fatalf("warm-up run: %v", err)
+	}
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		r := bytes.NewReader(doc)
+		for pb.Next() {
+			r.Reset(doc)
+			if _, err := eng.Run(r, io.Discard); err != nil {
+				b.Errorf("run: %v", err)
+				return
+			}
+		}
+	})
+}
+
 // BenchmarkCompile measures query compilation (parse, normalize, rewrite,
 // static analysis) — a per-query one-time cost.
 func BenchmarkCompile(b *testing.B) {

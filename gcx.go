@@ -152,7 +152,16 @@ type Stats struct {
 	OutputBytes int64
 }
 
-// Engine is a compiled query, safe for repeated (sequential) runs.
+// Engine is a compiled query, safe for concurrent use by multiple
+// goroutines.
+//
+// Concurrency contract (see DESIGN.md): a single evaluation is strictly
+// sequential — the paper's evaluation semantics — but a compiled Engine
+// holds only immutable analysis results plus a pool of recycled run
+// states (tokenizer, buffer arena, projector, evaluator, writer), so any
+// number of Run calls may proceed in parallel. After warm-up, repeated
+// runs allocate almost nothing: the run state is reused and the buffer's
+// node arena is reclaimed wholesale between runs.
 type Engine struct {
 	c *engine.Compiled
 }

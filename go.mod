@@ -1,0 +1,3 @@
+module gcx
+
+go 1.24

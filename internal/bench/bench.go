@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gcx/internal/dtd"
@@ -64,8 +65,16 @@ type Result struct {
 	OutBytes  int64
 	Tokens    int64
 	HeapPeak  uint64 // Go heap in use after the run (approximate)
-	Err       error
-	TimedOut  bool
+	// Allocs / AllocBytes are the heap allocations performed during the
+	// run (process-wide malloc deltas; with the engine's pooled run state
+	// they approach the bytes the query genuinely had to buffer). Only
+	// meaningful when AllocsMeasured is set: a goroutine abandoned by an
+	// earlier timed-out run suppresses the measurement.
+	Allocs         uint64
+	AllocBytes     uint64
+	AllocsMeasured bool
+	Err            error
+	TimedOut       bool
 }
 
 // Run executes the sweep and returns all results in (size, query, mode)
@@ -170,9 +179,17 @@ func runOne(q queries.Query, mode engine.Mode, schema *dtd.Schema, path string, 
 		err error
 	}
 	done := make(chan outcome, 1)
+	// Alloc metrics are process-wide malloc deltas; a goroutine abandoned
+	// by an earlier timeout would pollute them, so they are only reported
+	// when no stray run is in flight around the measurement.
+	cleanStart := strayRuns.Load() == 0
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
 	start := time.Now()
+	strayRuns.Add(1)
 	go func() {
 		st, err := c.Run(f, io.Discard)
+		strayRuns.Add(-1)
 		done <- outcome{st, err}
 	}()
 
@@ -197,8 +214,19 @@ func runOne(q queries.Query, mode engine.Mode, schema *dtd.Schema, path string, 
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	r.HeapPeak = ms.HeapInuse
+	if cleanStart && strayRuns.Load() == 0 {
+		r.Allocs = ms.Mallocs - before.Mallocs
+		r.AllocBytes = ms.TotalAlloc - before.TotalAlloc
+		r.AllocsMeasured = true
+	}
 	return r
 }
+
+// strayRuns counts run goroutines currently inside engine.Run. A timed-out
+// run's goroutine keeps executing after its result is abandoned; while any
+// such stray is alive, per-run alloc metrics are left zero rather than
+// reported wrong.
+var strayRuns atomic.Int64
 
 // FormatResult renders one result as a single line.
 func FormatResult(r Result) string {
@@ -208,9 +236,13 @@ func FormatResult(r Result) string {
 	if r.Err != nil {
 		return fmt.Sprintf("%-4s %-11s %7s   error: %v", r.Query, r.Engine, humanBytes(r.DocBytes), r.Err)
 	}
-	return fmt.Sprintf("%-4s %-11s %7s   %10s   peak %9s (%d nodes)   out %s",
+	allocs := "allocs n/a"
+	if r.AllocsMeasured {
+		allocs = fmt.Sprintf("allocs %d (%s)", r.Allocs, humanBytes(int64(r.AllocBytes)))
+	}
+	return fmt.Sprintf("%-4s %-11s %7s   %10s   peak %9s (%d nodes)   out %s   %s",
 		r.Query, r.Engine, humanBytes(r.DocBytes), r.Duration.Round(time.Millisecond),
-		humanBytes(r.PeakBytes), r.PeakNodes, humanBytes(r.OutBytes))
+		humanBytes(r.PeakBytes), r.PeakNodes, humanBytes(r.OutBytes), allocs)
 }
 
 // FormatTable renders results in the layout of Table 1: one block per

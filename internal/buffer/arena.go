@@ -1,0 +1,66 @@
+package buffer
+
+// slabSize is the number of Nodes carved from one backing allocation.
+const slabSize = 512
+
+// arena is the per-run node allocator: nodes are carved from slabs that
+// stay owned by the arena, unlink returns reclaimed nodes to a freelist
+// for immediate reuse, and Reset reclaims everything wholesale — a run
+// leaves no node garbage for the GC regardless of how many nodes it
+// buffered and purged.
+//
+// A node handed back via put must be unreachable from the live tree
+// (guaranteed by the deletion discipline: only finished, role-free,
+// unpinned, uncovered subtrees are unlinked).
+type arena struct {
+	slabs [][]Node
+	slab  int // index of the slab currently being carved
+	next  int // next unused index in slabs[slab]
+	free  []*Node
+}
+
+func (a *arena) get() *Node {
+	if n := len(a.free); n > 0 {
+		nd := a.free[n-1]
+		a.free = a.free[:n-1]
+		nd.recycle()
+		return nd
+	}
+	if a.slab == len(a.slabs) {
+		a.slabs = append(a.slabs, make([]Node, slabSize))
+	}
+	s := a.slabs[a.slab]
+	nd := &s[a.next]
+	a.next++
+	if a.next == len(s) {
+		a.slab++
+		a.next = 0
+	}
+	nd.recycle()
+	return nd
+}
+
+func (a *arena) put(n *Node) { a.free = append(a.free, n) }
+
+// reset makes every slab node available again without releasing the slabs.
+// Text references of carved nodes are dropped eagerly: nodes are only
+// cleared lazily on get, and an idle (pooled) buffer must not pin the
+// previous document's character data until those slots happen to be
+// re-carved.
+func (a *arena) reset() {
+	for i := 0; i < a.slab && i < len(a.slabs); i++ {
+		clearText(a.slabs[i])
+	}
+	if a.slab < len(a.slabs) {
+		clearText(a.slabs[a.slab][:a.next])
+	}
+	a.slab = 0
+	a.next = 0
+	a.free = a.free[:0]
+}
+
+func clearText(s []Node) {
+	for i := range s {
+		s[i].Text = ""
+	}
+}

@@ -70,6 +70,13 @@ type Buffer struct {
 	assigned []int64
 	removed  []int64
 
+	// arena allocates nodes; Reset reclaims them wholesale between runs.
+	arena arena
+
+	// resA/resB are the ping-pong scratch buffers of signOff path
+	// resolution (reused so steady-state signOffs do not allocate).
+	resA, resB []target
+
 	stats Stats
 }
 
@@ -85,12 +92,31 @@ func New(syms *xmlstream.SymTab, roleCount int, aggregate []bool) *Buffer {
 		assigned:  make([]int64, roleCount+1),
 		removed:   make([]int64, roleCount+1),
 	}
-	b.root = &Node{Kind: KindRoot}
+	b.initRoot()
+	return b
+}
+
+func (b *Buffer) initRoot() {
+	b.root = b.arena.get()
+	b.root.Kind = KindRoot
 	b.stats.LiveNodes = 1
 	b.stats.LiveBytes = nodeBaseBytes
 	b.stats.PeakNodes = 1
 	b.stats.PeakBytes = nodeBaseBytes
-	return b
+}
+
+// Reset returns every node to the arena and restores the empty initial
+// state for a new run with the same role table. The symbol table and the
+// canceller wiring are retained; any node pointer obtained before the
+// reset is invalidated.
+func (b *Buffer) Reset() {
+	b.arena.reset()
+	for i := range b.assigned {
+		b.assigned[i] = 0
+		b.removed[i] = 0
+	}
+	b.stats = Stats{}
+	b.initRoot()
 }
 
 // SetCanceller wires the stream projector's cancellation hook.
@@ -122,7 +148,10 @@ func (b *Buffer) bumpPeaks() {
 // AppendElement buffers a new element under parent (as last child) and
 // returns it. The node starts unfinished.
 func (b *Buffer) AppendElement(parent *Node, sym xmlstream.Sym) *Node {
-	n := &Node{Kind: KindElement, Sym: sym, Parent: parent}
+	n := b.arena.get()
+	n.Kind = KindElement
+	n.Sym = sym
+	n.Parent = parent
 	b.link(parent, n)
 	b.stats.LiveNodes++
 	b.stats.LiveBytes += nodeBaseBytes
@@ -134,7 +163,11 @@ func (b *Buffer) AppendElement(parent *Node, sym xmlstream.Sym) *Node {
 // AppendText buffers a text node under parent. Text nodes are born
 // finished.
 func (b *Buffer) AppendText(parent *Node, text string) *Node {
-	n := &Node{Kind: KindText, Text: text, Parent: parent, finished: true}
+	n := b.arena.get()
+	n.Kind = KindText
+	n.Text = text
+	n.Parent = parent
+	n.finished = true
 	b.link(parent, n)
 	b.stats.LiveNodes++
 	b.stats.LiveBytes += nodeBaseBytes + int64(len(text))
@@ -289,18 +322,23 @@ func (b *Buffer) unlink(n *Node) {
 	} else if n.Parent != nil {
 		n.Parent.LastChild = n.PrevSib
 	}
-	// Account for the whole removed subtree.
-	var drop func(m *Node)
-	drop = func(m *Node) {
-		m.unlinked = true
-		b.stats.LiveNodes--
-		b.stats.NodesDeleted++
-		b.stats.LiveBytes -= nodeBaseBytes + int64(len(m.Text)) + int64(len(m.roles))*roleEntryBytes
-		for c := m.FirstChild; c != nil; c = c.NextSib {
-			drop(c)
-		}
+	b.dropSubtree(n)
+}
+
+// dropSubtree accounts for a spliced-out subtree and returns its nodes to
+// the arena. The subtree is necessarily role-free, pin-free, and finished
+// (the deletable conditions), so nothing can reference its nodes again.
+func (b *Buffer) dropSubtree(n *Node) {
+	n.unlinked = true
+	b.stats.LiveNodes--
+	b.stats.NodesDeleted++
+	b.stats.LiveBytes -= nodeBaseBytes + int64(len(n.Text)) + int64(len(n.roles))*roleEntryBytes
+	for c := n.FirstChild; c != nil; {
+		next := c.NextSib
+		b.dropSubtree(c)
+		c = next
 	}
-	drop(n)
+	b.arena.put(n)
 }
 
 // sweep prunes a subtree after an aggregate role was removed from its root:
@@ -310,27 +348,27 @@ func (b *Buffer) unlink(n *Node) {
 // role are skipped.
 func (b *Buffer) sweep(n *Node) {
 	b.stats.GCSweeps++
-	var walk func(m *Node)
-	walk = func(m *Node) {
-		if m.aggCount > 0 {
-			// Still covered by its own aggregate role: keep whole branch.
-			return
-		}
-		c := m.FirstChild
-		for c != nil {
-			next := c.NextSib
-			walk(c)
-			c = next
-		}
-		if b.deletable(m) {
-			b.unlink(m)
-		}
-	}
 	c := n.FirstChild
 	for c != nil {
 		next := c.NextSib
-		walk(c)
+		b.sweepWalk(c)
 		c = next
+	}
+}
+
+func (b *Buffer) sweepWalk(m *Node) {
+	if m.aggCount > 0 {
+		// Still covered by its own aggregate role: keep whole branch.
+		return
+	}
+	c := m.FirstChild
+	for c != nil {
+		next := c.NextSib
+		b.sweepWalk(c)
+		c = next
+	}
+	if b.deletable(m) {
+		b.unlink(m)
 	}
 }
 

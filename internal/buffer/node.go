@@ -81,6 +81,16 @@ type Node struct {
 	noMore []xmlstream.Sym
 }
 
+// recycle clears n for reuse by the arena, retaining the capacity of its
+// role and schema-fact slices.
+func (n *Node) recycle() {
+	roles := n.roles[:0]
+	noMore := n.noMore[:0]
+	*n = Node{}
+	n.roles = roles
+	n.noMore = noMore
+}
+
 // MarkNoMore records that no further child with the given tag can occur
 // (duplicates are ignored).
 func (n *Node) MarkNoMore(sym xmlstream.Sym) {

@@ -59,73 +59,79 @@ func (b *Buffer) Resolve(binding *Node, steps []xqast.Step) []*Node {
 	return out
 }
 
+// resolve walks steps from start through the buffered tree using the
+// buffer's ping-pong scratch slices, so steady-state signOff execution
+// does not allocate. The returned slice is valid until the next resolve.
 func (b *Buffer) resolve(start *Node, steps []xqast.Step) []target {
-	cur := []target{{start, 1}}
+	cur := append(b.resA[:0], target{start, 1})
+	next := b.resB[:0]
 	for _, s := range steps {
-		var next []target
-		idx := map[*Node]int{}
-		add := func(n *Node, m int) {
-			if i, ok := idx[n]; ok {
-				next[i].mult += m
-				return
-			}
-			idx[n] = len(next)
-			next = append(next, target{n, m})
-		}
+		next = next[:0]
 		for _, t := range cur {
-			b.stepMatches(t.node, s, t.mult, add)
+			next = b.stepMatches(t.node, s, t.mult, next)
 		}
-		cur = next
+		cur, next = next, cur
 	}
+	b.resA, b.resB = cur, next
 	return cur
 }
 
-// stepMatches enumerates the matches of one location step from ctx in
+// addTarget merges (n, m) into out: a node reached through several
+// derivations accumulates its multiplicities (Figure 4(c)). Target sets
+// are small, so a linear scan beats a map.
+func addTarget(out []target, n *Node, m int) []target {
+	for i := range out {
+		if out[i].node == n {
+			out[i].mult += m
+			return out
+		}
+	}
+	return append(out, target{n, m})
+}
+
+// stepMatches appends the matches of one location step from ctx in
 // document order. With a [1] predicate, only the first match per context is
 // reported — mirroring first-witness role assignment during projection.
-func (b *Buffer) stepMatches(ctx *Node, s xqast.Step, mult int, add func(*Node, int)) {
+func (b *Buffer) stepMatches(ctx *Node, s xqast.Step, mult int, out []target) []target {
 	switch s.Axis {
 	case xqast.Child:
 		for c := ctx.FirstChild; c != nil; c = c.NextSib {
 			if matchTest(b.syms, s.Test, c) {
-				add(c, mult)
+				out = addTarget(out, c, mult)
 				if s.First {
-					return
+					return out
 				}
 			}
 		}
 	case xqast.Descendant:
-		b.walkDescendants(ctx, s, mult, add)
+		out, _ = b.walkDescendants(ctx, s, mult, out)
 	case xqast.DescendantOrSelf:
 		if matchTest(b.syms, s.Test, ctx) {
-			add(ctx, mult)
+			out = addTarget(out, ctx, mult)
 			if s.First {
-				return
+				return out
 			}
 		}
-		b.walkDescendants(ctx, s, mult, add)
+		out, _ = b.walkDescendants(ctx, s, mult, out)
 	}
+	return out
 }
 
-// walkDescendants reports matching proper descendants of ctx in document
-// order; with First set it stops after the first match.
-func (b *Buffer) walkDescendants(ctx *Node, s xqast.Step, mult int, add func(*Node, int)) {
-	var dfs func(n *Node) bool
-	dfs = func(n *Node) bool {
-		for c := n.FirstChild; c != nil; c = c.NextSib {
-			if matchTest(b.syms, s.Test, c) {
-				add(c, mult)
-				if s.First {
-					return true
-				}
-			}
-			if dfs(c) {
-				return true
+// walkDescendants appends matching proper descendants of ctx in document
+// order; with First set it stops after the first match (stop=true).
+func (b *Buffer) walkDescendants(ctx *Node, s xqast.Step, mult int, out []target) (_ []target, stop bool) {
+	for c := ctx.FirstChild; c != nil; c = c.NextSib {
+		if matchTest(b.syms, s.Test, c) {
+			out = addTarget(out, c, mult)
+			if s.First {
+				return out, true
 			}
 		}
-		return false
+		if out, stop = b.walkDescendants(c, s, mult, out); stop {
+			return out, true
+		}
 	}
-	dfs(ctx)
+	return out, false
 }
 
 // matchTest evaluates a node test against a buffered node.

@@ -17,6 +17,7 @@ package engine
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"gcx/internal/buffer"
 	"gcx/internal/dtd"
@@ -73,7 +74,9 @@ type Config struct {
 	Schema *dtd.Schema
 }
 
-// Compiled is a query prepared for execution.
+// Compiled is a query prepared for execution. All exported fields are
+// immutable after Compile; runs draw their mutable machinery from an
+// internal pool, so a single Compiled may serve many goroutines at once.
 type Compiled struct {
 	Source   string
 	Mode     Mode
@@ -84,6 +87,12 @@ type Compiled struct {
 	MatchTree *projtree.Tree
 	schema    *dtd.Schema
 	tokOpts   xmlstream.Options
+
+	// agg marks aggregate roles, precomputed from the role table.
+	agg []bool
+	// pool recycles runStates across runs: after warm-up, Run allocates
+	// (almost) nothing beyond what the document forces it to buffer.
+	pool sync.Pool
 }
 
 // Compile parses, normalizes, rewrites, and statically analyzes a query.
@@ -121,6 +130,12 @@ func Compile(src string, cfg Config) (*Compiled, error) {
 	if cfg.Mode == ModeFullBuffer {
 		c.MatchTree = fullBufferTree()
 	}
+	c.agg = make([]bool, len(c.MatchTree.Roles))
+	for i, r := range c.MatchTree.Roles {
+		if i > 0 && r.Aggregate {
+			c.agg[i] = true
+		}
+	}
 	return c, nil
 }
 
@@ -151,16 +166,94 @@ type RunOptions struct {
 	Trace *Tracer
 }
 
+// maxRetainedSyms bounds the pooled symbol table across runs.
+const maxRetainedSyms = 4096
+
+// runState bundles the mutable per-run machinery of one evaluation: the
+// tokenizer, the symbol table, the buffer (with its node arena), the
+// projector, the output writer, and the evaluator. A runState is owned by
+// exactly one run at a time and recycled through Compiled.pool, so after
+// warm-up an Engine serves runs with near-zero steady-state allocation.
+type runState struct {
+	syms *xmlstream.SymTab
+	buf  *buffer.Buffer
+	tok  *xmlstream.Tokenizer
+	proj *proj.Projector
+	w    *xmlstream.Writer
+	ev   *eval.Evaluator
+}
+
+// newRunState constructs the chain of Figure 11 once; subsequent runs
+// reset it in place. The tokenizer lends text tokens to the projector
+// (BorrowText), which copies only what it buffers.
+func (c *Compiled) newRunState() *runState {
+	syms := xmlstream.NewSymTab()
+	buf := buffer.New(syms, len(c.MatchTree.Roles)-1, c.agg)
+	tokOpts := c.tokOpts
+	tokOpts.BorrowText = true
+	tok := xmlstream.NewTokenizerOptions(nil, tokOpts)
+	aggregateMatching := c.Mode == ModeFullBuffer || c.Analysis.Opts.AggregateRoles
+	p := proj.New(tok, buf, c.MatchTree, proj.Options{
+		AggregateRoles: aggregateMatching,
+		Schema:         c.schema,
+		BorrowedText:   true,
+	})
+	w := xmlstream.NewWriter(io.Discard)
+	ev := eval.New(buf, p, w, eval.Options{})
+	return &runState{syms: syms, buf: buf, tok: tok, proj: p, w: w, ev: ev}
+}
+
+// acquire takes a runState from the pool and points it at this run's
+// input, output, and hooks. Reset order matters: the projector rebuilds
+// its root frame around the buffer's fresh root.
+func (c *Compiled) acquire(in io.Reader, out io.Writer, ro RunOptions) *runState {
+	rs, _ := c.pool.Get().(*runState)
+	if rs == nil {
+		rs = c.newRunState()
+	}
+	rs.tok.Reset(in)
+	rs.buf.Reset()
+	// The symbol table survives runs (tag vocabularies repeat) but is
+	// bounded: documents with generated per-document names must not grow
+	// a pooled run state without limit. Safe only after buf.Reset — no
+	// buffered node carries a Sym anymore.
+	if rs.syms.Len() > maxRetainedSyms {
+		rs.syms.Reset()
+	}
+	rs.proj.Reset()
+	rs.w.Reset(out)
+	evOpts := eval.Options{ExecuteSignOffs: c.Mode == ModeGCX, Schema: c.schema}
+	if ro.Trace != nil {
+		ro.Trace.install(&evOpts, rs.buf, rs.proj)
+	}
+	rs.ev.Reset(evOpts)
+	return rs
+}
+
+// release returns a runState to the pool, dropping the references to the
+// caller's reader and writer, and resetting the buffer so the idle pool
+// does not pin the document's buffered text.
+func (c *Compiled) release(rs *runState) {
+	rs.tok.Reset(nil)
+	rs.w.Reset(io.Discard)
+	rs.buf.Reset()
+	c.pool.Put(rs)
+}
+
 // Run executes the compiled query over the XML input, writing the result
-// to out.
+// to out. A Compiled is safe for concurrent use: each Run draws its own
+// pooled run state; the run itself is strictly sequential (the paper's
+// evaluation semantics).
 func (c *Compiled) Run(in io.Reader, out io.Writer) (Stats, error) {
-	st, _, err := c.run(in, out, RunOptions{})
+	st, rs, err := c.run(in, out, RunOptions{})
+	c.release(rs)
 	return st, err
 }
 
 // RunWith executes with hooks.
 func (c *Compiled) RunWith(in io.Reader, out io.Writer, ro RunOptions) (Stats, error) {
-	st, _, err := c.run(in, out, ro)
+	st, rs, err := c.run(in, out, ro)
+	c.release(rs)
 	return st, err
 }
 
@@ -169,48 +262,31 @@ func (c *Compiled) RunWith(in io.Reader, out io.Writer, ro RunOptions) (Stats, e
 // is removed, and the buffer is empty after evaluation). Only meaningful
 // in ModeGCX; other modes skip the check by design.
 func (c *Compiled) RunChecked(in io.Reader, out io.Writer) (Stats, error) {
-	st, buf, err := c.run(in, out, RunOptions{})
+	st, rs, err := c.run(in, out, RunOptions{})
+	defer c.release(rs)
 	if err != nil {
 		return st, err
 	}
 	if c.Mode == ModeGCX {
-		if err := buf.CheckBalance(); err != nil {
-			return st, fmt.Errorf("%w\nbuffer:\n%s", err, buf.Dump())
+		if err := rs.buf.CheckBalance(); err != nil {
+			return st, fmt.Errorf("%w\nbuffer:\n%s", err, rs.buf.Dump())
 		}
-		if err := buf.CheckResidue(); err != nil {
-			return st, fmt.Errorf("%w\nbuffer:\n%s", err, buf.Dump())
+		if err := rs.buf.CheckResidue(); err != nil {
+			return st, fmt.Errorf("%w\nbuffer:\n%s", err, rs.buf.Dump())
 		}
 	}
 	return st, nil
 }
 
-func (c *Compiled) run(in io.Reader, out io.Writer, ro RunOptions) (Stats, *buffer.Buffer, error) {
-	syms := xmlstream.NewSymTab()
-	agg := make([]bool, len(c.MatchTree.Roles))
-	for i, r := range c.MatchTree.Roles {
-		if i > 0 && r.Aggregate {
-			agg[i] = true
-		}
-	}
-	buf := buffer.New(syms, len(c.MatchTree.Roles)-1, agg)
-	tok := xmlstream.NewTokenizerOptions(in, c.tokOpts)
-	aggregateMatching := c.Mode == ModeFullBuffer || c.Analysis.Opts.AggregateRoles
-	p := proj.New(tok, buf, c.MatchTree, proj.Options{AggregateRoles: aggregateMatching, Schema: c.schema})
-
-	w := xmlstream.NewWriter(out)
-	evOpts := eval.Options{ExecuteSignOffs: c.Mode == ModeGCX, Schema: c.schema}
-	if ro.Trace != nil {
-		ro.Trace.install(&evOpts, buf, p)
-	}
-	ev := eval.New(buf, p, w, evOpts)
-
-	err := ev.Run(c.Analysis.Query)
+func (c *Compiled) run(in io.Reader, out io.Writer, ro RunOptions) (Stats, *runState, error) {
+	rs := c.acquire(in, out, ro)
+	err := rs.ev.Run(c.Analysis.Query)
 	st := Stats{
-		Buffer:      buf.Stats(),
-		TokensRead:  p.TokensRead(),
-		OutputBytes: w.BytesWritten(),
+		Buffer:      rs.buf.Stats(),
+		TokensRead:  rs.proj.TokensRead(),
+		OutputBytes: rs.w.BytesWritten(),
 	}
-	return st, buf, err
+	return st, rs, err
 }
 
 // Explain renders the compilation diagnostics: variable tree,

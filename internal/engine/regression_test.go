@@ -27,6 +27,87 @@ func TestRegressionTextVarElimination(t *testing.T) {
 	}
 }
 
+// TestRegressionOverlappingDescendantAnchors is the minimized
+// counterexample found by TestTheorem1Equivalence (seed
+// -1002668537322759271): under overlapping descendant steps (//*//*),
+// one element's frame anchors instances of two different variables, and
+// signOff cancellation keyed on (role, anchor frame) wrongly suppressed
+// the binding-role assignment of a later, separate binding instance of
+// the same variable — whose own signOff then failed with an undefined
+// removal. Cancellation must only suppress chain continuations (Var ==
+// "" projection nodes), never fresh variable matches.
+func TestRegressionOverlappingDescendantAnchors(t *testing.T) {
+	src := `<out>{ for $v1 in $root//*//* return text { "t" } }</out>`
+	docs := []struct{ doc, want string }{
+		{`<root><c><a><b></b></a></c></root>`, "<out>" + strings.Repeat("t", 6) + "</out>"},
+		{`<root><c><a><c><b></b></c><c><e><e></e></e>x</c></a><a>person0<d><b>yy</b><a><b></b><a></a></a></d>yy</a></c><b></b><d></d></root>`,
+			"<out>" + strings.Repeat("t", 47) + "</out>"},
+	}
+	for _, d := range docs {
+		for _, cfg := range allConfigs() {
+			got, _ := runQuery(t, src, d.doc, cfg)
+			if got != d.want {
+				t.Fatalf("%s %+v:\ngot  %s\nwant %s", cfg.Mode, cfg.Static, got, d.want)
+			}
+		}
+	}
+}
+
+// TestRegressionFirstWitnessPerInstance is the minimized counterexample
+// found by TestTheorem1Equivalence (seed -9075395493618128140): the [1]
+// first-witness suppression was keyed per (owner frame, projection node),
+// but one element can host several instances of the same projection node
+// — one per anchoring variable binding under overlapping descendant steps
+// (//c below //*). Each instance owns its own witness: signOff resolution
+// removes one role instance per derivation, so suppressing the second
+// instance's witness assignment left its signOff with an undefined
+// removal.
+func TestRegressionFirstWitnessPerInstance(t *testing.T) {
+	src := `<out>{ for $v1 in $root//* return if (exists($v1//c//b)) then text { "t" } else () }</out>`
+	docs := []struct{ doc, want string }{
+		// root and the outer c both anchor a //c instance at the inner c.
+		{`<root><c><c><b></b></c></c></root>`, "<out>tt</out>"},
+		{`<root><c><a><c><b></b></c></a></c></root>`, "<out>ttt</out>"},
+		// The original (unminimized) counterexample document.
+		{`<root><a><c>x</c></a><b></b><c>xperson0<a><c>xperson0yy</c>1<c><a><b></b></a></c></a></c></root>`,
+			"<out>ttt</out>"},
+	}
+	for _, d := range docs {
+		for _, cfg := range allConfigs() {
+			got, _ := runQuery(t, src, d.doc, cfg)
+			if got != d.want {
+				t.Fatalf("%s %+v:\ngot  %s\nwant %s", cfg.Mode, cfg.Static, got, d.want)
+			}
+		}
+	}
+}
+
+// TestRegressionCancelOneInstance is the minimized counterexample found
+// by TestTheorem1Equivalence (seed -8741672307750023696): an element can
+// carry several derivation instances of one output role (//b below //*
+// reaches b once per ancestor binding, merged into one capture), and a
+// signOff executed while the element is still open must retire exactly
+// ONE instance — deactivating the whole capture starved the remaining
+// instance's descendants of the role, so its own later signOff failed
+// with an undefined removal. The unexecuted else-branch matters: without
+// it the loop body serializes b, which forces the closing tag to be read
+// before the signOff, hiding the unfinished-subtree path.
+func TestRegressionCancelOneInstance(t *testing.T) {
+	src := `<out>{ if (true()) then text { "t" } else <x>{ $root//*//b }</x> }</out>`
+	docs := []struct{ doc, want string }{
+		{`<root><a><b>42<e>x</e></b></a></root>`, "<out>t</out>"},
+		{`<root><c></c><a>person0<b>42<e>person0</e></b></a><a>1</a></root>`, "<out>t</out>"},
+	}
+	for _, d := range docs {
+		for _, cfg := range allConfigs() {
+			got, _ := runQuery(t, src, d.doc, cfg)
+			if got != d.want {
+				t.Fatalf("%s %+v:\ngot  %s\nwant %s", cfg.Mode, cfg.Static, got, d.want)
+			}
+		}
+	}
+}
+
 // TestTextVarBindingRoleSurvivesElimination pins the static-analysis side
 // of the regression: the binding role of a text() loop variable stays
 // active even under full optimization.

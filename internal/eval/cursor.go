@@ -24,10 +24,24 @@ type cursor struct {
 	done bool
 	// first tracks [1] steps: after one match the cursor is exhausted.
 	yielded bool
+	// released marks a cursor returned to the evaluator's freelist; it
+	// makes close idempotent (finish() closes eagerly, the owner's
+	// deferred close then becomes a no-op).
+	released bool
 }
 
 func newCursor(e *Evaluator, ctx *buffer.Node, step xqast.Step) *cursor {
-	c := &cursor{e: e, ctx: ctx, step: step}
+	var c *cursor
+	if n := len(e.curPool); n > 0 {
+		c = e.curPool[n-1]
+		e.curPool = e.curPool[:n-1]
+		*c = cursor{}
+	} else {
+		c = &cursor{}
+	}
+	c.e = e
+	c.ctx = ctx
+	c.step = step
 	// Schema shortcut: if the content model excludes this child tag
 	// entirely, the sequence is empty without reading anything.
 	if e.opts.Schema != nil && step.Axis == xqast.Child &&
@@ -40,12 +54,18 @@ func newCursor(e *Evaluator, ctx *buffer.Node, step xqast.Step) *cursor {
 	return c
 }
 
-// close releases the cursor's pin.
+// close releases the cursor's pin and returns it to the evaluator's
+// freelist. The cursor must not be used afterwards.
 func (c *cursor) close() {
+	if c.released {
+		return
+	}
+	c.released = true
 	if c.cur != nil {
 		c.e.buf.Unpin(c.cur)
 		c.cur = nil
 	}
+	c.e.curPool = append(c.e.curPool, c)
 }
 
 // next returns the next match in document order, or nil when the sequence

@@ -44,13 +44,19 @@ type Options struct {
 	OnToken func()
 }
 
-// Evaluator evaluates one query over one document.
+// Evaluator evaluates one query over one document. An Evaluator can be
+// reused for further runs via Reset once its buffer, feeder, and writer
+// have been reset; the environment map and cursor freelist are retained,
+// so repeated evaluations are allocation-free after warm-up.
 type Evaluator struct {
 	buf  *buffer.Buffer
 	feed Feeder
 	out  *xmlstream.Writer
 	opts Options
 	env  map[string]*buffer.Node
+	// curPool recycles cursors (one is consumed per for-loop, existence
+	// check, and value collection — the per-binding hot path).
+	curPool []*cursor
 }
 
 // New creates an evaluator writing query output to out.
@@ -62,6 +68,15 @@ func New(buf *buffer.Buffer, feed Feeder, out *xmlstream.Writer, opts Options) *
 		opts: opts,
 		env:  map[string]*buffer.Node{xqast.RootVar: buf.Root()},
 	}
+}
+
+// Reset prepares the evaluator for another run. The buffer must already
+// be reset (the root binding is re-read from it), and opts are replaced
+// wholesale so per-run hooks (tracing) do not leak across runs.
+func (e *Evaluator) Reset(opts Options) {
+	e.opts = opts
+	clear(e.env)
+	e.env[xqast.RootVar] = e.buf.Root()
 }
 
 // Run evaluates the query and flushes the output writer.

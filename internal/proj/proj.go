@@ -23,6 +23,7 @@ package proj
 
 import (
 	"fmt"
+	"strings"
 
 	"gcx/internal/buffer"
 	"gcx/internal/dtd"
@@ -41,6 +42,12 @@ type Options struct {
 	// cursors can stop without scanning to the end of the region.
 	// Supplying a schema asserts the input is valid against it.
 	Schema *dtd.Schema
+	// BorrowedText declares that Text tokens from the tokenizer borrow
+	// its scratch buffers (xmlstream.Options.BorrowText): the projector
+	// then copies character data before buffering it. Tokens of discarded
+	// regions are never copied, which is where streaming projection
+	// spends most of its time.
+	BorrowedText bool
 }
 
 // entry is one live NFA configuration: projection-tree node pn matched at a
@@ -65,7 +72,10 @@ type capture struct {
 	live   bool
 }
 
-// frame is the per-open-element state.
+// frame is the per-open-element state. Frames, their match entries, and
+// their captures are recycled through the projector's frame pool: matches
+// and captures are value slices whose backing arrays survive reuse, so
+// steady-state projection does not allocate per element.
 type frame struct {
 	parent *frame
 	depth  int
@@ -74,24 +84,45 @@ type frame struct {
 	// attach is the nearest buffered ancestor-or-self; children of
 	// discarded elements are promoted to it (Definition 1's projection).
 	attach *buffer.Node
-	// matches are the projection nodes matched at this element.
-	matches []*entry
+	// matches are the projection nodes matched at this element. The slice
+	// is fully built before any pointer into it is taken (scopes extension
+	// below), and never appended to afterwards.
+	matches []entry
 	// scopes are entries (here or at ancestors) whose projection nodes
 	// have descendant-axis children; shared copy-on-append with parent.
 	scopes []*entry
 	// captures started at this element.
-	captures []*capture
+	captures []capture
 	liveCaps int
 	// firstUsed records [1]-children of nodes matched at this frame whose
-	// single witness has been consumed (keyed by projection node ID).
-	firstUsed map[int]bool
+	// single witness has been consumed. The witness is per derivation
+	// instance, not per frame: one element can host several instances of
+	// the same projection node (one per anchoring variable binding, e.g.
+	// under //c below //*), and each instance owns its own [1] witness —
+	// signOff resolution removes one role instance per derivation, so
+	// projection must assign them the same way. Hence the key includes
+	// the derivation's anchor.
+	firstUsed map[firstKey]bool
 }
 
-// cancellation suppresses future derivations of a role below an anchor
-// frame (registered by SignOff on unfinished subtrees).
+// firstKey identifies a [1] witness: the projection node and the anchor
+// frame of the derivation instance consuming it.
+type firstKey struct {
+	id     int
+	anchor *frame
+}
+
+// cancellation reduces future derivations of a role below an anchor frame
+// (registered by SignOff on unfinished subtrees). n counts the signed-off
+// instances: one element can host several derivation instances of the same
+// role (e.g. //b below //* reaches b once per ancestor binding), and each
+// signOff retires exactly one of them — future same-anchored assignments
+// lose n of their multiplicity, while the remaining instances keep
+// assigning until their own signOffs arrive.
 type cancellation struct {
 	role   xqast.Role
 	anchor *frame
+	n      int
 }
 
 // Projector drives tokenization, projection, and role assignment.
@@ -107,7 +138,10 @@ type Projector struct {
 	eof   bool
 
 	// scratch for candidate merging.
-	cands []*entry
+	cands []entry
+	// rootScopes is the root frame's owned scope backing (descendants
+	// extend scopes copy-on-append, so it is never shared downward).
+	rootScopes []*entry
 
 	tokens    int64
 	lastToken xmlstream.Token
@@ -116,18 +150,48 @@ type Projector struct {
 // New creates a projector reading from tok into buf, guided by tree.
 func New(tok *xmlstream.Tokenizer, buf *buffer.Buffer, tree *projtree.Tree, opts Options) *Projector {
 	p := &Projector{tok: tok, buf: buf, tree: tree, opts: opts}
-	rootFrame := &frame{depth: 0, node: buf.Root(), attach: buf.Root()}
-	rootEntry := &entry{pn: tree.Root, owner: rootFrame, anchor: rootFrame, mult: 1}
-	rootFrame.matches = []*entry{rootEntry}
-	if hasDescChildren(tree.Root) {
-		rootFrame.scopes = []*entry{rootEntry}
+	p.buf.SetCanceller(p)
+	p.init()
+	return p
+}
+
+// init builds the root frame against the buffer's (fresh) root node.
+func (p *Projector) init() {
+	rootFrame := p.takeFrame()
+	rootFrame.depth = 0
+	rootFrame.node = p.buf.Root()
+	rootFrame.attach = p.buf.Root()
+	rootFrame.matches = append(rootFrame.matches[:0], entry{pn: p.tree.Root, mult: 1})
+	rootEntry := &rootFrame.matches[0]
+	rootEntry.owner = rootFrame
+	rootEntry.anchor = rootFrame
+	if hasDescChildren(p.tree.Root) {
+		p.rootScopes = append(p.rootScopes[:0], rootEntry)
+		rootFrame.scopes = p.rootScopes
 	}
 	p.stack = append(p.stack, rootFrame)
 	// The root may itself start captures (e.g. the full-buffering baseline
 	// uses a projection tree whose root has a dos::node() child).
 	p.startCaptures(rootFrame, rootEntry)
-	p.buf.SetCanceller(p)
-	return p
+}
+
+// Reset prepares the projector for a fresh run. The buffer (and the
+// tokenizer) must have been reset first: Reset rebuilds the root frame
+// around the buffer's new root node and re-assigns root capture roles.
+// All frames are recycled into the pool, so steady-state runs allocate
+// only when a document opens more simultaneous elements, matches, or
+// captures than any run before it.
+func (p *Projector) Reset() {
+	for i := len(p.stack) - 1; i >= 0; i-- {
+		p.releaseFrame(p.stack[i])
+	}
+	p.stack = p.stack[:0]
+	p.cancs = p.cancs[:0]
+	p.cands = p.cands[:0]
+	p.eof = false
+	p.tokens = 0
+	p.lastToken = xmlstream.Token{}
+	p.init()
 }
 
 // TokensRead returns the number of stream tokens consumed.
@@ -179,15 +243,25 @@ func (p *Projector) Step() (bool, error) {
 	return true, nil
 }
 
-// cancelled reports whether derivations of role below anchor are
-// suppressed.
-func (p *Projector) cancelled(role xqast.Role, anchor *frame) bool {
+// cancelledCount returns the number of signed-off instances of role at
+// anchor: future derivations of the role anchored there lose this much
+// multiplicity.
+//
+// The reduction applies only to chain continuations of signed-off
+// instances — dependency-path nodes and dos captures (Var == "").
+// A candidate that is itself a variable node starts a NEW binding
+// instance of that variable and is never reduced, even when it is
+// anchored at the same frame: under overlapping descendant steps
+// (e.g. //*//*) one element's frame can anchor instances of two
+// different variables, and suppressing the fresh binding would strand
+// its later signOff without an assigned role instance.
+func (p *Projector) cancelledCount(role xqast.Role, anchor *frame) int {
 	for _, c := range p.cancs {
 		if c.role == role && c.anchor == anchor {
-			return true
+			return c.n
 		}
 	}
-	return false
+	return 0
 }
 
 // elementTestMatches reports whether an element with tag sym name matches a
@@ -203,44 +277,66 @@ func elementTestMatches(t xqast.NodeTest, name string) bool {
 	}
 }
 
-func textTestMatches(t xqast.NodeTest) bool {
-	return t.Kind == xqast.TestText
+// tokenMatches evaluates a step node test against the current token: a
+// text token if isText, an element with the given tag name otherwise.
+func tokenMatches(t xqast.NodeTest, isText bool, name string) bool {
+	if isText {
+		return t.Kind == xqast.TestText
+	}
+	return elementTestMatches(t, name)
 }
 
-// collectCands gathers candidate matches for a child of top with the given
-// matcher, merging derivations by (projection node, owner-to-be, anchor).
-func (p *Projector) collectCands(top *frame, match func(xqast.NodeTest) bool) []*entry {
-	p.cands = p.cands[:0]
-	add := func(pn *projtree.Node, owner, anchor *frame, mult int) {
-		for _, c := range p.cands {
-			if c.pn == pn && c.owner == owner && c.anchor == anchor {
-				c.mult += mult
-				return
-			}
+// addCand merges one derivation into the candidate scratch, keyed by
+// (projection node, owner-to-be, anchor).
+func (p *Projector) addCand(pn *projtree.Node, owner, anchor *frame, mult int) {
+	for i := range p.cands {
+		c := &p.cands[i]
+		if c.pn == pn && c.owner == owner && c.anchor == anchor {
+			c.mult += mult
+			return
 		}
-		p.cands = append(p.cands, &entry{pn: pn, owner: owner, anchor: anchor, mult: mult})
 	}
+	p.cands = append(p.cands, entry{pn: pn, owner: owner, anchor: anchor, mult: mult})
+}
+
+// collectCands gathers candidate matches for a child of top against the
+// current token, merging derivations. The returned slice is the reused
+// candidate scratch, valid until the next collectCands.
+func (p *Projector) collectCands(top *frame, isText bool, name string) []entry {
+	p.cands = p.cands[:0]
 	// Child-axis steps from nodes matched at the parent.
-	for _, e := range top.matches {
+	for i := range top.matches {
+		e := &top.matches[i]
 		for _, c := range e.pn.Children {
-			if c.Step.Axis == xqast.Child && match(c.Step.Test) {
-				if p.cancelled(c.ChainRole, e.anchor) {
-					continue
-				}
-				add(c, top, e.anchor, e.mult)
+			if c.Step.Axis == xqast.Child && tokenMatches(c.Step.Test, isText, name) {
+				p.addCand(c, top, e.anchor, e.mult)
 			}
 		}
 	}
 	// Descendant-axis steps from scope entries (matched here or above).
 	for _, e := range top.scopes {
 		for _, c := range e.pn.Children {
-			if c.Step.Axis == xqast.Descendant && match(c.Step.Test) {
-				if p.cancelled(c.ChainRole, e.anchor) {
-					continue
-				}
-				add(c, e.owner, e.anchor, e.mult)
+			if c.Step.Axis == xqast.Descendant && tokenMatches(c.Step.Test, isText, name) {
+				p.addCand(c, e.owner, e.anchor, e.mult)
 			}
 		}
+	}
+	// Apply signOff cancellations after merging: all same-anchored
+	// derivations of a chain funnel into one candidate, whose multiplicity
+	// is reduced by the number of already signed-off instances.
+	if len(p.cancs) > 0 {
+		out := p.cands[:0]
+		for i := range p.cands {
+			c := p.cands[i]
+			if c.pn.Var == "" {
+				c.mult -= p.cancelledCount(c.pn.ChainRole, c.anchor)
+				if c.mult <= 0 {
+					continue
+				}
+			}
+			out = append(out, c)
+		}
+		p.cands = out
 	}
 	return p.cands
 }
@@ -248,18 +344,19 @@ func (p *Projector) collectCands(top *frame, match func(xqast.NodeTest) bool) []
 // filterFirst applies first-witness suppression: a [1] candidate whose
 // context instance already consumed its witness is dropped; otherwise the
 // witness is consumed now.
-func filterFirst(cands []*entry) []*entry {
+func filterFirst(cands []entry) []entry {
 	out := cands[:0]
 	for _, c := range cands {
 		if c.pn.Step.First {
 			ctx := c.owner
-			if ctx.firstUsed[c.pn.ID] {
+			key := firstKey{id: c.pn.ID, anchor: c.anchor}
+			if ctx.firstUsed[key] {
 				continue
 			}
 			if ctx.firstUsed == nil {
-				ctx.firstUsed = make(map[int]bool, 2)
+				ctx.firstUsed = make(map[firstKey]bool, 2)
 			}
-			ctx.firstUsed[c.pn.ID] = true
+			ctx.firstUsed[key] = true
 		}
 		out = append(out, c)
 	}
@@ -320,9 +417,9 @@ func (p *Projector) applyCaptureRoles(n *buffer.Node, from *frame) {
 		return
 	}
 	for f := from; f != nil; f = f.parent {
-		for _, cap := range f.captures {
-			if cap.live {
-				p.buf.AddRole(n, cap.role, cap.mult)
+		for i := range f.captures {
+			if f.captures[i].live {
+				p.buf.AddRole(n, f.captures[i].role, f.captures[i].mult)
 			}
 		}
 	}
@@ -340,19 +437,37 @@ func (p *Projector) startCaptures(f *frame, e *entry) {
 		if role == nil || role.Eliminated {
 			continue
 		}
-		if p.cancelled(c.ChainRole, e.anchor) {
+		mult := e.mult - p.cancelledCount(c.ChainRole, e.anchor)
+		if mult <= 0 {
 			continue
 		}
-		f.captures = append(f.captures, &capture{role: c.Role, anchor: e.anchor, mult: e.mult, live: true})
-		f.liveCaps++
-		p.buf.AddRole(f.node, c.Role, e.mult)
+		// Merge same-keyed captures: several derivation instances of the
+		// same role can anchor at this frame (separate matched entries),
+		// and CancelRole retires them one multiplicity at a time.
+		merged := false
+		for j := range f.captures {
+			if f.captures[j].role == c.Role && f.captures[j].anchor == e.anchor {
+				if !f.captures[j].live {
+					f.captures[j].live = true
+					f.liveCaps++
+				}
+				f.captures[j].mult += mult
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			f.captures = append(f.captures, capture{role: c.Role, anchor: e.anchor, mult: mult, live: true})
+			f.liveCaps++
+		}
+		p.buf.AddRole(f.node, c.Role, mult)
 	}
 }
 
 // openElement processes a start tag.
 func (p *Projector) openElement(name string) {
 	top := p.stack[len(p.stack)-1]
-	cands := p.collectCands(top, func(t xqast.NodeTest) bool { return elementTestMatches(t, name) })
+	cands := p.collectCands(top, false, name)
 	cands = filterFirst(cands)
 
 	// Schema facts: a child with this tag excludes certain later child
@@ -381,10 +496,13 @@ func (p *Projector) openElement(name string) {
 	if len(cands) > 0 {
 		// Materialize match entries: resolve self-anchoring (straight
 		// variable instances anchor at their own frame), assign roles,
-		// start captures.
-		f.matches = make([]*entry, 0, len(cands))
-		for _, c := range cands {
-			e := &entry{pn: c.pn, owner: f, anchor: c.anchor, mult: c.mult}
+		// start captures. The matches slice reuses the pooled frame's
+		// backing array; pointers into it (scopes, below) are taken only
+		// after it is fully built.
+		f.matches = f.matches[:0]
+		for i := range cands {
+			c := &cands[i]
+			e := entry{pn: c.pn, owner: f, anchor: c.anchor, mult: c.mult}
 			if c.pn.AnchorSelf {
 				e.anchor = f
 			}
@@ -392,14 +510,14 @@ func (p *Projector) openElement(name string) {
 			if r := p.tree.Roles[c.pn.Role]; r != nil && !r.Eliminated {
 				p.buf.AddRole(f.node, c.pn.Role, c.mult)
 			}
-			p.startCaptures(f, e)
+			p.startCaptures(f, &f.matches[len(f.matches)-1])
 		}
 		// Extend the descendant scope with matches that have
 		// descendant-axis children.
 		f.scopes = top.scopes
-		for _, e := range f.matches {
-			if hasDescChildren(e.pn) {
-				f.scopes = appendScope(f.scopes, e)
+		for i := range f.matches {
+			if hasDescChildren(f.matches[i].pn) {
+				f.scopes = appendScope(f.scopes, &f.matches[i])
 			}
 		}
 	} else {
@@ -442,15 +560,21 @@ func (p *Projector) closeElement() {
 // text processes a character-data token.
 func (p *Projector) text(data string) {
 	top := p.stack[len(p.stack)-1]
-	cands := p.collectCands(top, textTestMatches)
+	cands := p.collectCands(top, true, "")
 	cands = filterFirst(cands)
 
 	if len(cands) == 0 && !covered(top) {
 		return
 	}
+	if p.opts.BorrowedText {
+		// The token borrows the tokenizer's scratch; copy only now that
+		// the text is known to be buffered.
+		data = strings.Clone(data)
+	}
 	n := p.buf.AppendText(top.attach, data)
 	p.applyCaptureRoles(n, top)
-	for _, c := range cands {
+	for i := range cands {
+		c := &cands[i]
 		if r := p.tree.Roles[c.pn.Role]; r != nil && !r.Eliminated {
 			p.buf.AddRole(n, c.pn.Role, c.mult)
 		}
@@ -459,10 +583,13 @@ func (p *Projector) text(data string) {
 	}
 }
 
-// CancelRole implements buffer.Canceller: future derivations of role
-// anchored at the frame of binding are suppressed, and live captures for
-// the role anchored there are deactivated. Called by the buffer when a
-// signOff's binding subtree is still unfinished.
+// CancelRole implements buffer.Canceller: ONE instance of role anchored
+// at the frame of binding is retired — future derivations anchored there
+// lose one multiplicity, and every live capture for (role, anchor) sheds
+// one instance (deactivating when none remain). Called by the buffer when
+// a signOff's binding subtree is still unfinished; each signOff statement
+// retires exactly one derivation instance, so instances signed off later
+// keep projecting until their own signOff arrives.
 func (p *Projector) CancelRole(binding *buffer.Node, role xqast.Role) {
 	var bf *frame
 	for i := len(p.stack) - 1; i >= 0; i-- {
@@ -474,27 +601,55 @@ func (p *Projector) CancelRole(binding *buffer.Node, role xqast.Role) {
 	if bf == nil {
 		return // binding not on the open path: nothing future to cancel
 	}
-	p.cancs = append(p.cancs, cancellation{role: role, anchor: bf})
+	recorded := false
+	for i := range p.cancs {
+		if p.cancs[i].role == role && p.cancs[i].anchor == bf {
+			p.cancs[i].n++
+			recorded = true
+			break
+		}
+	}
+	if !recorded {
+		p.cancs = append(p.cancs, cancellation{role: role, anchor: bf, n: 1})
+	}
 	for i := bf.depth; i < len(p.stack); i++ {
 		f := p.stack[i]
-		for _, cap := range f.captures {
+		for j := range f.captures {
+			cap := &f.captures[j]
 			if cap.live && cap.role == role && cap.anchor == bf {
-				cap.live = false
-				f.liveCaps--
+				cap.mult--
+				if cap.mult <= 0 {
+					cap.live = false
+					f.liveCaps--
+				}
 			}
 		}
 	}
 }
 
-func (p *Projector) newFrame(parent *frame) *frame {
-	var f *frame
+// takeFrame returns a cleared frame from the pool (or a fresh one),
+// retaining the matches/captures backing arrays and the firstUsed map of
+// its previous life. The scopes slice is not retained: its backing may be
+// shared with (and owned by) an ancestor frame.
+func (p *Projector) takeFrame() *frame {
 	if n := len(p.pool); n > 0 {
-		f = p.pool[n-1]
+		f := p.pool[n-1]
 		p.pool = p.pool[:n-1]
+		matches, captures, firstUsed := f.matches[:0], f.captures[:0], f.firstUsed
 		*f = frame{}
-	} else {
-		f = &frame{}
+		f.matches = matches
+		f.captures = captures
+		if firstUsed != nil {
+			clear(firstUsed)
+			f.firstUsed = firstUsed
+		}
+		return f
 	}
+	return &frame{}
+}
+
+func (p *Projector) newFrame(parent *frame) *frame {
+	f := p.takeFrame()
 	f.parent = parent
 	f.depth = parent.depth + 1
 	return f

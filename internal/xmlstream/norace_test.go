@@ -1,0 +1,5 @@
+//go:build !race
+
+package xmlstream
+
+const raceEnabled = false

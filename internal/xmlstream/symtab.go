@@ -40,6 +40,14 @@ func (s *SymTab) Lookup(name string) Sym {
 	return s.byName[name]
 }
 
+// Reset drops all interned names. Only valid when no buffered node still
+// carries a Sym (the engine resets the buffer first); retained capacity
+// makes re-interning a steady vocabulary allocation-free.
+func (s *SymTab) Reset() {
+	clear(s.byName)
+	s.names = s.names[:1]
+}
+
 // Name returns the string for a symbol. It panics on an unknown symbol,
 // which indicates engine corruption rather than a user error.
 func (s *SymTab) Name(sym Sym) string {

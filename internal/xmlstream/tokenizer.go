@@ -6,6 +6,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"unsafe"
 )
 
 // SyntaxError reports malformed XML input with a byte offset.
@@ -31,6 +32,14 @@ type Options struct {
 	// elements is dropped), which matches how the paper's example streams
 	// are written.
 	KeepWhitespaceText bool
+	// BorrowText, when true, makes the Data of Text tokens a view into
+	// the tokenizer's scratch buffers instead of a fresh allocation. The
+	// view is valid only until the pending tokens queued by the producing
+	// tag have been drained (for character data: until the next call to
+	// Next). Consumers that retain text must copy it; the engine's
+	// projector does so only for tokens it actually buffers, which makes
+	// steady-state tokenization of discarded regions allocation-free.
+	BorrowText bool
 }
 
 // DefaultOptions returns the configuration the engine uses.
@@ -65,6 +74,8 @@ type Tokenizer struct {
 
 	nameBuf []byte // scratch for tag/attr names
 	textBuf []byte // scratch for text content
+	attrBuf []byte // scratch for attribute values of the current tag
+	attrs   []attr // scratch for attributes of the current tag
 
 	// names interns tag and attribute names: documents use few distinct
 	// names, and the map lookup on string(nameBuf) does not allocate, so
@@ -72,12 +83,16 @@ type Tokenizer struct {
 	names map[string]string
 }
 
+// attr is one parsed attribute of the current start tag.
+type attr struct{ name, value string }
+
 // NewTokenizer returns a tokenizer reading from r with default options.
 func NewTokenizer(r io.Reader) *Tokenizer {
 	return NewTokenizerOptions(r, DefaultOptions())
 }
 
-// NewTokenizerOptions returns a tokenizer with explicit options.
+// NewTokenizerOptions returns a tokenizer with explicit options. A nil
+// reader is permitted if Reset is called before the first Next.
 func NewTokenizerOptions(r io.Reader, opts Options) *Tokenizer {
 	return &Tokenizer{
 		r:     r,
@@ -85,6 +100,34 @@ func NewTokenizerOptions(r io.Reader, opts Options) *Tokenizer {
 		buf:   make([]byte, 0, 64<<10),
 		names: make(map[string]string, 64),
 	}
+}
+
+// maxRetainedNames bounds the interned-name table across Resets: XML
+// vocabularies are normally tiny, but a pooled tokenizer fed documents
+// with generated per-document tag names must not accumulate every name
+// ever seen.
+const maxRetainedNames = 4096
+
+// Reset rewinds the tokenizer to read a fresh document from r, retaining
+// all internal buffers and (up to a bound) the interned-name table. A
+// reset tokenizer behaves exactly like a newly constructed one (with the
+// same Options), which makes it a pooled, allocation-free serving
+// artifact: after warm-up, tokenizing a document allocates only for
+// retained text.
+func (t *Tokenizer) Reset(r io.Reader) {
+	if len(t.names) > maxRetainedNames {
+		t.names = make(map[string]string, 64)
+	}
+	t.r = r
+	t.buf = t.buf[:0]
+	t.pos = 0
+	t.n = 0
+	t.off = 0
+	t.err = nil
+	t.closed = false
+	t.pending = t.pending[:0]
+	t.stack = t.stack[:0]
+	t.rootSeen = false
 }
 
 // Depth returns the number of currently open elements.
@@ -252,12 +295,49 @@ func (t *Tokenizer) resolveEntity(dst []byte) ([]byte, error) {
 			numeric, base = numeric[1:], 16
 		}
 		n, err := strconv.ParseUint(numeric, base, 32)
-		if err != nil {
+		if err != nil || !isXMLChar(rune(n)) {
 			return dst, t.syntaxErr("bad character reference &" + ent + ";")
 		}
 		return appendRune(dst, rune(n)), nil
 	}
 	return dst, t.syntaxErr("unknown entity &" + ent + ";")
+}
+
+// isXMLChar reports whether r is in the XML 1.0 Char production:
+// #x9 | #xA | #xD | [#x20-#xD7FF] | [#xE000-#xFFFD] | [#x10000-#x10FFFF].
+// Character references outside it (NUL, surrogates, #xFFFE/#xFFFF, values
+// above #x10FFFF) are not XML characters and must be rejected.
+func isXMLChar(r rune) bool {
+	switch {
+	case r == 0x9 || r == 0xA || r == 0xD:
+		return true
+	case r >= 0x20 && r <= 0xD7FF:
+		return true
+	case r >= 0xE000 && r <= 0xFFFD:
+		return true
+	case r >= 0x10000 && r <= 0x10FFFF:
+		return true
+	}
+	return false
+}
+
+// borrowString returns b's bytes as a string without copying. Callers must
+// not read the string after the backing scratch buffer is rewound — this is
+// the BorrowText contract documented on Options.
+func borrowString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// textString converts the textBuf scratch to the Data of a Text token:
+// a borrowed view under BorrowText, an owned copy otherwise.
+func (t *Tokenizer) textString() string {
+	if t.opts.BorrowText {
+		return borrowString(t.textBuf)
+	}
+	return string(t.textBuf)
 }
 
 func appendRune(dst []byte, r rune) []byte {
@@ -383,7 +463,7 @@ func (t *Tokenizer) readText() (Token, bool, error) {
 		}
 		return Token{}, false, t.syntaxErr("character data outside the root element")
 	}
-	return Token{Kind: Text, Data: string(t.textBuf)}, true, nil
+	return Token{Kind: Text, Data: t.textString()}, true, nil
 }
 
 // readMarkup handles input immediately after '<'. It reports whether a token
@@ -490,7 +570,7 @@ func (t *Tokenizer) readCDATA() (Token, bool, error) {
 			if len(t.textBuf) == 0 {
 				return Token{}, false, nil
 			}
-			return Token{Kind: Text, Data: string(t.textBuf)}, true, nil
+			return Token{Kind: Text, Data: t.textString()}, true, nil
 		default:
 			for ; matched > 0; matched-- {
 				t.textBuf = append(t.textBuf, ']')
@@ -509,8 +589,11 @@ func (t *Tokenizer) readStartTag() (Token, bool, error) {
 	if len(t.stack) == 0 && t.sawRoot() {
 		return Token{}, false, t.syntaxErr("multiple root elements: <" + name + ">")
 	}
-	type attr struct{ name, value string }
-	var attrs []attr
+	// Attribute scratch is safe to rewind here: the pending queue (which
+	// may reference attrBuf under BorrowText) is always drained before the
+	// next tag is parsed.
+	t.attrs = t.attrs[:0]
+	t.attrBuf = t.attrBuf[:0]
 	selfClosing := false
 	for {
 		t.skipSpace()
@@ -543,7 +626,7 @@ func (t *Tokenizer) readStartTag() (Token, bool, error) {
 		if !ok || (quote != '"' && quote != '\'') {
 			return Token{}, false, t.syntaxErr("attribute " + aname + " missing quoted value")
 		}
-		t.textBuf = t.textBuf[:0]
+		valStart := len(t.attrBuf)
 		for {
 			c, ok := t.next()
 			if !ok {
@@ -553,16 +636,24 @@ func (t *Tokenizer) readStartTag() (Token, bool, error) {
 				break
 			}
 			if c == '&' {
-				t.textBuf, err = t.resolveEntity(t.textBuf)
+				t.attrBuf, err = t.resolveEntity(t.attrBuf)
 				if err != nil {
 					return Token{}, false, err
 				}
 				continue
 			}
-			t.textBuf = append(t.textBuf, c)
+			t.attrBuf = append(t.attrBuf, c)
 		}
 		if t.opts.AttributesAsElements {
-			attrs = append(attrs, attr{aname, string(t.textBuf)})
+			var value string
+			if t.opts.BorrowText {
+				value = borrowString(t.attrBuf[valStart:])
+			} else {
+				value = string(t.attrBuf[valStart:])
+			}
+			t.attrs = append(t.attrs, attr{aname, value})
+		} else {
+			t.attrBuf = t.attrBuf[:valStart]
 		}
 	}
 
@@ -573,7 +664,7 @@ func (t *Tokenizer) readStartTag() (Token, bool, error) {
 	}
 	// Queue attribute subelements (and the closing tag for self-closing
 	// elements) behind the start token.
-	for _, a := range attrs {
+	for _, a := range t.attrs {
 		t.pending = append(t.pending, Token{Kind: StartElement, Name: a.name})
 		if a.value != "" {
 			t.pending = append(t.pending, Token{Kind: Text, Data: a.value})

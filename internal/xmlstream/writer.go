@@ -26,6 +26,17 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: bufio.NewWriterSize(w, 32<<10)}
 }
 
+// Reset discards all state and redirects output to out, retaining the
+// internal buffer. Unflushed bytes from an aborted previous run are
+// dropped. Must not be called on a Writer constructed directly around a
+// caller-owned *bufio.Writer that is also the new destination.
+func (w *Writer) Reset(out io.Writer) {
+	w.w.Reset(out)
+	w.stack = w.stack[:0]
+	w.n = 0
+	w.err = nil
+}
+
 // BytesWritten returns the number of bytes emitted so far (pre-buffering).
 func (w *Writer) BytesWritten() int64 { return w.n }
 

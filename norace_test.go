@@ -1,0 +1,5 @@
+//go:build !race
+
+package gcx
+
+const raceEnabled = false
