@@ -1,17 +1,28 @@
-// Command gcx runs an XQuery (fragment XQ) over an XML document or stream
-// with the GCX buffer-minimization technique.
+// Command gcx runs one or more XQueries (fragment XQ) over an XML document
+// or stream with the GCX buffer-minimization technique.
 //
 // Usage:
 //
-//	gcx -query query.xq [-input doc.xml] [-mode gcx|static|full]
-//	    [-explain] [-trace] [-stats] [-no-early-updates]
+//	gcx -query query.xq [-query more.xq] [-q 'inline query']...
+//	    [-input doc.xml] [-mode gcx|static|full]
+//	    [-explain] [-trace] [-stats] [-stats-json] [-no-early-updates]
 //	    [-no-aggregate-roles] [-no-role-elimination]
 //
-// The query result is written to stdout; statistics and diagnostics go to
-// stderr.
+// -q and -query are repeatable and may be mixed; with more than one query
+// the queries are compiled into a shared-stream workload: the input is
+// tokenized, projected, and buffered ONCE, and each query's result is
+// printed to stdout in query order (each query's output is identical to
+// running it alone).
+//
+// Statistics and diagnostics go to stderr; -stats-json emits them as a
+// single JSON object so benchmarks and CI can scrape them without parsing
+// prose.
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -20,37 +31,67 @@ import (
 	"gcx"
 )
 
+// queryFlag appends to a shared query list, so mixing -q and -query
+// preserves the true command-line order (output blocks are printed in the
+// same order the queries were given).
+type queryFlag struct {
+	dst      *[]string
+	fromFile bool
+}
+
+func (f queryFlag) String() string {
+	if f.dst == nil {
+		return ""
+	}
+	return fmt.Sprintf("%d queries", len(*f.dst))
+}
+
+func (f queryFlag) Set(v string) error {
+	if f.fromFile {
+		data, err := os.ReadFile(v)
+		if err != nil {
+			return err
+		}
+		v = string(data)
+	}
+	*f.dst = append(*f.dst, v)
+	return nil
+}
+
 func main() {
+	var srcs []string
 	var (
-		queryFile   = flag.String("query", "", "file containing the query (or use -q)")
-		queryText   = flag.String("q", "", "query text given inline")
 		inputFile   = flag.String("input", "", "XML input file (default stdin)")
 		mode        = flag.String("mode", "gcx", "buffering strategy: gcx, static, full")
 		explain     = flag.Bool("explain", false, "print compilation diagnostics (projection tree, roles, rewritten query) and exit")
-		trace       = flag.Bool("trace", false, "print a Figure-2-style buffer trace to stderr")
+		trace       = flag.Bool("trace", false, "print a Figure-2-style buffer trace to stderr (single query only)")
 		stats       = flag.Bool("stats", false, "print run statistics to stderr")
+		statsJSON   = flag.Bool("stats-json", false, "print run statistics as one JSON object to stderr")
 		noEarly     = flag.Bool("no-early-updates", false, "disable the early-update optimization")
 		noAggregate = flag.Bool("no-aggregate-roles", false, "disable aggregate roles")
 		noElim      = flag.Bool("no-role-elimination", false, "disable redundant-role elimination")
 	)
+	flag.Var(queryFlag{dst: &srcs, fromFile: true}, "query", "file containing a query (repeatable; multiple queries run as a shared-stream workload)")
+	flag.Var(queryFlag{dst: &srcs}, "q", "query text given inline (repeatable)")
 	flag.Parse()
-	if err := run(*queryFile, *queryText, *inputFile, *mode, *explain, *trace, *stats, *noEarly, *noAggregate, *noElim); err != nil {
+	if err := run(srcs, *inputFile, *mode, *explain, *trace, *stats, *statsJSON, *noEarly, *noAggregate, *noElim); err != nil {
 		fmt.Fprintln(os.Stderr, "gcx:", err)
 		os.Exit(1)
 	}
 }
 
-func run(queryFile, queryText, inputFile, mode string, explain, trace, stats, noEarly, noAggregate, noElim bool) error {
-	if (queryFile == "") == (queryText == "") {
-		return fmt.Errorf("exactly one of -query or -q is required")
-	}
-	src := queryText
-	if queryFile != "" {
-		data, err := os.ReadFile(queryFile)
-		if err != nil {
-			return err
-		}
-		src = string(data)
+// jsonStats is the -stats-json document: aggregate is the run's stats (for
+// a single query, the run IS the aggregate); queries is present only in
+// workload mode.
+type jsonStats struct {
+	Strategy  string           `json:"strategy"`
+	Aggregate gcx.Stats        `json:"aggregate"`
+	Queries   []gcx.QueryStats `json:"queries,omitempty"`
+}
+
+func run(srcs []string, inputFile, mode string, explain, trace, stats, statsJSON, noEarly, noAggregate, noElim bool) error {
+	if len(srcs) == 0 {
+		return fmt.Errorf("at least one -query or -q is required")
 	}
 
 	var opts []gcx.Option
@@ -73,6 +114,13 @@ func run(queryFile, queryText, inputFile, mode string, explain, trace, stats, no
 		opts = append(opts, gcx.WithoutRedundantRoleElimination())
 	}
 
+	if len(srcs) > 1 {
+		return runWorkload(srcs, inputFile, mode, explain, trace, stats, statsJSON, opts)
+	}
+	return runSingle(srcs[0], inputFile, mode, explain, trace, stats, statsJSON, opts)
+}
+
+func runSingle(src, inputFile, mode string, explain, trace, stats, statsJSON bool, opts []gcx.Option) error {
 	eng, err := gcx.Compile(src, opts...)
 	if err != nil {
 		return err
@@ -82,15 +130,11 @@ func run(queryFile, queryText, inputFile, mode string, explain, trace, stats, no
 		return nil
 	}
 
-	var in io.Reader = os.Stdin
-	if inputFile != "" {
-		f, err := os.Open(inputFile)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		in = f
+	in, closeIn, err := openInput(inputFile)
+	if err != nil {
+		return err
 	}
+	defer closeIn()
 
 	var st gcx.Stats
 	if trace {
@@ -116,14 +160,106 @@ func run(queryFile, queryText, inputFile, mode string, explain, trace, stats, no
 	fmt.Println()
 
 	if stats {
-		fmt.Fprintf(os.Stderr, "tokens read:        %d\n", st.TokensRead)
-		fmt.Fprintf(os.Stderr, "buffered total:     %d nodes\n", st.BufferedTotal)
-		fmt.Fprintf(os.Stderr, "purged by GC:       %d nodes\n", st.PurgedTotal)
-		fmt.Fprintf(os.Stderr, "signOffs executed:  %d\n", st.SignOffs)
-		fmt.Fprintf(os.Stderr, "peak buffer:        %d nodes / %d bytes\n", st.PeakBufferNodes, st.PeakBufferBytes)
-		fmt.Fprintf(os.Stderr, "output:             %d bytes\n", st.OutputBytes)
+		printStats(os.Stderr, st)
+	}
+	if statsJSON {
+		return emitJSON(jsonStats{Strategy: modeLabel(mode), Aggregate: st})
 	}
 	return nil
+}
+
+func runWorkload(srcs []string, inputFile, mode string, explain, trace, stats, statsJSON bool, opts []gcx.Option) error {
+	if trace {
+		return fmt.Errorf("-trace supports a single query only")
+	}
+	w, err := gcx.CompileWorkload(srcs, opts...)
+	if err != nil {
+		return err
+	}
+	if explain {
+		fmt.Fprintln(os.Stderr, w.Explain())
+		return nil
+	}
+
+	in, closeIn, err := openInput(inputFile)
+	if err != nil {
+		return err
+	}
+	defer closeIn()
+
+	// Members produce output progressively along the shared pass, but
+	// stdout must show one complete result per query in query order. The
+	// FIRST query's bytes come first in that order anyway, so it streams
+	// straight to stdout (bounded memory even for a huge first result);
+	// the remaining members are buffered until the pass completes.
+	stdout := bufio.NewWriter(os.Stdout)
+	bufs := make([]bytes.Buffer, w.Len())
+	outs := make([]io.Writer, w.Len())
+	outs[0] = stdout
+	for i := 1; i < w.Len(); i++ {
+		outs[i] = &bufs[i]
+	}
+	st, err := w.Run(in, outs)
+	if err != nil {
+		stdout.Flush()
+		return err
+	}
+	fmt.Fprintln(stdout)
+	for i := 1; i < w.Len(); i++ {
+		stdout.Write(bufs[i].Bytes())
+		fmt.Fprintln(stdout)
+	}
+	if err := stdout.Flush(); err != nil {
+		return err
+	}
+
+	if stats {
+		printStats(os.Stderr, st.Aggregate)
+		for i, q := range st.Queries {
+			fmt.Fprintf(os.Stderr, "query %d:            %d bytes out, %d signOffs, done at token %d\n",
+				i, q.OutputBytes, q.SignOffs, q.TokensAtDone)
+		}
+	}
+	if statsJSON {
+		return emitJSON(jsonStats{Strategy: modeLabel(mode), Aggregate: st.Aggregate, Queries: st.Queries})
+	}
+	return nil
+}
+
+func openInput(inputFile string) (io.Reader, func(), error) {
+	if inputFile == "" {
+		return os.Stdin, func() {}, nil
+	}
+	f, err := os.Open(inputFile)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}
+
+func modeLabel(mode string) string {
+	switch mode {
+	case "static":
+		return gcx.StaticOnly.String()
+	case "full":
+		return gcx.FullBuffer.String()
+	default:
+		return gcx.GCX.String()
+	}
+}
+
+func printStats(w io.Writer, st gcx.Stats) {
+	fmt.Fprintf(w, "tokens read:        %d\n", st.TokensRead)
+	fmt.Fprintf(w, "buffered total:     %d nodes\n", st.BufferedTotal)
+	fmt.Fprintf(w, "purged by GC:       %d nodes\n", st.PurgedTotal)
+	fmt.Fprintf(w, "signOffs executed:  %d\n", st.SignOffs)
+	fmt.Fprintf(w, "peak buffer:        %d nodes / %d bytes\n", st.PeakBufferNodes, st.PeakBufferBytes)
+	fmt.Fprintf(w, "output:             %d bytes\n", st.OutputBytes)
+}
+
+func emitJSON(v jsonStats) error {
+	enc := json.NewEncoder(os.Stderr)
+	return enc.Encode(v)
 }
 
 func indent(s string) string {

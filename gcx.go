@@ -36,6 +36,7 @@ import (
 	"gcx/internal/dtd"
 	"gcx/internal/engine"
 	"gcx/internal/static"
+	"gcx/internal/workload"
 	"gcx/internal/xmark"
 )
 
@@ -72,10 +73,11 @@ func (s Strategy) mode() engine.Mode {
 type Option func(*config)
 
 type config struct {
-	strategy Strategy
-	static   static.Options
-	schema   *dtd.Schema
-	err      error
+	strategy  Strategy
+	static    static.Options
+	schema    *dtd.Schema
+	readBatch int
+	err       error
 }
 
 // WithStrategy selects the buffering strategy (default GCX).
@@ -126,30 +128,41 @@ func WithDTD(dtdSource string) Option {
 	}
 }
 
+// WithReadBatch tunes the shared-stream scheduler of a Workload: once
+// every member query is blocked on the stream, up to n tokens are read
+// before the members are woken again. Larger batches amortize scheduling
+// overhead; smaller ones purge buffered data sooner (a signOff may run up
+// to n tokens later than in a solo run). The default (0) selects a batch
+// that makes scheduling overhead negligible. Ignored by Compile.
+func WithReadBatch(n int) Option {
+	return func(c *config) { c.readBatch = n }
+}
+
 // XMarkDTD is the schema of the documents produced by cmd/xmarkgen, for
 // use with WithDTD in benchmarks and examples.
 const XMarkDTD = xmark.DTD
 
 // Stats reports the measurements of one run. The buffer high watermark is
-// the paper's primary metric.
+// the paper's primary metric. The JSON field names are stable for
+// benchmark and CI scraping (cmd/gcx -stats-json).
 type Stats struct {
 	// PeakBufferNodes is the high watermark of simultaneously buffered
 	// nodes.
-	PeakBufferNodes int64
+	PeakBufferNodes int64 `json:"peak_buffer_nodes"`
 	// PeakBufferBytes is the high watermark of estimated buffered bytes.
-	PeakBufferBytes int64
+	PeakBufferBytes int64 `json:"peak_buffer_bytes"`
 	// BufferedTotal is the total number of nodes ever copied into the
 	// buffer (projection effectiveness).
-	BufferedTotal int64
+	BufferedTotal int64 `json:"buffered_total"`
 	// PurgedTotal is the total number of nodes reclaimed by active
 	// garbage collection.
-	PurgedTotal int64
+	PurgedTotal int64 `json:"purged_total"`
 	// SignOffs is the number of executed signOff statements.
-	SignOffs int64
+	SignOffs int64 `json:"sign_offs"`
 	// TokensRead is the number of stream tokens consumed.
-	TokensRead int64
+	TokensRead int64 `json:"tokens_read"`
 	// OutputBytes is the number of serialized result bytes.
-	OutputBytes int64
+	OutputBytes int64 `json:"output_bytes"`
 }
 
 // Engine is a compiled query, safe for concurrent use by multiple
@@ -249,4 +262,136 @@ func convertStats(st engine.Stats) Stats {
 		TokensRead:      st.TokensRead,
 		OutputBytes:     st.OutputBytes,
 	}
+}
+
+// Workload is a set of queries compiled into one shared serving artifact:
+// a single evaluation pass tokenizes, projects, and buffers the input
+// document once, while every member query produces exactly the output (and
+// output order) of its solo Run. Like an Engine, a Workload is immutable
+// after compilation and safe for concurrent use; each Run draws a pooled
+// run state.
+//
+// The per-query projection trees are merged into one combined projection
+// tree with per-query role spaces, so the shared buffer keeps the union of
+// what the member queries need, and — under the GCX strategy — a node is
+// reclaimed the moment the LAST interested query signs it off.
+type Workload struct {
+	c *workload.Compiled
+}
+
+// CompileWorkload compiles a set of queries for shared-stream evaluation.
+// All members share one configuration (strategy, optimizations, schema).
+func CompileWorkload(queries []string, opts ...Option) (*Workload, error) {
+	cfg := config{strategy: GCX, static: static.AllOptimizations()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+	c, err := workload.Compile(queries, workload.Config{
+		Engine: engine.Config{Mode: cfg.strategy.mode(), Static: &cfg.static, Schema: cfg.schema},
+		Batch:  cfg.readBatch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{c: c}, nil
+}
+
+// MustCompileWorkload is CompileWorkload panicking on error.
+func MustCompileWorkload(queries []string, opts ...Option) *Workload {
+	w, err := CompileWorkload(queries, opts...)
+	if err != nil {
+		panic(fmt.Sprintf("gcx: MustCompileWorkload: %v", err))
+	}
+	return w
+}
+
+// Len returns the number of member queries.
+func (w *Workload) Len() int { return w.c.Len() }
+
+// QueryStats reports one member query's share of a workload run.
+type QueryStats struct {
+	// OutputBytes is the member's serialized output.
+	OutputBytes int64 `json:"output_bytes"`
+	// SignOffs counts the member's executed signOff statements.
+	SignOffs int64 `json:"sign_offs"`
+	// RoleAssignments and RoleRemovals count role instances in the
+	// member's role space; after a clean GCX run they are equal.
+	RoleAssignments int64 `json:"role_assignments"`
+	RoleRemovals    int64 `json:"role_removals"`
+	// TokensAtDone is the shared stream position when this member's
+	// evaluation completed — how much of the input it needed.
+	TokensAtDone int64 `json:"tokens_at_done"`
+	// Err is the member's evaluation error, if any (also joined into the
+	// error returned by Run).
+	Err error `json:"-"`
+}
+
+// WorkloadStats combines the shared-pass measurements with the per-query
+// breakdown. Aggregate.TokensRead counts the single shared pass — with N
+// member queries it stays what ONE solo run would read, not N times that.
+type WorkloadStats struct {
+	Aggregate Stats        `json:"aggregate"`
+	Queries   []QueryStats `json:"queries"`
+}
+
+// Run evaluates all member queries over the XML document read from in —
+// one pass — writing member i's serialized result to outs[i] (len(outs)
+// must equal Len, and the writers must be distinct: members emit their
+// results progressively along the pass). Member evaluation errors are
+// joined into the returned error and also reported per query in the stats.
+func (w *Workload) Run(in io.Reader, outs []io.Writer) (WorkloadStats, error) {
+	if len(outs) != w.Len() {
+		return WorkloadStats{}, fmt.Errorf("gcx: workload has %d queries but %d output writers were supplied", w.Len(), len(outs))
+	}
+	st, qs, err := w.c.Run(in, outs)
+	return convertWorkloadStats(st, qs), err
+}
+
+// RunStrings evaluates over an in-memory document and returns the member
+// results in query order.
+func (w *Workload) RunStrings(doc string) ([]string, WorkloadStats, error) {
+	bufs := make([]strings.Builder, w.Len())
+	outs := make([]io.Writer, w.Len())
+	for i := range bufs {
+		outs[i] = &bufs[i]
+	}
+	st, err := w.Run(strings.NewReader(doc), outs)
+	results := make([]string, w.Len())
+	for i := range bufs {
+		results[i] = bufs[i].String()
+	}
+	return results, st, err
+}
+
+// Explain returns the compilation diagnostics of every member followed by
+// the merged projection tree and the combined role table.
+func (w *Workload) Explain() string { return w.c.Explain() }
+
+func convertWorkloadStats(st workload.Stats, qs []workload.QueryStats) WorkloadStats {
+	out := WorkloadStats{
+		Aggregate: Stats{
+			PeakBufferNodes: st.Buffer.PeakNodes,
+			PeakBufferBytes: st.Buffer.PeakBytes,
+			BufferedTotal:   st.Buffer.NodesAppended,
+			PurgedTotal:     st.Buffer.NodesDeleted,
+			SignOffs:        st.Buffer.SignOffs,
+			TokensRead:      st.TokensRead,
+			OutputBytes:     st.OutputBytes,
+		},
+		Queries: make([]QueryStats, len(qs)),
+	}
+	for i, q := range qs {
+		out.Queries[i] = QueryStats{
+			OutputBytes:     q.OutputBytes,
+			SignOffs:        q.SignOffs,
+			RoleAssignments: q.RoleAssignments,
+			RoleRemovals:    q.RoleRemovals,
+			TokensAtDone:    q.TokensAtDone,
+			Err:             q.Err,
+		}
+	}
+	return out
 }

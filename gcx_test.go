@@ -1,6 +1,7 @@
 package gcx
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -115,5 +116,120 @@ func TestRepeatedRuns(t *testing.T) {
 	}
 	if a != b {
 		t.Fatal("compiled engines must be reusable")
+	}
+}
+
+func TestWorkloadPublicAPI(t *testing.T) {
+	queries := []string{
+		`<titles>{ for $b in /bib/book return $b/title }</titles>`,
+		`<cheap>{ for $b in /bib/book return if ($b/price < 50) then $b/title else () }</cheap>`,
+		`<all>{ for $b in /bib/book return $b }</all>`,
+	}
+	// ReadBatch 1 reproduces the solo token-demand schedule exactly, so
+	// the aggregate token count can be compared to a solo run token for
+	// token (the default batch may read up to one batch further).
+	w := MustCompileWorkload(queries, WithReadBatch(1))
+	if w.Len() != len(queries) {
+		t.Fatalf("Len = %d, want %d", w.Len(), len(queries))
+	}
+	results, st, err := w.RunStrings(bibDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		solo, _, err := MustCompile(q).RunString(bibDoc)
+		if err != nil {
+			t.Fatalf("query %d solo: %v", i, err)
+		}
+		if results[i] != solo {
+			t.Errorf("query %d: workload output %q differs from solo %q", i, results[i], solo)
+		}
+	}
+	// The shared pass reads the input once: the aggregate token count must
+	// equal one solo pass, not one per member query.
+	_, soloStats, err := MustCompile(queries[2]).RunString(bibDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Aggregate.TokensRead != soloStats.TokensRead {
+		t.Errorf("workload read %d tokens, one solo pass reads %d", st.Aggregate.TokensRead, soloStats.TokensRead)
+	}
+	if len(st.Queries) != len(queries) {
+		t.Fatalf("per-query stats: got %d entries", len(st.Queries))
+	}
+	var sum int64
+	for i, q := range st.Queries {
+		if q.Err != nil {
+			t.Errorf("query %d: %v", i, q.Err)
+		}
+		if q.RoleAssignments != q.RoleRemovals {
+			t.Errorf("query %d roles unbalanced: %d/%d", i, q.RoleAssignments, q.RoleRemovals)
+		}
+		if q.OutputBytes != int64(len(results[i])) {
+			t.Errorf("query %d OutputBytes = %d, want %d", i, q.OutputBytes, len(results[i]))
+		}
+		sum += q.OutputBytes
+	}
+	if st.Aggregate.OutputBytes != sum {
+		t.Errorf("aggregate OutputBytes %d != per-query sum %d", st.Aggregate.OutputBytes, sum)
+	}
+}
+
+func TestWorkloadStrategiesAgree(t *testing.T) {
+	queries := []string{
+		`<t>{ for $b in /bib/book return $b/title }</t>`,
+		`<p>{ for $b in /bib/book return if (exists($b/price)) then $b/price else () }</p>`,
+	}
+	var want []string
+	for _, s := range []Strategy{GCX, StaticOnly, FullBuffer} {
+		w := MustCompileWorkload(queries, WithStrategy(s))
+		got, _, err := w.RunStrings(bibDoc)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("%v query %d: %q != %q", s, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWorkloadConcurrentRuns(t *testing.T) {
+	w := MustCompileWorkload([]string{
+		`<t>{ for $b in /bib/book return $b/title }</t>`,
+		`<a>{ for $b in /bib/book return $b/author }</a>`,
+	})
+	want, _, err := w.RunStrings(bibDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 20; i++ {
+				got, _, err := w.RunStrings(bibDoc)
+				if err != nil {
+					done <- err
+					return
+				}
+				for j := range got {
+					if got[j] != want[j] {
+						done <- fmt.Errorf("query %d: got %q want %q", j, got[j], want[j])
+						return
+					}
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
 	}
 }

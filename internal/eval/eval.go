@@ -36,6 +36,12 @@ type Options struct {
 	// Schema, when non-nil, lets cursors terminate regions early using
 	// DTD content-model facts (must match the projector's schema).
 	Schema *dtd.Schema
+	// RoleOffset is added to every signOff role ID before it reaches the
+	// buffer. Solo runs leave it zero; shared-stream workloads compile each
+	// member query against its own role space within a combined role table
+	// (static.MergeTrees), and the rewritten query's role IDs — assigned by
+	// the member's solo analysis — are translated here at execution time.
+	RoleOffset xqast.Role
 	// OnSignOff, if set, is invoked after each executed signOff statement
 	// (used by the Figure 2 trace example).
 	OnSignOff func(s xqast.SignOff)
@@ -57,6 +63,10 @@ type Evaluator struct {
 	// curPool recycles cursors (one is consumed per for-loop, existence
 	// check, and value collection — the per-binding hot path).
 	curPool []*cursor
+	// valsL/valsR are the reused operand-value scratch slices of compare:
+	// a nested-loop join evaluates one comparison per pair of bindings,
+	// and the operand sequences must not cost an allocation each time.
+	valsL, valsR []string
 }
 
 // New creates an evaluator writing query output to out.
@@ -81,10 +91,26 @@ func (e *Evaluator) Reset(opts Options) {
 
 // Run evaluates the query and flushes the output writer.
 func (e *Evaluator) Run(q *xqast.Query) error {
+	// The operand scratch holds views of buffered document text; drop them
+	// when the evaluation ends (normally, with an error, or by panic) so a
+	// pooled idle evaluator pins no document data.
+	defer e.dropScratch()
 	if err := e.expr(q.Root); err != nil {
 		return err
 	}
 	return e.out.Flush()
+}
+
+// dropScratch clears the operand-value scratch over its full capacity:
+// re-slicing alone would keep the string headers beyond the current
+// length alive for as long as the evaluator sits in its pool.
+func (e *Evaluator) dropScratch() {
+	e.valsL = e.valsL[:cap(e.valsL)]
+	clear(e.valsL)
+	e.valsL = e.valsL[:0]
+	e.valsR = e.valsR[:cap(e.valsR)]
+	clear(e.valsR)
+	e.valsR = e.valsR[:0]
 }
 
 // pull drives the projector by one token. It returns false when the input
@@ -165,7 +191,7 @@ func (e *Evaluator) expr(x xqast.Expr) error {
 			return nil
 		}
 		binding := e.env[x.Path.Var]
-		if err := e.buf.SignOff(binding, x.Path.Steps, x.Role); err != nil {
+		if err := e.buf.SignOff(binding, x.Path.Steps, x.Role+e.opts.RoleOffset); err != nil {
 			return err
 		}
 		if e.opts.OnSignOff != nil {
@@ -362,14 +388,16 @@ func (e *Evaluator) exists(n *buffer.Node, steps []xqast.Step) (bool, error) {
 // as numbers, lexicographically otherwise ("atomic equality" of Section 3
 // extended to the RelOps of Figure 6).
 func (e *Evaluator) compare(c xqast.Compare) (bool, error) {
-	lhs, err := e.operandValues(c.LHS)
+	lhs, err := e.operandValues(c.LHS, e.valsL[:0])
+	e.valsL = lhs
 	if err != nil {
 		return false, err
 	}
 	if len(lhs) == 0 {
 		return false, nil
 	}
-	rhs, err := e.operandValues(c.RHS)
+	rhs, err := e.operandValues(c.RHS, e.valsR[:0])
+	e.valsR = rhs
 	if err != nil {
 		return false, err
 	}
@@ -383,39 +411,37 @@ func (e *Evaluator) compare(c xqast.Compare) (bool, error) {
 	return false, nil
 }
 
-func (e *Evaluator) operandValues(o xqast.Operand) ([]string, error) {
+// operandValues appends the operand's value sequence to out (the
+// evaluator-owned scratch; conditions never nest mid-collection, so the
+// two slices cover any condition tree).
+func (e *Evaluator) operandValues(o xqast.Operand, out []string) ([]string, error) {
 	if o.IsLiteral {
-		return []string{o.Lit}, nil
+		return append(out, o.Lit), nil
 	}
 	n := e.env[o.Path.Var]
-	var out []string
-	if err := e.collectValues(n, o.Path.Steps, &out); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return e.collectValues(n, o.Path.Steps, out)
 }
 
-func (e *Evaluator) collectValues(n *buffer.Node, steps []xqast.Step, out *[]string) error {
+func (e *Evaluator) collectValues(n *buffer.Node, steps []xqast.Step, out []string) ([]string, error) {
 	if len(steps) == 0 {
 		v, err := e.stringValue(n)
 		if err != nil {
-			return err
+			return out, err
 		}
-		*out = append(*out, v)
-		return nil
+		return append(out, v), nil
 	}
 	cur := newCursor(e, n, steps[0])
 	defer cur.close()
 	for {
 		m, err := cur.next()
 		if err != nil {
-			return err
+			return out, err
 		}
 		if m == nil {
-			return nil
+			return out, nil
 		}
-		if err := e.collectValues(m, steps[1:], out); err != nil {
-			return err
+		if out, err = e.collectValues(m, steps[1:], out); err != nil {
+			return out, err
 		}
 	}
 }
@@ -429,6 +455,15 @@ func (e *Evaluator) stringValue(n *buffer.Node) (string, error) {
 	}
 	if err := e.waitFinished(n); err != nil {
 		return "", err
+	}
+	// Leaf elements with a single text child — the overwhelmingly common
+	// shape of comparison operands (<price>10</price>) — need no
+	// concatenation. Join conditions evaluate one comparison per pair of
+	// bindings, so this path must not allocate.
+	if c := n.FirstChild; c == nil {
+		return "", nil
+	} else if c.Kind == buffer.KindText && c.NextSib == nil {
+		return c.Text, nil
 	}
 	var b strings.Builder
 	var walk func(m *buffer.Node)

@@ -1,0 +1,64 @@
+package static
+
+import (
+	"gcx/internal/projtree"
+	"gcx/internal/xqast"
+)
+
+// MergeTrees unions the projection trees of several independently analyzed
+// queries into one combined tree for shared-stream workload evaluation
+// (see DESIGN.md, "Shared-stream workloads").
+//
+// Projection trees are prefix-closed path sets, so their union under a
+// common root is again a valid projection tree; a document projected with
+// the union tree is a valid projected document for *each* member query,
+// because every path a member's evaluation navigates is still covered and
+// the structural guard of Section 2 (case (2)) now ranges over the
+// combined configuration — an element another query preserves can never be
+// promoted into a false child-axis match of this query.
+//
+// Member subtrees are cloned verbatim (no node sharing, not even of common
+// prefixes): every cloned node keeps exactly one owner query, so role
+// assignment, [1] first-witness suppression, and signOff cancellation —
+// all keyed on projection-node identity — behave exactly as in a solo run.
+//
+// Roles are renumbered into per-query role spaces: query i's roles occupy
+// the half-open ID range (off[i], off[i+1]] of the combined role table,
+// where off is the returned offset slice (off[i] is added to each of query
+// i's solo role IDs). The combined role table is the concatenation of the
+// member tables, so a role ID identifies its owning query by range.
+func MergeTrees(trees []*projtree.Tree) (*projtree.Tree, []xqast.Role) {
+	m := projtree.New()
+	offsets := make([]xqast.Role, len(trees))
+	for qi, t := range trees {
+		off := xqast.Role(len(m.Roles) - 1)
+		offsets[qi] = off
+		cloneOf := make(map[*projtree.Node]*projtree.Node, len(t.Nodes))
+		cloneOf[t.Root] = m.Root
+		// Nodes are stored in creation order, so parents precede children.
+		for _, n := range t.Nodes[1:] {
+			c := m.AddNode(cloneOf[n.Parent], n.Step)
+			c.Var = n.Var
+			c.AnchorSelf = n.AnchorSelf
+			if n.Role != 0 {
+				c.Role = n.Role + off
+			}
+			if n.ChainRole != 0 {
+				c.ChainRole = n.ChainRole + off
+			}
+			cloneOf[n] = c
+		}
+		for _, r := range t.Roles[1:] {
+			m.Roles = append(m.Roles, &projtree.Role{
+				ID:         r.ID + off,
+				Kind:       r.Kind,
+				Var:        r.Var,
+				Aggregate:  r.Aggregate,
+				Eliminated: r.Eliminated,
+				Node:       cloneOf[r.Node],
+				Desc:       r.Desc,
+			})
+		}
+	}
+	return m, offsets
+}

@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"gcx/internal/engine"
+)
+
+// toIOWriters adapts a slice of builders to the Run signature.
+func toIOWriters(bufs []*strings.Builder) []io.Writer {
+	ws := make([]io.Writer, len(bufs))
+	for i, b := range bufs {
+		ws[i] = b
+	}
+	return ws
+}
+
+var testQueries = []string{
+	`<r1>{ for $b in /bib/book return if (exists($b/price)) then $b/title else () }</r1>`,
+	`<r2>{ for $b in /bib/book return $b/author }</r2>`,
+	`<r3>{ for $p in /bib/book/price return <p>{ $p/text() }</p> }</r3>`,
+}
+
+const testDoc = `<bib>
+<book><title>T1</title><author>A1</author><price>10</price></book>
+<book><title>T2</title><author>A2</author></book>
+<book><title>T3</title><author>A3</author><price>30</price></book>
+</bib>`
+
+// soloRun evaluates one query alone and returns output and stats.
+func soloRun(t *testing.T, src, doc string, mode engine.Mode) (string, engine.Stats) {
+	t.Helper()
+	c, err := engine.Compile(src, engine.Config{Mode: mode})
+	if err != nil {
+		t.Fatalf("solo compile: %v", err)
+	}
+	var out strings.Builder
+	st, err := c.Run(strings.NewReader(doc), &out)
+	if err != nil {
+		t.Fatalf("solo run: %v", err)
+	}
+	return out.String(), st
+}
+
+func runWorkload(t *testing.T, srcs []string, doc string, cfg Config) ([]string, Stats, []QueryStats) {
+	t.Helper()
+	c, err := Compile(srcs, cfg)
+	if err != nil {
+		t.Fatalf("workload compile: %v", err)
+	}
+	bufs := make([]*strings.Builder, len(srcs))
+	for i := range bufs {
+		bufs[i] = &strings.Builder{}
+	}
+	st, qs, err := c.RunChecked(strings.NewReader(doc), toIOWriters(bufs))
+	if err != nil {
+		t.Fatalf("workload run: %v", err)
+	}
+	got := make([]string, len(srcs))
+	for i := range bufs {
+		got[i] = bufs[i].String()
+	}
+	return got, st, qs
+}
+
+func TestWorkloadMatchesSoloOutputs(t *testing.T) {
+	for _, mode := range []engine.Mode{engine.ModeGCX, engine.ModeStaticOnly, engine.ModeFullBuffer} {
+		t.Run(mode.String(), func(t *testing.T) {
+			var want []string
+			var maxTokens int64
+			for _, q := range testQueries {
+				out, st := soloRun(t, q, testDoc, mode)
+				want = append(want, out)
+				if st.TokensRead > maxTokens {
+					maxTokens = st.TokensRead
+				}
+			}
+			got, st, qs := runWorkload(t, testQueries, testDoc, Config{Engine: engine.Config{Mode: mode}, Batch: 1})
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("query %d output mismatch:\n got: %s\nwant: %s", i, got[i], want[i])
+				}
+			}
+			if st.TokensRead != maxTokens {
+				t.Errorf("shared pass read %d tokens, max solo run read %d", st.TokensRead, maxTokens)
+			}
+			for i, q := range qs {
+				if q.Err != nil {
+					t.Errorf("query %d error: %v", i, q.Err)
+				}
+				if q.OutputBytes != int64(len(want[i])) {
+					t.Errorf("query %d output bytes %d, want %d", i, q.OutputBytes, len(want[i]))
+				}
+				if mode == engine.ModeGCX && q.RoleAssignments != q.RoleRemovals {
+					t.Errorf("query %d roles unbalanced: %d assigned, %d removed", i, q.RoleAssignments, q.RoleRemovals)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadPooledReruns: pooled run states must produce identical
+// results run after run.
+func TestWorkloadPooledReruns(t *testing.T) {
+	c, err := Compile(testQueries, Config{Engine: engine.Config{Mode: engine.ModeGCX}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []string
+	for run := 0; run < 5; run++ {
+		bufs := make([]*strings.Builder, len(testQueries))
+		for i := range bufs {
+			bufs[i] = &strings.Builder{}
+		}
+		_, _, err := c.RunChecked(strings.NewReader(testDoc), toIOWriters(bufs))
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if run == 0 {
+			for _, b := range bufs {
+				first = append(first, b.String())
+			}
+			continue
+		}
+		for i, b := range bufs {
+			if b.String() != first[i] {
+				t.Fatalf("run %d query %d output changed:\n got: %s\nwant: %s", run, i, b.String(), first[i])
+			}
+		}
+	}
+}
+
+// TestWorkloadStreamError: malformed input surfaces through every member
+// that was still reading.
+func TestWorkloadStreamError(t *testing.T) {
+	c, err := Compile(testQueries, Config{Engine: engine.Config{Mode: engine.ModeGCX}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := make([]*strings.Builder, len(testQueries))
+	for i := range bufs {
+		bufs[i] = &strings.Builder{}
+	}
+	_, qs, err := c.Run(strings.NewReader("<bib><book><title>T</book></bib>"), toIOWriters(bufs))
+	if err == nil {
+		t.Fatal("expected a stream error")
+	}
+	for i, q := range qs {
+		if q.Err == nil {
+			t.Errorf("query %d: expected a per-query error", i)
+		}
+	}
+}
+
+func TestWorkloadSingleQueryDegenerate(t *testing.T) {
+	want, _ := soloRun(t, testQueries[0], testDoc, engine.ModeGCX)
+	got, _, _ := runWorkload(t, testQueries[:1], testDoc, Config{Engine: engine.Config{Mode: engine.ModeGCX}})
+	if got[0] != want {
+		t.Errorf("single-member workload output mismatch:\n got: %s\nwant: %s", got[0], want)
+	}
+}

@@ -54,7 +54,7 @@ func formatExpr(b *strings.Builder, e Expr, depth int) {
 	case Empty:
 		b.WriteString("()")
 	case Text:
-		fmt.Fprintf(b, "text { %q }", e.Data)
+		fmt.Fprintf(b, "text { %s }", quoteLit(e.Data))
 	case VarRef:
 		b.WriteString("$" + e.Var)
 	case PathExpr:
@@ -182,7 +182,15 @@ func formatCond(b *strings.Builder, c Cond) {
 
 func (o Operand) formatOperand() string {
 	if o.IsLiteral {
-		return fmt.Sprintf("%q", o.Lit)
+		return quoteLit(o.Lit)
 	}
 	return formatPath(o.Path)
+}
+
+// quoteLit renders a string literal in XQ surface syntax: a double quote
+// inside the literal is escaped by doubling it (the XQuery convention the
+// lexer implements); every other byte is emitted verbatim. Go-style
+// backslash escapes would NOT round-trip through the parser.
+func quoteLit(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 }

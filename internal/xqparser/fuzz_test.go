@@ -1,0 +1,41 @@
+package xqparser
+
+import (
+	"testing"
+
+	"gcx/internal/xqast"
+)
+
+// FuzzParse feeds arbitrary strings to the XQ parser and checks that it
+// never panics, and that accepted queries survive a format/reparse round
+// trip with the formatter as a fixpoint — the property the engine's
+// -explain output and golden tests rely on.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`<out>{ for $b in /bib/book return $b/title }</out>`,
+		`<q>{ for $x in /a return if (exists($x/b)) then $x/b else () }</q>`,
+		`<q>{ for $p in /site/people/person return
+		    if ($p/id = "person0") then $p/name else () }</q>`,
+		`<r>{ ( for $a in /x//y return <z>{ $a/text() }</z>, "lit" ) }</r>`,
+		`<a>{ for $i in /s return if ($i/p >= 40 and not(exists($i/q))) then <m/> else () }</a>`,
+		`<out>text</out>`,
+		`<out>{ (: comment :) for $x in /a/b where $x/c = 1 return $x }</out>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		formatted := xqast.Format(q)
+		q2, err := Parse(formatted)
+		if err != nil {
+			t.Fatalf("reparse of formatted query failed: %v\noriginal: %q\nformatted:\n%s", err, src, formatted)
+		}
+		if again := xqast.Format(q2); again != formatted {
+			t.Fatalf("format is not a fixpoint\noriginal: %q\nfirst:\n%s\nsecond:\n%s", src, formatted, again)
+		}
+	})
+}
