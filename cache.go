@@ -1,0 +1,182 @@
+package gcx
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"gcx/internal/static"
+)
+
+// DefaultCompileCacheCapacity is the entry cap used when NewCompileCache
+// is given a non-positive capacity.
+const DefaultCompileCacheCapacity = 128
+
+// CompileCache memoizes compilation: repeated requests for the same
+// (query text, options) pair are served from a bounded LRU of compiled
+// Engines and Workloads instead of re-running the parser and static
+// analysis. Because Engines and Workloads are immutable and internally
+// pooled, one cached artifact can serve any number of concurrent runs —
+// the cache is what turns the library into a hot-query serving layer
+// (internal/server builds on it).
+//
+// Concurrent misses for the same key are coalesced: exactly one
+// compilation runs, the other callers wait for its result. Compilation
+// errors are cached too (negative caching), so a repeatedly submitted
+// malformed query costs one parse, not one per request.
+//
+// A CompileCache is safe for concurrent use.
+type CompileCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	ll      *list.List // front = most recently used; element values are *cacheEntry
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	compiles  atomic.Int64
+}
+
+// cacheEntry is one cached compilation. The once gate is the
+// single-flight: the first goroutine to reach the entry compiles, every
+// other goroutine for the same key blocks on the once and reads the
+// result.
+type cacheEntry struct {
+	key  string
+	once sync.Once
+	eng  *Engine
+	wl   *Workload
+	err  error
+}
+
+// NewCompileCache returns a cache holding at most capacity compiled
+// artifacts (DefaultCompileCacheCapacity if capacity < 1).
+func NewCompileCache(capacity int) *CompileCache {
+	if capacity < 1 {
+		capacity = DefaultCompileCacheCapacity
+	}
+	return &CompileCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		ll:      list.New(),
+	}
+}
+
+// CacheStats reports cache effectiveness. Compiles counts actual
+// compilations performed; with request coalescing it can be lower than
+// Misses. The JSON field names are stable for /metrics scraping.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Compiles  int64 `json:"compiles"`
+	Entries   int   `json:"entries"`
+}
+
+// Stats returns a snapshot of the cache counters.
+func (cc *CompileCache) Stats() CacheStats {
+	cc.mu.Lock()
+	n := cc.ll.Len()
+	cc.mu.Unlock()
+	return CacheStats{
+		Hits:      cc.hits.Load(),
+		Misses:    cc.misses.Load(),
+		Evictions: cc.evictions.Load(),
+		Compiles:  cc.compiles.Load(),
+		Entries:   n,
+	}
+}
+
+// Len returns the number of cached artifacts.
+func (cc *CompileCache) Len() int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.ll.Len()
+}
+
+// Engine returns the cached Engine for (query, opts), compiling it on
+// first use.
+func (cc *CompileCache) Engine(query string, opts ...Option) (*Engine, error) {
+	key, err := cacheKey("engine", []string{query}, opts)
+	if err != nil {
+		return nil, err
+	}
+	e := cc.lookup(key)
+	e.once.Do(func() {
+		cc.compiles.Add(1)
+		e.eng, e.err = Compile(query, opts...)
+	})
+	return e.eng, e.err
+}
+
+// Workload returns the cached Workload for (queries, opts), compiling it
+// on first use. The member order is part of the key: workloads with the
+// same queries in a different order are distinct artifacts (their output
+// order differs).
+func (cc *CompileCache) Workload(queries []string, opts ...Option) (*Workload, error) {
+	key, err := cacheKey("workload", queries, opts)
+	if err != nil {
+		return nil, err
+	}
+	e := cc.lookup(key)
+	e.once.Do(func() {
+		cc.compiles.Add(1)
+		e.wl, e.err = CompileWorkload(queries, opts...)
+	})
+	return e.wl, e.err
+}
+
+// cacheKey derives the cache key from the artifact kind, the query texts,
+// and the option fingerprint. Applying the options here is cheap and has
+// no side effects (WithDTD defers its parse to compilation); compilation
+// applies them again. Query texts are length-prefixed so no crafted text
+// (e.g. one containing a NUL) can make two different workloads collide on
+// one key.
+func cacheKey(kind string, queries []string, opts []Option) (string, error) {
+	cfg := config{strategy: GCX, static: static.AllOptimizations()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.err != nil {
+		return "", cfg.err
+	}
+	var b strings.Builder
+	b.WriteString(kind)
+	b.WriteByte(0)
+	b.WriteString(cfg.fingerprint())
+	for _, q := range queries {
+		b.WriteByte(0)
+		b.WriteString(strconv.Itoa(len(q)))
+		b.WriteByte(':')
+		b.WriteString(q)
+	}
+	return b.String(), nil
+}
+
+// lookup finds or inserts the entry for key, updating the LRU order and
+// the hit/miss counters, and evicting the least recently used entries
+// beyond the capacity. An evicted entry that other goroutines still hold
+// stays valid — it is merely no longer findable.
+func (cc *CompileCache) lookup(key string) *cacheEntry {
+	cc.mu.Lock()
+	if el, ok := cc.entries[key]; ok {
+		cc.ll.MoveToFront(el)
+		cc.mu.Unlock()
+		cc.hits.Add(1)
+		return el.Value.(*cacheEntry)
+	}
+	e := &cacheEntry{key: key}
+	cc.entries[key] = cc.ll.PushFront(e)
+	for cc.ll.Len() > cc.cap {
+		old := cc.ll.Back()
+		cc.ll.Remove(old)
+		delete(cc.entries, old.Value.(*cacheEntry).key)
+		cc.evictions.Add(1)
+	}
+	cc.mu.Unlock()
+	cc.misses.Add(1)
+	return e
+}

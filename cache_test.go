@@ -1,0 +1,254 @@
+package gcx
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+const cacheTestQuery = `<q>{ for $b in /bib/book return $b/title }</q>`
+const cacheTestDoc = `<bib><book><title>a</title></book><book><title>b</title></book></bib>`
+
+func TestCompileCacheHit(t *testing.T) {
+	cc := NewCompileCache(8)
+	e1, err := cc.Engine(cacheTestQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := cc.Engine(cacheTestQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Fatal("same query + options must return the identical cached Engine")
+	}
+	st := cc.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Compiles != 1 || st.Entries != 1 {
+		t.Fatalf("stats after one miss and one hit: %+v", st)
+	}
+	out, _, err := e2.RunString(cacheTestDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "<q><title>a</title><title>b</title></q>" {
+		t.Fatalf("cached engine output: %s", out)
+	}
+}
+
+func TestCompileCacheOptionsAreKeyed(t *testing.T) {
+	cc := NewCompileCache(8)
+	gcxEng, err := cc.Engine(cacheTestQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullEng, err := cc.Engine(cacheTestQuery, WithStrategy(FullBuffer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gcxEng == fullEng {
+		t.Fatal("different strategies must compile distinct engines")
+	}
+	noEarly, err := cc.Engine(cacheTestQuery, WithoutEarlyUpdates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noEarly == gcxEng {
+		t.Fatal("different static options must compile distinct engines")
+	}
+	if st := cc.Stats(); st.Compiles != 3 || st.Entries != 3 {
+		t.Fatalf("three distinct configurations expected: %+v", st)
+	}
+	// Same options again: all hits, no new compiles.
+	if _, err := cc.Engine(cacheTestQuery, WithStrategy(FullBuffer)); err != nil {
+		t.Fatal(err)
+	}
+	if st := cc.Stats(); st.Compiles != 3 {
+		t.Fatalf("re-request must not recompile: %+v", st)
+	}
+}
+
+func TestCompileCacheWorkloadKeyedByOrder(t *testing.T) {
+	cc := NewCompileCache(8)
+	qs := []string{`<a>{ for $x in /r/a return $x }</a>`, `<b>{ for $x in /r/b return $x }</b>`}
+	w1, err := cc.Workload(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := cc.Workload(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1 != w2 {
+		t.Fatal("identical workload must be served from cache")
+	}
+	rev, err := cc.Workload([]string{qs[1], qs[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev == w1 {
+		t.Fatal("member order is part of the identity of a workload")
+	}
+}
+
+func TestCompileCacheEviction(t *testing.T) {
+	cc := NewCompileCache(2)
+	q := func(i int) string {
+		return fmt.Sprintf(`<q>{ for $b in /r/e%d return $b }</q>`, i)
+	}
+	if _, err := cc.Engine(q(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Engine(q(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Touch q0 so q1 is the LRU victim when q2 arrives.
+	if _, err := cc.Engine(q(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Engine(q(2)); err != nil {
+		t.Fatal(err)
+	}
+	st := cc.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("capacity 2 after 3 distinct queries: %+v", st)
+	}
+	// q0 must still be cached (it was freshly used), q1 must recompile.
+	before := cc.Stats().Compiles
+	if _, err := cc.Engine(q(0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.Stats().Compiles; got != before {
+		t.Fatalf("recently used entry was evicted: compiles %d -> %d", before, got)
+	}
+	if _, err := cc.Engine(q(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.Stats().Compiles; got != before+1 {
+		t.Fatalf("LRU entry must have been evicted and recompiled: compiles %d -> %d", before, got)
+	}
+}
+
+func TestCompileCacheNegativeCaching(t *testing.T) {
+	cc := NewCompileCache(8)
+	bad := `<q>{ for $b in /bib/book`
+	if _, err := cc.Engine(bad); err == nil {
+		t.Fatal("malformed query must fail to compile")
+	}
+	if _, err := cc.Engine(bad); err == nil {
+		t.Fatal("cached error must surface again")
+	}
+	if st := cc.Stats(); st.Compiles != 1 {
+		t.Fatalf("a malformed query must cost one compile, not one per request: %+v", st)
+	}
+}
+
+func TestCompileCacheBadDTDIsNegativeCached(t *testing.T) {
+	cc := NewCompileCache(8)
+	if _, err := cc.Engine(cacheTestQuery, WithDTD("<!NOT-A-DTD")); err == nil {
+		t.Fatal("invalid DTD must fail")
+	}
+	if _, err := cc.Engine(cacheTestQuery, WithDTD("<!NOT-A-DTD")); err == nil {
+		t.Fatal("cached DTD error must surface again")
+	}
+	// The DTD parses at compile time (not per lookup), so the failure is
+	// one cached compile like any other bad input.
+	if st := cc.Stats(); st.Compiles != 1 || st.Entries != 1 {
+		t.Fatalf("bad DTD must cost one compile: %+v", st)
+	}
+	// A valid DTD under the same query is a distinct key.
+	if _, err := cc.Engine(cacheTestQuery, WithDTD(XMarkDTD)); err != nil {
+		t.Fatal(err)
+	}
+	if st := cc.Stats(); st.Compiles != 2 || st.Entries != 2 {
+		t.Fatalf("distinct DTDs must be distinct entries: %+v", st)
+	}
+}
+
+// TestCompileCacheQueryListCollisionResistance: the workload key must
+// distinguish member boundaries even for adversarial texts (a NUL or a
+// length-prefix-looking fragment inside a query must not fuse two
+// members into one).
+func TestCompileCacheQueryListCollisionResistance(t *testing.T) {
+	cc := NewCompileCache(16)
+	a := "<a>{ for $x in /r/a return $x }</a>"
+	b := "<b>{ for $x in /r/b return $x }</b>"
+	pairs := [][]string{
+		{a, b},
+		{a + "\x00" + b},
+		{a + "\x00", b},
+		{a, "\x00" + b},
+	}
+	for _, qs := range pairs {
+		cc.Workload(qs) // compile errors are fine; only key identity matters
+	}
+	if st := cc.Stats(); st.Entries != len(pairs) {
+		t.Fatalf("4 distinct query lists must produce 4 entries, got %+v", st)
+	}
+}
+
+// TestCompileCacheSingleFlight: many goroutines requesting the same cold
+// key must trigger exactly one compilation.
+func TestCompileCacheSingleFlight(t *testing.T) {
+	cc := NewCompileCache(8)
+	const n = 32
+	var wg sync.WaitGroup
+	engines := make([]*Engine, n)
+	errs := make([]error, n)
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			engines[i], errs[i] = cc.Engine(cacheTestQuery)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if engines[i] != engines[0] {
+			t.Fatal("all callers must receive the identical Engine")
+		}
+	}
+	if st := cc.Stats(); st.Compiles != 1 {
+		t.Fatalf("concurrent cold requests must coalesce into one compile: %+v", st)
+	}
+}
+
+// TestCompileCacheConcurrentMixed hammers the cache with a working set
+// larger than the capacity while runs execute, to catch races between
+// eviction, lookup, and use of evicted-but-held entries.
+func TestCompileCacheConcurrentMixed(t *testing.T) {
+	cc := NewCompileCache(4)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				q := fmt.Sprintf(`<q>{ for $b in /r/e%d return $b }</q>`, (w+i)%7)
+				eng, err := cc.Engine(q)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				doc := `<r><e0>x</e0><e1>x</e1><e2>x</e2><e3>x</e3><e4>x</e4><e5>x</e5><e6>x</e6></r>`
+				out, _, err := eng.RunString(doc)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !strings.Contains(out, "x") {
+					t.Errorf("unexpected output %q for %q", out, q)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

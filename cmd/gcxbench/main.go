@@ -10,9 +10,16 @@
 // A laptop-scale smoke run (the default):
 //
 //	gcxbench
+//
+// Serving trajectory (solo Engine.Run vs shared-stream Workload.Run vs
+// HTTP POST /workload against an in-process gcxd), written as a JSON
+// artifact for CI trend tracking:
+//
+//	gcxbench -serve-json BENCH_serve.json -serve-doc 1MB -serve-requests 50
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,8 +41,20 @@ func main() {
 		dir     = flag.String("dir", "", "directory for cached documents (default OS temp)")
 		csv     = flag.String("csv", "", "also write results as CSV to this file")
 		schema  = flag.Bool("schema", false, "add a GCX+DTD column (schema-aware early termination with the XMark DTD)")
+
+		serveJSON        = flag.String("serve-json", "", "run the serving-path benchmark instead of the Table 1 sweep and write the JSON report to this file")
+		serveDoc         = flag.String("serve-doc", "1MB", "serving benchmark document size")
+		serveRequests    = flag.Int("serve-requests", 20, "serving benchmark iterations per path")
+		serveConcurrency = flag.Int("serve-concurrency", 4, "concurrent HTTP clients on the server path")
 	)
 	flag.Parse()
+
+	if *serveJSON != "" {
+		if err := runServe(*serveJSON, *serveDoc, *qnames, *seed, *serveRequests, *serveConcurrency); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	cfg := bench.Config{
 		Seed:       *seed,
@@ -84,6 +103,42 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *csv)
 	}
+}
+
+func runServe(outPath, docSize, qnames string, seed uint64, requests, concurrency int) error {
+	docBytes, err := bench.ParseSize(docSize)
+	if err != nil {
+		return err
+	}
+	cfg := bench.ServeConfig{
+		DocBytes:    docBytes,
+		Seed:        seed,
+		Requests:    requests,
+		Concurrency: concurrency,
+		Progress:    os.Stderr,
+	}
+	for _, name := range strings.Split(qnames, ",") {
+		q := queries.ByName(strings.TrimSpace(name))
+		if q.Name == "" {
+			return fmt.Errorf("unknown query %q", name)
+		}
+		cfg.Queries = append(cfg.Queries, q)
+	}
+	rep, err := bench.RunServe(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(bench.FormatServeTable(rep))
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+	return nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,138 @@
+// Command gcxd serves streaming XQuery evaluation over HTTP.
+//
+// Clients POST an XML document; the body is fed to the engine as a
+// stream (never fully buffered), so per-request memory stays at the GCX
+// buffer peak regardless of document size. Queries are given inline
+// (?q=...) or by id from a registry loaded at startup; several
+// registered queries can be evaluated over ONE pass of the body via
+// POST /workload.
+//
+// Usage:
+//
+//	gcxd -listen :8080 -queries queries.xq
+//	curl -X POST --data-binary @doc.xml 'localhost:8080/query?id=q1'
+//	curl -X POST --data-binary @doc.xml --url-query 'q=<r>{ for $b in /bib/book return $b/title }</r>' 'localhost:8080/query'
+//	curl -X POST --data-binary @doc.xml 'localhost:8080/workload'
+//	curl 'localhost:8080/metrics'
+//
+// The registry file holds one query, or several separated by "=== <id>"
+// lines; a directory registers every *.xq file under its basename.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gcx"
+	"gcx/internal/bench"
+	"gcx/internal/server"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":8080", "address to listen on")
+		queries   = flag.String("queries", "", "query registry: a file (queries separated by '=== <id>' lines) or a directory of *.xq files")
+		mode      = flag.String("mode", "gcx", "buffering strategy: gcx, static, full")
+		cacheCap  = flag.Int("cache", gcx.DefaultCompileCacheCapacity, "compile cache capacity (entries)")
+		maxBody   = flag.String("max-body", "256MB", "maximum request body size (0 = unlimited)")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "per-request evaluation timeout (0 = none)")
+		readBatch = flag.Int("read-batch", 0, "workload scheduler token batch (0 = default)")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown drain period")
+	)
+	flag.Parse()
+	if err := run(*listen, *queries, *mode, *cacheCap, *maxBody, *timeout, *readBatch, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "gcxd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, queriesPath, mode string, cacheCap int, maxBody string, timeout time.Duration, readBatch int, drain time.Duration) error {
+	var opts []gcx.Option
+	switch mode {
+	case "gcx":
+	case "static":
+		opts = append(opts, gcx.WithStrategy(gcx.StaticOnly))
+	case "full":
+		opts = append(opts, gcx.WithStrategy(gcx.FullBuffer))
+	default:
+		return fmt.Errorf("unknown mode %q (want gcx, static, or full)", mode)
+	}
+	if readBatch > 0 {
+		opts = append(opts, gcx.WithReadBatch(readBatch))
+	}
+
+	maxBodyBytes, err := bench.ParseSize(maxBody)
+	if err != nil {
+		return fmt.Errorf("-max-body: %w", err)
+	}
+
+	var reg *server.Registry
+	if queriesPath != "" {
+		reg, err = server.LoadRegistry(queriesPath)
+		if err != nil {
+			return err
+		}
+	}
+
+	srv, err := server.New(server.Config{
+		Registry:     reg,
+		Cache:        gcx.NewCompileCache(cacheCap),
+		Options:      opts,
+		MaxBodyBytes: maxBodyBytes,
+		Timeout:      timeout,
+	})
+	if err != nil {
+		return err
+	}
+	if reg != nil {
+		fmt.Fprintf(os.Stderr, "gcxd: registered %d queries from %s\n", reg.Len(), queriesPath)
+	}
+
+	hs := &http.Server{
+		Addr:    listen,
+		Handler: srv,
+		// Connection-level backstops: the per-request evaluation timeout
+		// is enforced inside the handler (input reads and output writes
+		// both check the deadline), but a fully stalled client blocks in
+		// the kernel where no check runs — the socket deadlines bound
+		// that. WriteTimeout spans body read + evaluation + response, so
+		// it gets headroom over the evaluation timeout.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if timeout > 0 {
+		hs.WriteTimeout = 2 * timeout
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "gcxd: listening on %s (mode %s)\n", listen, mode)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "gcxd: shutting down, draining in-flight requests")
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

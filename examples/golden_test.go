@@ -1,0 +1,96 @@
+// Golden-file conformance suite for the examples: each example binary is
+// run (`go run ./<name>`) and its combined output compared against the
+// committed testdata/<name>.golden, so examples cannot silently rot as
+// the engine evolves. Wall-clock timings are scrubbed before comparison;
+// everything else the examples print — results, buffer peaks, token
+// counts, traces — is deterministic by construction (fixed generator
+// seeds).
+//
+// Regenerate after an intentional output change with:
+//
+//	go test ./examples -run TestExampleGolden -update
+package examples
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current example output")
+
+var exampleNames = []string{
+	"auctionjoin",
+	"bibfilter",
+	"papertrace",
+	"quickstart",
+	"schemastop",
+}
+
+// scrubbers neutralize the only nondeterministic content: wall-clock
+// durations (schemastop prints per-run milliseconds).
+var scrubbers = []struct {
+	re  *regexp.Regexp
+	sub string
+}{
+	{regexp.MustCompile(`\d+\.\d+ms`), "X.Xms"},
+	{regexp.MustCompile(`\d+\.\d+s`), "X.Xs"},
+}
+
+func scrub(out []byte) []byte {
+	for _, s := range scrubbers {
+		out = s.re.ReplaceAll(out, []byte(s.sub))
+	}
+	return out
+}
+
+func TestExampleGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples build and run binaries")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool unavailable")
+	}
+	for _, name := range exampleNames {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./"+name)
+			var out bytes.Buffer
+			cmd.Stdout = &out
+			cmd.Stderr = &out
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("go run ./%s: %v\n%s", name, err, out.Bytes())
+			}
+			got := scrub(out.Bytes())
+			goldenPath := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", goldenPath, len(got))
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("output of %s differs from %s.\nIf the change is intentional, regenerate with:\n  go test ./examples -run TestExampleGolden -update\n--- got ---\n%s\n--- want ---\n%s",
+					name, goldenPath, clip(got), clip(want))
+			}
+		})
+	}
+}
+
+// clip bounds diff output so a divergent example does not flood the log.
+func clip(b []byte) []byte {
+	const max = 4096
+	if len(b) <= max {
+		return b
+	}
+	return append(append([]byte{}, b[:max]...), []byte("\n... (clipped)")...)
+}

@@ -30,6 +30,7 @@ package gcx
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
 	"strings"
 
@@ -76,8 +77,21 @@ type config struct {
 	strategy  Strategy
 	static    static.Options
 	schema    *dtd.Schema
+	schemaSrc string
 	readBatch int
 	err       error
+}
+
+// fingerprint renders the compilation-relevant configuration as a stable
+// string, so a CompileCache can key entries by (query text, options). The
+// DTD source is folded to a hash: schemas can be large and two textually
+// identical DTDs parse identically.
+func (c *config) fingerprint() string {
+	h := fnv.New64a()
+	io.WriteString(h, c.schemaSrc)
+	return fmt.Sprintf("s%d|e%t|a%t|r%t|b%d|d%x",
+		c.strategy, c.static.EarlyUpdates, c.static.AggregateRoles,
+		c.static.EliminateRedundantRoles, c.readBatch, h.Sum64())
 }
 
 // WithStrategy selects the buffering strategy (default GCX).
@@ -117,15 +131,25 @@ func WithoutOptimizations() Option {
 // the input. This is the capability of the schema-based systems the paper
 // compares against ([11]); results are unchanged, only less input is read.
 // Supplying a DTD asserts that inputs are valid against it.
+//
+// The DTD is parsed at compile time, not at option-application time, so
+// CompileCache key derivation (which applies options on every lookup)
+// stays cheap; a malformed DTD surfaces as a Compile error.
 func WithDTD(dtdSource string) Option {
-	return func(c *config) {
-		s, err := dtd.Parse(dtdSource)
-		if err != nil {
-			c.err = err
-			return
-		}
-		c.schema = s
+	return func(c *config) { c.schemaSrc = dtdSource }
+}
+
+// resolveSchema parses the deferred DTD source, once, at compilation.
+func (c *config) resolveSchema() error {
+	if c.schemaSrc == "" {
+		return nil
 	}
+	s, err := dtd.Parse(c.schemaSrc)
+	if err != nil {
+		return err
+	}
+	c.schema = s
+	return nil
 }
 
 // WithReadBatch tunes the shared-stream scheduler of a Workload: once
@@ -192,6 +216,9 @@ func Compile(query string, opts ...Option) (*Engine, error) {
 	}
 	if cfg.err != nil {
 		return nil, cfg.err
+	}
+	if err := cfg.resolveSchema(); err != nil {
+		return nil, err
 	}
 	c, err := engine.Compile(query, engine.Config{Mode: cfg.strategy.mode(), Static: &cfg.static, Schema: cfg.schema})
 	if err != nil {
@@ -288,6 +315,9 @@ func CompileWorkload(queries []string, opts ...Option) (*Workload, error) {
 	}
 	if cfg.err != nil {
 		return nil, cfg.err
+	}
+	if err := cfg.resolveSchema(); err != nil {
+		return nil, err
 	}
 	c, err := workload.Compile(queries, workload.Config{
 		Engine: engine.Config{Mode: cfg.strategy.mode(), Static: &cfg.static, Schema: cfg.schema},

@@ -1,0 +1,328 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gcx"
+	"gcx/internal/queries"
+	"gcx/internal/server"
+	"gcx/internal/xmark"
+)
+
+// ServeConfig parameterizes the serving-path benchmark (cmd/gcxbench
+// -serve-json): the same query set is evaluated over the same document
+// through three code paths of increasing stack depth — solo Engine.Run
+// per query, one shared-stream Workload.Run, and HTTP POST /workload
+// against an in-process gcxd server — so a regression in any layer shows
+// up as a widening gap in BENCH_serve.json.
+type ServeConfig struct {
+	// DocBytes is the target size of the generated XMark document.
+	DocBytes int64
+	// Seed for document generation.
+	Seed uint64
+	// Requests is the number of measured iterations per path; one
+	// iteration evaluates every query over one document.
+	Requests int
+	// Concurrency is the number of concurrent HTTP clients on the server
+	// path (the library paths run sequentially: their per-op numbers feed
+	// the latency trajectory, not a saturation test).
+	Concurrency int
+	// Queries to serve; defaults to queries.All().
+	Queries []queries.Query
+	// Progress, if non-nil, receives one line per completed path.
+	Progress io.Writer
+}
+
+// ServePathResult is one path's measurements in BENCH_serve.json. Field
+// names are scrape-stable for CI trend tooling.
+type ServePathResult struct {
+	Path            string  `json:"path"` // solo | workload | server
+	Requests        int     `json:"requests"`
+	DocsPerSec      float64 `json:"docs_per_sec"`
+	P50Ms           float64 `json:"p50_ms"`
+	P99Ms           float64 `json:"p99_ms"`
+	PeakBufferNodes int64   `json:"peak_buffer_nodes"`
+	PeakBufferBytes int64   `json:"peak_buffer_bytes"`
+	AllocsPerOp     uint64  `json:"allocs_per_op"`
+	AllocBytesPerOp uint64  `json:"alloc_bytes_per_op"`
+	OutputBytes     int64   `json:"output_bytes"` // per iteration, summed over queries
+}
+
+// ServeReport is the BENCH_serve.json document.
+type ServeReport struct {
+	DocBytes    int64             `json:"doc_bytes"`
+	Queries     []string          `json:"queries"`
+	Requests    int               `json:"requests"`
+	Concurrency int               `json:"concurrency"`
+	GoMaxProcs  int               `json:"gomaxprocs"`
+	Results     []ServePathResult `json:"results"`
+}
+
+// RunServe executes the three-path sweep.
+func RunServe(cfg ServeConfig) (*ServeReport, error) {
+	if len(cfg.Queries) == 0 {
+		cfg.Queries = queries.All()
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 20
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	if cfg.DocBytes <= 0 {
+		cfg.DocBytes = 1 << 20
+	}
+
+	var buf bytes.Buffer
+	if _, err := xmark.Generate(&buf, xmark.Config{Factor: xmark.FactorForSize(cfg.DocBytes), Seed: cfg.Seed}); err != nil {
+		return nil, err
+	}
+	doc := buf.Bytes()
+
+	report := &ServeReport{
+		DocBytes:    int64(len(doc)),
+		Requests:    cfg.Requests,
+		Concurrency: cfg.Concurrency,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	for _, q := range cfg.Queries {
+		report.Queries = append(report.Queries, q.Name)
+	}
+
+	for _, path := range []func(ServeConfig, []byte) (ServePathResult, error){serveSolo, serveWorkload, serveHTTP} {
+		r, err := path(cfg, doc)
+		if err != nil {
+			return nil, err
+		}
+		report.Results = append(report.Results, r)
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "%s\n", FormatServeResult(r))
+		}
+	}
+	return report, nil
+}
+
+// measure wraps one path's iteration loop with warm-up, timing, and
+// alloc accounting — shared by all three paths so their rows report the
+// same quantities the same way. op runs one iteration and returns
+// (peakNodes, peakBytes, outputBytes); concurrency > 1 drains the
+// iterations with that many workers (alloc figures stay process-wide
+// deltas, i.e. approximate under concurrency).
+func measure(path string, requests, concurrency int, op func() (int64, int64, int64, error)) (ServePathResult, error) {
+	res := ServePathResult{Path: path, Requests: requests}
+	// Warm-up: populate run-state pools and HTTP keep-alives so the
+	// measurement reflects the steady serving state.
+	if _, _, _, err := op(); err != nil {
+		return res, fmt.Errorf("%s warm-up: %w", path, err)
+	}
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	var mu sync.Mutex
+	lat := make([]time.Duration, 0, requests)
+	var opErr error
+	work := make(chan struct{}, requests)
+	for i := 0; i < requests; i++ {
+		work <- struct{}{}
+	}
+	close(work)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range work {
+				t0 := time.Now()
+				pn, pb, out, err := op()
+				d := time.Since(t0)
+				mu.Lock()
+				if err != nil {
+					if opErr == nil {
+						opErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				lat = append(lat, d)
+				res.PeakBufferNodes = max(res.PeakBufferNodes, pn)
+				res.PeakBufferBytes = max(res.PeakBufferBytes, pb)
+				res.OutputBytes = out
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	total := time.Since(start)
+	if opErr != nil {
+		return res, fmt.Errorf("%s: %w", path, opErr)
+	}
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	res.DocsPerSec = float64(requests) / total.Seconds()
+	res.P50Ms = ms(percentile(lat, 0.50))
+	res.P99Ms = ms(percentile(lat, 0.99))
+	res.AllocsPerOp = (after.Mallocs - before.Mallocs) / uint64(requests)
+	res.AllocBytesPerOp = (after.TotalAlloc - before.TotalAlloc) / uint64(requests)
+	return res, nil
+}
+
+// serveSolo: each iteration runs every query as an independent pass —
+// the N-pass baseline the shared stream amortizes away.
+func serveSolo(cfg ServeConfig, doc []byte) (ServePathResult, error) {
+	engines := make([]*gcx.Engine, len(cfg.Queries))
+	for i, q := range cfg.Queries {
+		e, err := gcx.Compile(q.Text)
+		if err != nil {
+			return ServePathResult{}, err
+		}
+		engines[i] = e
+	}
+	return measure("solo", cfg.Requests, 1, func() (int64, int64, int64, error) {
+		var pn, pb, out int64
+		for _, e := range engines {
+			st, err := e.Run(bytes.NewReader(doc), io.Discard)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			pn = max(pn, st.PeakBufferNodes)
+			pb = max(pb, st.PeakBufferBytes)
+			out += st.OutputBytes
+		}
+		return pn, pb, out, nil
+	})
+}
+
+// serveWorkload: one shared pass per iteration.
+func serveWorkload(cfg ServeConfig, doc []byte) (ServePathResult, error) {
+	texts := make([]string, len(cfg.Queries))
+	for i, q := range cfg.Queries {
+		texts[i] = q.Text
+	}
+	wl, err := gcx.CompileWorkload(texts)
+	if err != nil {
+		return ServePathResult{}, err
+	}
+	outs := make([]io.Writer, wl.Len())
+	for i := range outs {
+		outs[i] = io.Discard
+	}
+	return measure("workload", cfg.Requests, 1, func() (int64, int64, int64, error) {
+		st, err := wl.Run(bytes.NewReader(doc), outs)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return st.Aggregate.PeakBufferNodes, st.Aggregate.PeakBufferBytes, st.Aggregate.OutputBytes, nil
+	})
+}
+
+// serveHTTP: POST /workload against an in-process gcxd over a real
+// loopback socket, cfg.Concurrency clients at a time. Peak buffer comes
+// from the server's own metrics (largest single-run peak observed).
+func serveHTTP(cfg ServeConfig, doc []byte) (ServePathResult, error) {
+	reg := server.NewRegistry()
+	for _, q := range cfg.Queries {
+		if err := reg.Add(q.Name, q.Text); err != nil {
+			return ServePathResult{}, err
+		}
+	}
+	srv, err := server.New(server.Config{Registry: reg, Cache: gcx.NewCompileCache(0)})
+	if err != nil {
+		return ServePathResult{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return ServePathResult{}, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+	url := "http://" + ln.Addr().String() + "/workload"
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.Concurrency}}
+
+	post := func() error {
+		resp, err := client.Post(url, "application/xml", bytes.NewReader(doc))
+		if err != nil {
+			return err
+		}
+		_, err = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+
+	// Peaks and engine output bytes come from the server's own metrics
+	// afterwards (the in-handler counting wraps the engine writers, so
+	// OutputBytes stays comparable to the library paths rather than
+	// counting multipart framing); per-op values in the loop are zero.
+	res, err := measure("server", cfg.Requests, cfg.Concurrency, func() (int64, int64, int64, error) {
+		return 0, 0, 0, post()
+	})
+	if err != nil {
+		return res, err
+	}
+	snap := srv.Metrics()
+	res.PeakBufferNodes = snap.Aggregate.PeakBufferNodes
+	res.PeakBufferBytes = snap.Aggregate.PeakBufferBytes
+	// measure ran requests+1 identical ops (warm-up included) against a
+	// fresh server, so the per-op engine output is the exact quotient.
+	res.OutputBytes = snap.Aggregate.OutputBytes / int64(cfg.Requests+1)
+	return res, nil
+}
+
+// FormatServeResult renders one path result as a single line.
+func FormatServeResult(r ServePathResult) string {
+	return fmt.Sprintf("%-9s %6.1f docs/s   p50 %7.1fms   p99 %7.1fms   peak %9s (%d nodes)   %d allocs/op",
+		r.Path, r.DocsPerSec, r.P50Ms, r.P99Ms, humanBytes(r.PeakBufferBytes), r.PeakBufferNodes, r.AllocsPerOp)
+}
+
+// FormatServeTable renders the full report for humans.
+func FormatServeTable(rep *ServeReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Serving trajectory: %s doc, queries %s, %d iterations, server concurrency %d\n",
+		humanBytes(rep.DocBytes), strings.Join(rep.Queries, ","), rep.Requests, rep.Concurrency)
+	for _, r := range rep.Results {
+		b.WriteString(FormatServeResult(r) + "\n")
+	}
+	return b.String()
+}
+
+// percentile is the nearest-rank percentile: the smallest sample ≥ p of
+// the distribution (so p99 of a small sample reports the tail, not the
+// median's neighbour).
+func percentile(durs []time.Duration, p float64) time.Duration {
+	if len(durs) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), durs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(math.Ceil(p*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

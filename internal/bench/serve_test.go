@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"testing"
+	"time"
+
+	"gcx/internal/queries"
+)
+
+// TestRunServeSmoke: the three-path sweep completes on a tiny document
+// and produces a structurally sound, JSON-serializable report.
+func TestRunServeSmoke(t *testing.T) {
+	rep, err := RunServe(ServeConfig{
+		DocBytes:    32 << 10,
+		Seed:        5,
+		Requests:    2,
+		Concurrency: 2,
+		Queries:     []queries.Query{queries.Q1, queries.Q13},
+		Progress:    io.Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("want 3 paths, got %d", len(rep.Results))
+	}
+	wantPaths := []string{"solo", "workload", "server"}
+	for i, r := range rep.Results {
+		if r.Path != wantPaths[i] {
+			t.Fatalf("path %d: want %s, got %s", i, wantPaths[i], r.Path)
+		}
+		if r.DocsPerSec <= 0 || r.P50Ms <= 0 || r.P99Ms < r.P50Ms {
+			t.Fatalf("%s: implausible latency figures: %+v", r.Path, r)
+		}
+		if r.PeakBufferNodes <= 0 {
+			t.Fatalf("%s: no buffer peak recorded", r.Path)
+		}
+		if r.OutputBytes <= 0 {
+			t.Fatalf("%s: no output recorded", r.Path)
+		}
+	}
+	// All paths evaluate the same queries over the same document and all
+	// report ENGINE output bytes (the server row reads its own metrics,
+	// not HTTP framing), so the three volumes must agree exactly.
+	for _, r := range rep.Results[1:] {
+		if r.OutputBytes != rep.Results[0].OutputBytes {
+			t.Fatalf("%s output volume %d differs from solo %d",
+				r.Path, r.OutputBytes, rep.Results[0].OutputBytes)
+		}
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	durs := []time.Duration{5, 1, 4, 2, 3} // unsorted on purpose
+	if got := percentile(durs, 0.5); got != 3 {
+		t.Fatalf("p50: %d", got)
+	}
+	if got := percentile(durs, 0.99); got != 5 {
+		t.Fatalf("p99: %d", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty: %d", got)
+	}
+}

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"gcx"
+)
+
+// metrics holds the scrape-stable service counters. Everything is an
+// atomic so the hot request path never takes a lock; /metrics reads a
+// consistent-enough snapshot (counters are monotonic).
+type metrics struct {
+	queryRequests    atomic.Int64
+	workloadRequests atomic.Int64
+	erroredRequests  atomic.Int64
+
+	bytesIn  atomic.Int64 // request-body bytes streamed into engines
+	bytesOut atomic.Int64 // result bytes streamed to clients
+
+	tokensRead    atomic.Int64
+	nodesBuffered atomic.Int64
+	nodesPurged   atomic.Int64
+	signOffs      atomic.Int64
+
+	peakNodesMax atomic.Int64 // largest single-run buffer peak observed
+	peakBytesMax atomic.Int64
+	peakNodesSum atomic.Int64 // summed per-run peaks (aggregate buffer pressure)
+	peakBytesSum atomic.Int64
+}
+
+// record folds one run's stats into the service totals.
+func (m *metrics) record(st gcx.Stats) {
+	m.tokensRead.Add(st.TokensRead)
+	m.nodesBuffered.Add(st.BufferedTotal)
+	m.nodesPurged.Add(st.PurgedTotal)
+	m.signOffs.Add(st.SignOffs)
+	m.peakNodesSum.Add(st.PeakBufferNodes)
+	m.peakBytesSum.Add(st.PeakBufferBytes)
+	atomicMax(&m.peakNodesMax, st.PeakBufferNodes)
+	atomicMax(&m.peakBytesMax, st.PeakBufferBytes)
+}
+
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Snapshot is the JSON view of /metrics. It builds on the cmd/gcx
+// -stats-json shape: Aggregate is a gcx.Stats whose total fields
+// (tokens, buffered, purged, signOffs, output bytes) are summed across
+// all runs the service performed, while its Peak fields report the
+// largest single-run peak observed.
+type Snapshot struct {
+	RequestsQuery    int64          `json:"requests_query"`
+	RequestsWorkload int64          `json:"requests_workload"`
+	RequestsErrored  int64          `json:"requests_errored"`
+	BytesIn          int64          `json:"bytes_in"`
+	Cache            gcx.CacheStats `json:"cache"`
+	Aggregate        gcx.Stats      `json:"aggregate"`
+	PeakNodesSum     int64          `json:"peak_buffer_nodes_sum"`
+	PeakBytesSum     int64          `json:"peak_buffer_bytes_sum"`
+}
+
+func (m *metrics) snapshot(cache gcx.CacheStats) Snapshot {
+	return Snapshot{
+		RequestsQuery:    m.queryRequests.Load(),
+		RequestsWorkload: m.workloadRequests.Load(),
+		RequestsErrored:  m.erroredRequests.Load(),
+		BytesIn:          m.bytesIn.Load(),
+		Cache:            cache,
+		Aggregate: gcx.Stats{
+			PeakBufferNodes: m.peakNodesMax.Load(),
+			PeakBufferBytes: m.peakBytesMax.Load(),
+			BufferedTotal:   m.nodesBuffered.Load(),
+			PurgedTotal:     m.nodesPurged.Load(),
+			SignOffs:        m.signOffs.Load(),
+			TokensRead:      m.tokensRead.Load(),
+			OutputBytes:     m.bytesOut.Load(),
+		},
+		PeakNodesSum: m.peakNodesSum.Load(),
+		PeakBytesSum: m.peakBytesSum.Load(),
+	}
+}
+
+// writeJSON emits the snapshot as one JSON object.
+func (s Snapshot) writeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(s)
+}
+
+// writeProm emits the snapshot in the Prometheus text exposition format.
+// Names are scrape-stable: CI and dashboards key on them.
+func (s Snapshot) writeProm(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("# TYPE gcxd_requests_total counter\n")
+	p("gcxd_requests_total{endpoint=\"query\"} %d\n", s.RequestsQuery)
+	p("gcxd_requests_total{endpoint=\"workload\"} %d\n", s.RequestsWorkload)
+	p("# TYPE gcxd_errors_total counter\n")
+	p("gcxd_errors_total %d\n", s.RequestsErrored)
+	p("# TYPE gcxd_cache_hits_total counter\n")
+	p("gcxd_cache_hits_total %d\n", s.Cache.Hits)
+	p("# TYPE gcxd_cache_misses_total counter\n")
+	p("gcxd_cache_misses_total %d\n", s.Cache.Misses)
+	p("# TYPE gcxd_cache_evictions_total counter\n")
+	p("gcxd_cache_evictions_total %d\n", s.Cache.Evictions)
+	p("# TYPE gcxd_cache_compiles_total counter\n")
+	p("gcxd_cache_compiles_total %d\n", s.Cache.Compiles)
+	p("# TYPE gcxd_cache_entries gauge\n")
+	p("gcxd_cache_entries %d\n", s.Cache.Entries)
+	p("# TYPE gcxd_bytes_in_total counter\n")
+	p("gcxd_bytes_in_total %d\n", s.BytesIn)
+	p("# TYPE gcxd_bytes_out_total counter\n")
+	p("gcxd_bytes_out_total %d\n", s.Aggregate.OutputBytes)
+	p("# TYPE gcxd_tokens_read_total counter\n")
+	p("gcxd_tokens_read_total %d\n", s.Aggregate.TokensRead)
+	p("# TYPE gcxd_nodes_buffered_total counter\n")
+	p("gcxd_nodes_buffered_total %d\n", s.Aggregate.BufferedTotal)
+	p("# TYPE gcxd_nodes_purged_total counter\n")
+	p("gcxd_nodes_purged_total %d\n", s.Aggregate.PurgedTotal)
+	p("# TYPE gcxd_signoffs_total counter\n")
+	p("gcxd_signoffs_total %d\n", s.Aggregate.SignOffs)
+	p("# TYPE gcxd_buffer_peak_nodes_max gauge\n")
+	p("gcxd_buffer_peak_nodes_max %d\n", s.Aggregate.PeakBufferNodes)
+	p("# TYPE gcxd_buffer_peak_bytes_max gauge\n")
+	p("gcxd_buffer_peak_bytes_max %d\n", s.Aggregate.PeakBufferBytes)
+	p("# TYPE gcxd_buffer_peak_nodes_sum counter\n")
+	p("gcxd_buffer_peak_nodes_sum %d\n", s.PeakNodesSum)
+	p("# TYPE gcxd_buffer_peak_bytes_sum counter\n")
+	p("gcxd_buffer_peak_bytes_sum %d\n", s.PeakBytesSum)
+	return err
+}

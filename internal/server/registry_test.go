@@ -1,0 +1,84 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseRegistryMultiQuery(t *testing.T) {
+	src := `=== first
+<a>{ for $x in /r/a return $x }</a>
+=== second
+<b>{
+  for $x in /r/b return $x
+}</b>
+`
+	reg, err := ParseRegistry("default", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.IDs(); len(got) != 2 || got[0] != "first" || got[1] != "second" {
+		t.Fatalf("ids: %v", got)
+	}
+	q, ok := reg.Get("second")
+	if !ok || !strings.Contains(q, "/r/b") {
+		t.Fatalf("second: %q (%t)", q, ok)
+	}
+}
+
+func TestParseRegistrySingleQueryUsesDefaultID(t *testing.T) {
+	reg, err := ParseRegistry("solo", strings.NewReader(`<a>{ for $x in /r/a return $x }</a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.IDs(); len(got) != 1 || got[0] != "solo" {
+		t.Fatalf("ids: %v", got)
+	}
+}
+
+func TestParseRegistryRejectsDuplicates(t *testing.T) {
+	src := "=== a\n<a/>\n=== a\n<b/>\n"
+	if _, err := ParseRegistry("d", strings.NewReader(src)); err == nil {
+		t.Fatal("duplicate id must be rejected")
+	}
+}
+
+func TestParseRegistryEmpty(t *testing.T) {
+	if _, err := ParseRegistry("d", strings.NewReader("\n\n")); err == nil {
+		t.Fatal("empty registry must be rejected")
+	}
+}
+
+func TestLoadRegistryFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "catalog.xq")
+	src := "=== one\n<a>{ for $x in /r/a return $x }</a>\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := LoadRegistry(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.IDs(); len(got) != 1 || got[0] != "one" {
+		t.Fatalf("ids: %v", got)
+	}
+}
+
+func TestLoadRegistryDirectory(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"zeta.xq", "alpha.xq", "ignored.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(`<a>{ for $x in /r/a return $x }</a>`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg, err := LoadRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.IDs(); len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Fatalf("ids: %v", got)
+	}
+}

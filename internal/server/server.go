@@ -1,0 +1,443 @@
+// Package server is the HTTP serving layer of gcx (cmd/gcxd): clients
+// POST an XML document and name a query — inline or from a registry
+// loaded at startup — and the document is evaluated as a stream.
+//
+// The request body is never slurped: it is handed to the engine as an
+// io.Reader, so the server's memory high watermark per request is the
+// engine's buffer peak — exactly the quantity the paper's combined static
+// and dynamic analysis minimizes. That property is what makes the engine
+// safe to put behind a socket: a 200 MB document POSTed to a streaming
+// query costs the server a few KB of buffer, not 200 MB.
+//
+// Hot queries are served from a gcx.CompileCache, so steady-state
+// requests perform zero compilations and draw pooled run states from the
+// cached Engines (PR 1) and Workloads (PR 2).
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/textproto"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"gcx"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Registry holds the queries servable by id. May be nil: the server
+	// then serves inline queries only.
+	Registry *Registry
+	// Cache is the compile cache; nil allocates a fresh one with the
+	// default capacity.
+	Cache *gcx.CompileCache
+	// Options are the gcx compile options applied to every query
+	// (strategy, optimizations, schema). All queries of one server share
+	// one configuration, mirroring gcx.CompileWorkload.
+	Options []gcx.Option
+	// MaxBodyBytes rejects request bodies larger than this (0 = no limit).
+	// Enforcement is streaming: the limit trips when the excess byte is
+	// read, not by buffering the body.
+	MaxBodyBytes int64
+	// Timeout bounds one request's evaluation, input read included
+	// (0 = no limit). On expiry the engine's stream read fails and the
+	// evaluation unwinds; this reuses the engine's error propagation
+	// rather than abandoning a goroutine.
+	Timeout time.Duration
+}
+
+// Server handles the gcxd HTTP API:
+//
+//	POST /query?q=...        evaluate an inline query over the body
+//	POST /query?id=...       evaluate a registered query
+//	POST /workload?id=a&id=b evaluate several queries in ONE pass of the body
+//	GET  /queries            list registered query ids
+//	GET  /metrics            service counters (Prometheus text; ?format=json)
+//	GET  /healthz            liveness
+//
+// Responses to /query stream: result bytes are written as evaluation
+// produces them, with run statistics in the Gcx-Stats HTTP trailer. A
+// Server is immutable after New and safe for concurrent use.
+type Server struct {
+	cfg   Config
+	cache *gcx.CompileCache
+	reg   *Registry
+	mux   *http.ServeMux
+	m     metrics
+}
+
+// New builds a Server and precompiles every registered query, so a
+// registry typo fails at startup rather than on first request and
+// /query?id= requests are cache hits from the first one.
+func New(cfg Config) (*Server, error) {
+	s := &Server{cfg: cfg, cache: cfg.Cache, reg: cfg.Registry}
+	if s.cache == nil {
+		s.cache = gcx.NewCompileCache(0)
+	}
+	if s.reg == nil {
+		s.reg = NewRegistry()
+	}
+	for _, id := range s.reg.IDs() {
+		q, _ := s.reg.Get(id)
+		if _, err := s.cache.Engine(q, cfg.Options...); err != nil {
+			return nil, fmt.Errorf("server: registered query %q: %w", id, err)
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /workload", s.handleWorkload)
+	mux.HandleFunc("GET /queries", s.handleQueries)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	s.mux = mux
+	return s, nil
+}
+
+// Cache returns the server's compile cache (metrics, tests).
+func (s *Server) Cache() *gcx.CompileCache { return s.cache }
+
+// Metrics returns a snapshot of the service counters.
+func (s *Server) Metrics() Snapshot { return s.m.snapshot(s.cache.Stats()) }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// resolveQuery maps one q=/id= parameter pair to a query text.
+func (s *Server) resolveQuery(r *http.Request) (string, error) {
+	q := r.URL.Query().Get("q")
+	id := r.URL.Query().Get("id")
+	switch {
+	case q != "" && id != "":
+		return "", errors.New("give either q= or id=, not both")
+	case q != "":
+		return q, nil
+	case id != "":
+		text, ok := s.reg.Get(id)
+		if !ok {
+			return "", fmt.Errorf("unknown query id %q", id)
+		}
+		return text, nil
+	default:
+		return "", errors.New("missing query: give q= (inline) or id= (registered)")
+	}
+}
+
+// body wraps the request body for engine consumption: size-limited,
+// deadline-aware, and counted. The returned context carries the request
+// deadline and must also guard the response writer: once the input hits
+// EOF the engine performs no more reads, so without a write-side check a
+// slow-reading client would keep the evaluation alive past the timeout.
+// The returned cancel must be deferred.
+func (s *Server) body(w http.ResponseWriter, r *http.Request) (io.Reader, context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	cancel := context.CancelFunc(func() {})
+	if s.cfg.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+	}
+	var in io.Reader = r.Body
+	if s.cfg.MaxBodyBytes > 0 {
+		in = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
+	return &ctxReader{ctx: ctx, r: in, n: &s.m.bytesIn}, ctx, cancel
+}
+
+// ctxReader surfaces context cancellation (request timeout, client gone)
+// as a stream read error, which the engine propagates verbatim — the
+// same unwind path as a failing disk read in engine/failure_test.go.
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+	n   *atomic.Int64
+}
+
+func (c *ctxReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, fmt.Errorf("request aborted: %w", err)
+	}
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	// A Read blocked past the deadline returns normally (or EOF) — the
+	// expiry must still win, or a trickling client defeats the timeout.
+	if cerr := c.ctx.Err(); cerr != nil && (err == nil || errors.Is(err, io.EOF)) {
+		return n, fmt.Errorf("request aborted: %w", cerr)
+	}
+	return n, err
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.m.queryRequests.Add(1)
+	text, err := s.resolveQuery(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	eng, err := s.cache.Engine(text, s.cfg.Options...)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("compile: %w", err))
+		return
+	}
+	in, ctx, cancel := s.body(w, r)
+	defer cancel()
+
+	// The result streams; the status line is committed before evaluation
+	// finishes, so run statistics and late errors travel as trailers.
+	w.Header().Set("Trailer", "Gcx-Stats, Gcx-Error")
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	out := &countingWriter{w: w, n: &s.m.bytesOut, ctx: ctx}
+	stats, runErr := eng.Run(in, out)
+	s.m.record(stats)
+	if runErr != nil {
+		s.m.erroredRequests.Add(1)
+		if out.written == 0 {
+			// Nothing committed yet: a proper status line is still possible.
+			h := w.Header()
+			h.Del("Trailer")
+			h.Del("Content-Type")
+			s.failCode(w, runErr)
+			return
+		}
+		w.Header().Set("Gcx-Error", runErr.Error())
+	}
+	if b, err := json.Marshal(stats); err == nil {
+		w.Header().Set("Gcx-Stats", string(b))
+	}
+}
+
+// workloadResponse is the JSON shape of POST /workload under
+// Accept: application/json.
+type workloadResponse struct {
+	IDs     []string          `json:"ids"`
+	Results []string          `json:"results"`
+	Errors  []string          `json:"errors,omitempty"`
+	Stats   gcx.WorkloadStats `json:"stats"`
+}
+
+func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
+	s.m.workloadRequests.Add(1)
+	params := r.URL.Query()
+	ids := params["id"]
+	if len(ids) == 0 && len(params["q"]) == 0 {
+		ids = s.reg.IDs()
+	}
+	var texts, labels []string
+	for _, id := range ids {
+		text, ok := s.reg.Get(id)
+		if !ok {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown query id %q", id))
+			return
+		}
+		texts = append(texts, text)
+		labels = append(labels, id)
+	}
+	for i, q := range params["q"] {
+		texts = append(texts, q)
+		labels = append(labels, fmt.Sprintf("inline-%d", i))
+	}
+	if len(texts) == 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("no queries: registry is empty and no id=/q= given"))
+		return
+	}
+	wl, err := s.cache.Workload(texts, s.cfg.Options...)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("compile: %w", err))
+		return
+	}
+	in, ctx, cancel := s.body(w, r)
+	defer cancel()
+
+	if strings.Contains(r.Header.Get("Accept"), "application/json") {
+		s.workloadJSON(w, wl, in, labels)
+		return
+	}
+	s.workloadMultipart(w, ctx, wl, in, labels)
+}
+
+// workloadJSON buffers every member result and responds with one JSON
+// object. Convenient for programmatic clients; large results belong in
+// the multipart path.
+func (s *Server) workloadJSON(w http.ResponseWriter, wl *gcx.Workload, in io.Reader, labels []string) {
+	bufs := make([]bytes.Buffer, wl.Len())
+	outs := make([]io.Writer, wl.Len())
+	for i := range bufs {
+		outs[i] = &countingWriter{w: &bufs[i], n: &s.m.bytesOut}
+	}
+	stats, runErr := wl.Run(in, outs)
+	s.m.record(stats.Aggregate)
+	resp := workloadResponse{IDs: labels, Stats: stats}
+	for i := range bufs {
+		resp.Results = append(resp.Results, bufs[i].String())
+	}
+	if runErr != nil {
+		s.m.erroredRequests.Add(1)
+		// Nothing has been committed yet on this (fully buffered) path, so
+		// a failure of the shared stream itself — which interrupts every
+		// member — gets a proper status code, same as /query. A partial
+		// failure (some members completed) stays 200 with the error list.
+		allFailed := true
+		for _, q := range stats.Queries {
+			if q.Err == nil {
+				allFailed = false
+				break
+			}
+		}
+		if allFailed {
+			s.failCode(w, runErr)
+			return
+		}
+		for _, q := range stats.Queries {
+			if q.Err != nil {
+				resp.Errors = append(resp.Errors, q.Err.Error())
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSONBody(w, resp)
+}
+
+// workloadMultipart streams a multipart/mixed response: the FIRST
+// member's part is created up front and receives its bytes progressively
+// along the shared pass (multipart parts are sequential, so later members
+// buffer until the pass completes, exactly like cmd/gcx's stdout
+// discipline); the final part carries the WorkloadStats JSON.
+func (s *Server) workloadMultipart(w http.ResponseWriter, ctx context.Context, wl *gcx.Workload, in io.Reader, labels []string) {
+	mw := multipart.NewWriter(w)
+	w.Header().Set("Content-Type", "multipart/mixed; boundary="+mw.Boundary())
+
+	part0, err := mw.CreatePart(partHeader(0, labels[0], "application/xml; charset=utf-8"))
+	if err != nil {
+		return
+	}
+	bufs := make([]bytes.Buffer, wl.Len())
+	outs := make([]io.Writer, wl.Len())
+	outs[0] = &countingWriter{w: part0, n: &s.m.bytesOut, ctx: ctx}
+	for i := 1; i < wl.Len(); i++ {
+		outs[i] = &countingWriter{w: &bufs[i], n: &s.m.bytesOut}
+	}
+	stats, runErr := wl.Run(in, outs)
+	s.m.record(stats.Aggregate)
+	if runErr != nil {
+		s.m.erroredRequests.Add(1)
+	}
+	for i := 1; i < wl.Len(); i++ {
+		p, err := mw.CreatePart(partHeader(i, labels[i], "application/xml; charset=utf-8"))
+		if err != nil {
+			return
+		}
+		if _, err := p.Write(bufs[i].Bytes()); err != nil {
+			return
+		}
+	}
+	sh := textproto.MIMEHeader{}
+	sh.Set("Content-Type", "application/json")
+	sh.Set("Gcx-Part", "stats")
+	if runErr != nil {
+		sh.Set("Gcx-Error", runErr.Error())
+	}
+	sp, err := mw.CreatePart(sh)
+	if err != nil {
+		return
+	}
+	resp := workloadResponse{IDs: labels, Stats: stats}
+	if runErr != nil {
+		for _, q := range stats.Queries {
+			if q.Err != nil {
+				resp.Errors = append(resp.Errors, q.Err.Error())
+			}
+		}
+	}
+	writeJSONBody(sp, resp)
+	mw.Close()
+}
+
+func partHeader(index int, label, contentType string) textproto.MIMEHeader {
+	h := textproto.MIMEHeader{}
+	h.Set("Content-Type", contentType)
+	h.Set("Gcx-Query-Index", strconv.Itoa(index))
+	h.Set("Gcx-Query-Id", label)
+	return h
+}
+
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	writeJSONBody(w, struct {
+		IDs []string `json:"ids"`
+	}{IDs: s.reg.IDs()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.Metrics()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		snap.writeJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap.writeProm(w)
+}
+
+// fail responds with a plain-text error before any body bytes were
+// committed.
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	s.m.erroredRequests.Add(1)
+	http.Error(w, "gcxd: "+err.Error(), code)
+}
+
+// failCode classifies a run error that occurred before the first output
+// byte: body too large, evaluation timeout, client gone, or bad input.
+func (s *Server) failCode(w http.ResponseWriter, err error) {
+	var maxErr *http.MaxBytesError
+	switch {
+	case errors.As(err, &maxErr):
+		http.Error(w, "gcxd: "+err.Error(), http.StatusRequestEntityTooLarge)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "gcxd: evaluation timeout: "+err.Error(), http.StatusRequestTimeout)
+	case errors.Is(err, context.Canceled):
+		// Client is gone; nobody reads this status.
+		http.Error(w, "gcxd: "+err.Error(), http.StatusBadRequest)
+	default:
+		http.Error(w, "gcxd: "+err.Error(), http.StatusBadRequest)
+	}
+}
+
+// writeJSONBody encodes v to w; encode errors mean the client is gone
+// and are deliberately dropped.
+func writeJSONBody(w io.Writer, v any) {
+	json.NewEncoder(w).Encode(v)
+}
+
+// countingWriter forwards writes and counts bytes (per-request commit
+// detection and the service bytes-out counter). When ctx is set, an
+// expired deadline fails the write: after the input reaches EOF the
+// engine performs no more reads, so this is what bounds the
+// result-emission phase for a slow-reading client.
+type countingWriter struct {
+	w       io.Writer
+	n       *atomic.Int64
+	written int64
+	ctx     context.Context
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.ctx != nil {
+		if err := c.ctx.Err(); err != nil {
+			return 0, fmt.Errorf("request aborted: %w", err)
+		}
+	}
+	n, err := c.w.Write(p)
+	c.written += int64(n)
+	c.n.Add(int64(n))
+	return n, err
+}

@@ -1,0 +1,525 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gcx"
+	"gcx/internal/queries"
+	"gcx/internal/xmark"
+)
+
+// testDoc caches one small XMark document shared by the suite.
+var testDoc struct {
+	once sync.Once
+	data []byte
+}
+
+func xmarkDoc(t testing.TB) []byte {
+	testDoc.once.Do(func() {
+		var buf bytes.Buffer
+		if _, err := xmark.Generate(&buf, xmark.Config{Factor: 0.002, Seed: 11}); err != nil {
+			panic(err)
+		}
+		testDoc.data = buf.Bytes()
+	})
+	if len(testDoc.data) == 0 {
+		t.Fatal("no test document")
+	}
+	return testDoc.data
+}
+
+// testRegistry registers the paper's Table 1 queries under their names.
+func testRegistry(t testing.TB) *Registry {
+	reg := NewRegistry()
+	for _, q := range queries.All() {
+		if err := reg.Add(q.Name, q.Text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reg
+}
+
+func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+	if cfg.Registry == nil {
+		cfg.Registry = testRegistry(t)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// directRun is the ground truth: the library evaluation the server must
+// reproduce byte for byte.
+func directRun(t testing.TB, query string, doc []byte) string {
+	t.Helper()
+	eng, err := gcx.Compile(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if _, err := eng.Run(bytes.NewReader(doc), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+// tryPost is the goroutine-safe request helper (no t.Fatal — the testing
+// package forbids FailNow off the test goroutine).
+func tryPost(client *http.Client, url string, body []byte, accept string) (*http.Response, []byte, error) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, data, nil
+}
+
+func post(t testing.TB, client *http.Client, url string, body []byte, accept string) (*http.Response, []byte) {
+	t.Helper()
+	resp, data, err := tryPost(client, url, body, accept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestQueryByIDMatchesDirectRun(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	doc := xmarkDoc(t)
+	for _, q := range queries.All() {
+		resp, body := post(t, ts.Client(), ts.URL+"/query?id="+q.Name, doc, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", q.Name, resp.StatusCode, body)
+		}
+		want := directRun(t, q.Text, doc)
+		if string(body) != want {
+			t.Fatalf("%s: served result differs from direct Engine.Run (%d vs %d bytes)", q.Name, len(body), len(want))
+		}
+		if got := resp.Trailer.Get("Gcx-Error"); got != "" {
+			t.Fatalf("%s: unexpected error trailer %q", q.Name, got)
+		}
+		var st gcx.Stats
+		if err := json.Unmarshal([]byte(resp.Trailer.Get("Gcx-Stats")), &st); err != nil {
+			t.Fatalf("%s: stats trailer: %v (%q)", q.Name, err, resp.Trailer.Get("Gcx-Stats"))
+		}
+		if st.OutputBytes != int64(len(want)) {
+			t.Fatalf("%s: trailer reports %d output bytes, served %d", q.Name, st.OutputBytes, len(want))
+		}
+	}
+}
+
+func TestQueryInline(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	doc := xmarkDoc(t)
+	q := `<inline>{ for $p in /site/people/person return $p/name }</inline>`
+	resp, body := post(t, ts.Client(), ts.URL+"/query?q="+urlEscape(q), doc, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if want := directRun(t, q, doc); string(body) != want {
+		t.Fatal("inline query result differs from direct run")
+	}
+}
+
+func urlEscape(s string) string {
+	r := strings.NewReplacer("%", "%25", "&", "%26", "+", "%2B", "#", "%23", " ", "%20", "\n", "%0A")
+	return r.Replace(s)
+}
+
+func TestQueryRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for name, url := range map[string]string{
+		"no query":      "/query",
+		"unknown id":    "/query?id=nope",
+		"both q and id": "/query?id=Q1&q=x",
+		"bad syntax":    "/query?q=" + urlEscape("<q>{ for $b in"),
+	} {
+		resp, _ := post(t, ts.Client(), ts.URL+url, []byte("<r/>"), "")
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: want 400, got %d", name, resp.StatusCode)
+		}
+	}
+}
+
+func TestWorkloadJSONMatchesSoloRuns(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	doc := xmarkDoc(t)
+	resp, body := post(t, ts.Client(), ts.URL+"/workload", doc, "application/json")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var wr workloadResponse
+	if err := json.Unmarshal(body, &wr); err != nil {
+		t.Fatal(err)
+	}
+	all := queries.All()
+	if len(wr.Results) != len(all) {
+		t.Fatalf("want %d results, got %d", len(all), len(wr.Results))
+	}
+	for i, q := range all {
+		if wr.IDs[i] != q.Name {
+			t.Fatalf("result %d: want id %s, got %s", i, q.Name, wr.IDs[i])
+		}
+		if want := directRun(t, q.Text, doc); wr.Results[i] != want {
+			t.Fatalf("%s: workload result differs from solo run", q.Name)
+		}
+	}
+	if len(wr.Errors) != 0 {
+		t.Fatalf("unexpected errors: %v", wr.Errors)
+	}
+	if wr.Stats.Aggregate.TokensRead == 0 {
+		t.Fatal("aggregate stats missing")
+	}
+}
+
+func TestWorkloadMultipart(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	doc := xmarkDoc(t)
+	resp, body := post(t, ts.Client(), ts.URL+"/workload?id=Q1&id=Q13", doc, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	mt, params, err := mime.ParseMediaType(resp.Header.Get("Content-Type"))
+	if err != nil || mt != "multipart/mixed" {
+		t.Fatalf("content type %q: %v", resp.Header.Get("Content-Type"), err)
+	}
+	mr := multipart.NewReader(bytes.NewReader(body), params["boundary"])
+	want := map[string]string{
+		"Q1":  directRun(t, queries.Q1.Text, doc),
+		"Q13": directRun(t, queries.Q13.Text, doc),
+	}
+	var gotStats bool
+	var parts int
+	for {
+		p, err := mr.NextPart()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Header.Get("Gcx-Part") == "stats" {
+			gotStats = true
+			var wr workloadResponse
+			if err := json.Unmarshal(data, &wr); err != nil {
+				t.Fatalf("stats part: %v", err)
+			}
+			if wr.Stats.Aggregate.TokensRead == 0 {
+				t.Fatal("stats part has no aggregate token count")
+			}
+			continue
+		}
+		parts++
+		id := p.Header.Get("Gcx-Query-Id")
+		if string(data) != want[id] {
+			t.Fatalf("part %s differs from solo run", id)
+		}
+	}
+	if parts != 2 || !gotStats {
+		t.Fatalf("want 2 query parts + stats part, got %d (stats %t)", parts, gotStats)
+	}
+}
+
+// TestCacheHitsPerformZeroCompiles locks in the compile-cache contract:
+// after the first request for a query, repeated requests must not compile
+// anything.
+func TestCacheHitsPerformZeroCompiles(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	doc := xmarkDoc(t)
+	// Prime: registered queries are compiled by New already; one request
+	// each for the workload and an inline query.
+	post(t, ts.Client(), ts.URL+"/query?id=Q1", doc, "")
+	post(t, ts.Client(), ts.URL+"/workload", doc, "application/json")
+	inline := `<i>{ for $p in /site/people/person return $p/id }</i>`
+	post(t, ts.Client(), ts.URL+"/query?q="+urlEscape(inline), doc, "")
+
+	before := s.Cache().Stats()
+	for i := 0; i < 5; i++ {
+		post(t, ts.Client(), ts.URL+"/query?id=Q1", doc, "")
+		post(t, ts.Client(), ts.URL+"/workload", doc, "application/json")
+		post(t, ts.Client(), ts.URL+"/query?q="+urlEscape(inline), doc, "")
+	}
+	after := s.Cache().Stats()
+	if after.Compiles != before.Compiles {
+		t.Fatalf("hot requests compiled: %d -> %d compiles", before.Compiles, after.Compiles)
+	}
+	if after.Hits <= before.Hits {
+		t.Fatalf("expected cache hits to grow: %+v -> %+v", before, after)
+	}
+}
+
+// TestConcurrentMixedRequests fires many concurrent requests of every
+// kind — solo hits, workload, cache-missing inline queries, oversized
+// bodies, mid-body disconnects — and byte-compares every successful
+// response against the direct library run. Run with -race this is the
+// serving layer's concurrency proof.
+func TestConcurrentMixedRequests(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxBodyBytes: 1 << 20})
+	doc := xmarkDoc(t)
+	if len(doc) >= 1<<20 {
+		t.Fatalf("test document too large for the configured body cap: %d", len(doc))
+	}
+	// Valid XML ~1.8MB, comfortably over the 1MB cap: the limit must trip
+	// while streaming, well before the closing root tag.
+	oversized := append([]byte("<r>"), bytes.Repeat([]byte("<x>padding</x>"), 1<<17)...)
+	oversized = append(oversized, "</r>"...)
+
+	wantByID := map[string]string{}
+	for _, q := range queries.All() {
+		wantByID[q.Name] = directRun(t, q.Text, doc)
+	}
+	// Pre-compute the cache-missing inline queries and their expected
+	// outputs on the test goroutine (directRun uses t.Fatal).
+	const inlineVariants = 7
+	inlineQ := make([]string, inlineVariants)
+	inlineWant := make([]string, inlineVariants)
+	for v := 0; v < inlineVariants; v++ {
+		inlineQ[v] = fmt.Sprintf(`<m>{ for $p in /site/people/person return if ($p/id = "person%d") then $p/name else () }</m>`, v)
+		inlineWant[v] = directRun(t, inlineQ[v], doc)
+	}
+
+	const workers = 12
+	const iters = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := ts.Client()
+			for i := 0; i < iters; i++ {
+				switch (w + i) % 5 {
+				case 0: // registered solo query (cache hit)
+					q := queries.All()[(w+i)%len(queries.All())]
+					resp, body, err := tryPost(client, ts.URL+"/query?id="+q.Name, doc, "")
+					if err != nil {
+						t.Errorf("solo %s: %v", q.Name, err)
+						return
+					}
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("solo %s: status %d", q.Name, resp.StatusCode)
+						return
+					}
+					if string(body) != wantByID[q.Name] {
+						t.Errorf("solo %s: body differs from direct run", q.Name)
+						return
+					}
+				case 1: // full workload
+					resp, body, err := tryPost(client, ts.URL+"/workload", doc, "application/json")
+					if err != nil {
+						t.Errorf("workload: %v", err)
+						return
+					}
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("workload: status %d", resp.StatusCode)
+						return
+					}
+					var wr workloadResponse
+					if err := json.Unmarshal(body, &wr); err != nil {
+						t.Errorf("workload: %v", err)
+						return
+					}
+					for j, q := range queries.All() {
+						if wr.Results[j] != wantByID[q.Name] {
+							t.Errorf("workload %s differs from solo run", q.Name)
+							return
+						}
+					}
+				case 2: // cache miss: rotating inline queries
+					v := (w*iters + i) % inlineVariants
+					resp, body, err := tryPost(client, ts.URL+"/query?q="+urlEscape(inlineQ[v]), doc, "")
+					if err != nil {
+						t.Errorf("miss: %v", err)
+						return
+					}
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("miss: status %d", resp.StatusCode)
+						return
+					}
+					if string(body) != inlineWant[v] {
+						t.Errorf("miss: body differs from direct run")
+						return
+					}
+				case 3: // oversized body must be rejected, not buffered
+					resp, _, err := tryPost(client, ts.URL+"/query?id=Q1", oversized, "")
+					if err != nil {
+						t.Errorf("oversized: %v", err)
+						return
+					}
+					if resp.StatusCode != http.StatusRequestEntityTooLarge {
+						t.Errorf("oversized: want 413, got %d", resp.StatusCode)
+						return
+					}
+				case 4: // client disconnect mid-body
+					pr, pw := io.Pipe()
+					req, err := http.NewRequest(http.MethodPost, ts.URL+"/query?id=Q6", pr)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					go func() {
+						pw.Write(doc[:256])
+						pw.CloseWithError(errors.New("client walked away"))
+					}()
+					resp, err := client.Do(req)
+					if err == nil {
+						// The server may have answered before noticing;
+						// either way the connection must be sound.
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// The service must be healthy after the storm.
+	resp, body := post(t, ts.Client(), ts.URL+"/query?id=Q1", doc, "")
+	if resp.StatusCode != http.StatusOK || string(body) != wantByID["Q1"] {
+		t.Fatalf("server unhealthy after concurrent storm: status %d", resp.StatusCode)
+	}
+	snap := s.Metrics()
+	if snap.RequestsQuery == 0 || snap.RequestsWorkload == 0 {
+		t.Fatalf("metrics did not count requests: %+v", snap)
+	}
+	if snap.Cache.Hits == 0 {
+		t.Fatalf("no cache hits recorded: %+v", snap.Cache)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	doc := xmarkDoc(t)
+	post(t, ts.Client(), ts.URL+"/query?id=Q1", doc, "")
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, metric := range []string{
+		"gcxd_requests_total{endpoint=\"query\"} 1",
+		"gcxd_cache_hits_total",
+		"gcxd_bytes_in_total",
+		"gcxd_buffer_peak_nodes_max",
+	} {
+		if !strings.Contains(string(text), metric) {
+			t.Errorf("metrics output missing %q:\n%s", metric, text)
+		}
+	}
+
+	resp, err = ts.Client().Get(ts.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.RequestsQuery != 1 {
+		t.Fatalf("json snapshot: %+v", snap)
+	}
+	if snap.BytesIn != int64(len(doc)) {
+		t.Fatalf("bytes_in %d, want the full streamed document %d", snap.BytesIn, len(doc))
+	}
+	if snap.Aggregate.TokensRead == 0 || snap.Aggregate.PeakBufferNodes == 0 {
+		t.Fatalf("aggregate stats not recorded: %+v", snap.Aggregate)
+	}
+}
+
+func TestQueriesEndpointAndHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := ts.Client().Get(ts.URL + "/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		IDs []string `json:"ids"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.IDs) != len(queries.All()) || got.IDs[0] != "Q1" {
+		t.Fatalf("ids: %v", got.IDs)
+	}
+	resp, err = ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok\n" {
+		t.Fatalf("healthz: %q", body)
+	}
+}
+
+func TestNewRejectsBrokenRegisteredQuery(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Add("broken", `<q>{ for $b in`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Registry: reg}); err == nil {
+		t.Fatal("a registry with an uncompilable query must fail at startup")
+	}
+}
+
+// TestRequestTimeout: a body that trickles in slower than the evaluation
+// timeout must abort the request through the engine's read path.
+func TestRequestTimeout(t *testing.T) {
+	_, ts := newTestServer(t, Config{Timeout: 50 * time.Millisecond})
+	pr, pw := io.Pipe()
+	go func() {
+		pw.Write([]byte("<site><people>"))
+		time.Sleep(300 * time.Millisecond)
+		pw.Close()
+	}()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/query?id=Q1", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatalf("client error: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestTimeout {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("want 408, got %d: %s", resp.StatusCode, body)
+	}
+}

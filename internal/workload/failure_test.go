@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"gcx/internal/engine"
+)
+
+// The failing reader/writer shapes mirror internal/engine/failure_test.go,
+// lifted one layer up: a shared-stream pass must propagate I/O failures
+// through every member evaluator it interrupts, and a single member's
+// output failure must not corrupt its siblings.
+
+type failingReader struct {
+	src io.Reader
+	n   int
+}
+
+func (r *failingReader) Read(p []byte) (int, error) {
+	if r.n <= 0 {
+		return 0, errors.New("disk on fire")
+	}
+	if len(p) > r.n {
+		p = p[:r.n]
+	}
+	m, err := r.src.Read(p)
+	r.n -= m
+	return m, err
+}
+
+type failingWriter struct{ n int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("pipe closed")
+	}
+	if len(p) > w.n {
+		m := w.n
+		w.n = 0
+		return m, errors.New("pipe closed")
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func compileWorkload(t *testing.T, srcs []string) *Compiled {
+	t.Helper()
+	c, err := Compile(srcs, Config{Engine: engine.Config{Mode: engine.ModeGCX}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func bigDoc() string {
+	return `<bib>` + strings.Repeat(`<book><title>some title</title><price>9</price></book>`, 500) + `</bib>`
+}
+
+// TestWorkloadReadErrorReachesEveryMember: a stream failure interrupts the
+// single shared pass, so every still-running member must report it.
+func TestWorkloadReadErrorReachesEveryMember(t *testing.T) {
+	c := compileWorkload(t, []string{
+		`<a>{ for $b in /bib/book return $b/title }</a>`,
+		`<b>{ for $b in /bib/book return $b/price }</b>`,
+	})
+	outs := []io.Writer{io.Discard, io.Discard}
+	_, qs, err := c.Run(&failingReader{src: strings.NewReader(bigDoc()), n: 300}, outs)
+	if err == nil || !strings.Contains(err.Error(), "disk on fire") {
+		t.Fatalf("read error must surface verbatim, got %v", err)
+	}
+	for i, q := range qs {
+		if q.Err == nil || !strings.Contains(q.Err.Error(), "disk on fire") {
+			t.Fatalf("member %d must report the stream failure, got %v", i, q.Err)
+		}
+	}
+}
+
+// TestWorkloadMemberWriteFailureIsIsolated: one member's sink failing must
+// surface as that member's error while the sibling completes its full,
+// correct output.
+func TestWorkloadMemberWriteFailureIsIsolated(t *testing.T) {
+	srcs := []string{
+		`<a>{ for $b in /bib/book return $b/title }</a>`,
+		`<b>{ for $b in /bib/book return $b/price }</b>`,
+	}
+	c := compileWorkload(t, srcs)
+	doc := bigDoc()
+
+	var good strings.Builder
+	bad := &failingWriter{n: 64}
+	_, qs, err := c.Run(strings.NewReader(doc), []io.Writer{bad, &good})
+	if err == nil || !strings.Contains(err.Error(), "pipe closed") {
+		t.Fatalf("write error must surface, got %v", err)
+	}
+	if qs[0].Err == nil || !strings.Contains(qs[0].Err.Error(), "pipe closed") {
+		t.Fatalf("failing member's QueryStats must carry the error, got %v", qs[0].Err)
+	}
+	if qs[1].Err != nil {
+		t.Fatalf("healthy member must not inherit the failure, got %v", qs[1].Err)
+	}
+
+	// The sibling's output must be byte-identical to its solo run.
+	solo, err := engine.Compile(srcs[1], engine.Config{Mode: engine.ModeGCX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	if _, err := solo.Run(strings.NewReader(doc), &want); err != nil {
+		t.Fatal(err)
+	}
+	if good.String() != want.String() {
+		t.Fatal("sibling output corrupted by the failing member")
+	}
+}
+
+// TestWorkloadTruncatedInput: a document cut off mid-element must produce
+// a syntax error, not a hang or a silent partial result.
+func TestWorkloadTruncatedInput(t *testing.T) {
+	c := compileWorkload(t, []string{
+		`<a>{ for $b in /bib/book return $b/title }</a>`,
+		`<b>{ for $b in /bib/book return $b/price }</b>`,
+	})
+	doc := bigDoc()
+	truncated := doc[:len(doc)/2]
+	outs := []io.Writer{io.Discard, io.Discard}
+	_, qs, err := c.Run(strings.NewReader(truncated), outs)
+	if err == nil || !strings.Contains(err.Error(), "unexpected end of input") {
+		t.Fatalf("truncated input must be a syntax error, got %v", err)
+	}
+	for i, q := range qs {
+		if q.Err == nil {
+			t.Fatalf("member %d must see the truncation", i)
+		}
+	}
+}
+
+// TestWorkloadAllWritersFailing: every member failing must not deadlock
+// the baton-passing scheduler.
+func TestWorkloadAllWritersFailing(t *testing.T) {
+	c := compileWorkload(t, []string{
+		`<a>{ for $b in /bib/book return $b/title }</a>`,
+		`<b>{ for $b in /bib/book return $b/price }</b>`,
+		`<c>{ for $b in /bib/book return $b }</c>`,
+	})
+	outs := []io.Writer{&failingWriter{n: 16}, &failingWriter{n: 0}, &failingWriter{n: 128}}
+	_, qs, err := c.Run(strings.NewReader(bigDoc()), outs)
+	if err == nil {
+		t.Fatal("every member failing must surface an error")
+	}
+	for i, q := range qs {
+		if q.Err == nil || !strings.Contains(q.Err.Error(), "pipe closed") {
+			t.Fatalf("member %d: %v", i, q.Err)
+		}
+	}
+}
+
+// TestWorkloadRecoversAfterFailure: a pooled run state that served a
+// failed pass must serve a clean pass afterwards (reset discipline).
+func TestWorkloadRecoversAfterFailure(t *testing.T) {
+	c := compileWorkload(t, []string{
+		`<a>{ for $b in /bib/book return $b/title }</a>`,
+		`<b>{ for $b in /bib/book return $b/price }</b>`,
+	})
+	doc := bigDoc()
+	outs := []io.Writer{io.Discard, io.Discard}
+	if _, _, err := c.Run(&failingReader{src: strings.NewReader(doc), n: 300}, outs); err == nil {
+		t.Fatal("expected a read failure")
+	}
+	var a, b strings.Builder
+	if _, _, err := c.RunChecked(strings.NewReader(doc), []io.Writer{&a, &b}); err != nil {
+		t.Fatalf("clean run after failure: %v", err)
+	}
+	if !strings.Contains(a.String(), "some title") || !strings.Contains(b.String(), "9") {
+		t.Fatal("post-failure run produced wrong output")
+	}
+}

@@ -1,0 +1,145 @@
+package gcx
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"gcx/internal/queries"
+	"gcx/internal/xmark"
+)
+
+// TestBufferPeakOrdering is the paper's memory claim as a regression
+// test (the Fig. 13/14 shape): for every catalog query and document
+// size, the buffer high watermark must respect
+//
+//	peak(GCX) ≤ peak(StaticOnly) ≤ peak(FullBuffer)
+//
+// — dynamic garbage collection can only shrink what projection buffered,
+// and projection can only shrink what full buffering would keep. On the
+// join-free queries GCX must additionally beat FullBuffer STRICTLY:
+// streaming them in constant memory is the whole point of the technique.
+// Any future performance PR that silently breaks these inequalities
+// fails `go test ./...`.
+func TestBufferPeakOrdering(t *testing.T) {
+	for _, size := range orderingDocSizes {
+		doc := orderingDoc(t, size)
+		t.Run(fmt.Sprintf("%dKB", size>>10), func(t *testing.T) {
+			for _, q := range queries.AllIncludingExtended() {
+				t.Run(q.Name, func(t *testing.T) {
+					peaks := map[Strategy]Stats{}
+					for _, strat := range []Strategy{GCX, StaticOnly, FullBuffer} {
+						eng, err := Compile(q.Text, WithStrategy(strat))
+						if err != nil {
+							t.Fatal(err)
+						}
+						st, err := eng.Run(bytes.NewReader(doc), io.Discard)
+						if err != nil {
+							t.Fatalf("%v: %v", strat, err)
+						}
+						peaks[strat] = st
+					}
+					gcxSt, static, full := peaks[GCX], peaks[StaticOnly], peaks[FullBuffer]
+					if gcxSt.PeakBufferNodes > static.PeakBufferNodes {
+						t.Errorf("peak nodes: GCX %d > StaticOnly %d — garbage collection grew the buffer",
+							gcxSt.PeakBufferNodes, static.PeakBufferNodes)
+					}
+					if static.PeakBufferNodes > full.PeakBufferNodes {
+						t.Errorf("peak nodes: StaticOnly %d > FullBuffer %d — projection buffered more than everything",
+							static.PeakBufferNodes, full.PeakBufferNodes)
+					}
+					if gcxSt.PeakBufferBytes > static.PeakBufferBytes {
+						t.Errorf("peak bytes: GCX %d > StaticOnly %d",
+							gcxSt.PeakBufferBytes, static.PeakBufferBytes)
+					}
+					if static.PeakBufferBytes > full.PeakBufferBytes {
+						t.Errorf("peak bytes: StaticOnly %d > FullBuffer %d",
+							static.PeakBufferBytes, full.PeakBufferBytes)
+					}
+					if joinFree(q.Name) && gcxSt.PeakBufferNodes >= full.PeakBufferNodes {
+						t.Errorf("join-free %s: GCX peak %d nodes must STRICTLY beat FullBuffer %d",
+							q.Name, gcxSt.PeakBufferNodes, full.PeakBufferNodes)
+					}
+					// All three strategies agree on the result, so their
+					// output sizes must match (cheap cross-check that the
+					// comparison compared the same work).
+					if gcxSt.OutputBytes != static.OutputBytes || gcxSt.OutputBytes != full.OutputBytes {
+						t.Errorf("output bytes disagree: GCX %d, StaticOnly %d, FullBuffer %d",
+							gcxSt.OutputBytes, static.OutputBytes, full.OutputBytes)
+					}
+				})
+			}
+		})
+	}
+}
+
+// joinFree reports whether the catalog query streams without a value
+// join. Q8 is the catalog's join (people ⋈ closed_auctions): its inner
+// region must stay buffered to the end, so GCX is not required to beat
+// FullBuffer by a margin there.
+func joinFree(name string) bool { return name != "Q8" }
+
+// orderingDocSizes are the three generated document sizes of the sweep,
+// chosen to keep `go test ./...` fast while spanning a 8x size range.
+var orderingDocSizes = []int64{64 << 10, 192 << 10, 512 << 10}
+
+var orderingDocs struct {
+	mu   sync.Mutex
+	bySz map[int64][]byte
+}
+
+func orderingDoc(t *testing.T, size int64) []byte {
+	t.Helper()
+	orderingDocs.mu.Lock()
+	defer orderingDocs.mu.Unlock()
+	if orderingDocs.bySz == nil {
+		orderingDocs.bySz = map[int64][]byte{}
+	}
+	if d, ok := orderingDocs.bySz[size]; ok {
+		return d
+	}
+	var buf bytes.Buffer
+	if _, err := xmark.Generate(&buf, xmark.Config{Factor: xmark.FactorForSize(size), Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	orderingDocs.bySz[size] = buf.Bytes()
+	return buf.Bytes()
+}
+
+// TestBufferPeakOrderingWorkload extends the ordering claim to the
+// shared-stream artifact: the merged pass under GCX must not exceed the
+// merged pass under StaticOnly, which must not exceed FullBuffer.
+func TestBufferPeakOrderingWorkload(t *testing.T) {
+	doc := orderingDoc(t, orderingDocSizes[1])
+	var texts []string
+	for _, q := range queries.All() {
+		texts = append(texts, q.Text)
+	}
+	peaks := map[Strategy]WorkloadStats{}
+	for _, strat := range []Strategy{GCX, StaticOnly, FullBuffer} {
+		w, err := CompileWorkload(texts, WithStrategy(strat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs := make([]io.Writer, w.Len())
+		for i := range outs {
+			outs[i] = io.Discard
+		}
+		st, err := w.Run(bytes.NewReader(doc), outs)
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		peaks[strat] = st
+	}
+	g, s, f := peaks[GCX].Aggregate, peaks[StaticOnly].Aggregate, peaks[FullBuffer].Aggregate
+	if g.PeakBufferNodes > s.PeakBufferNodes || s.PeakBufferNodes > f.PeakBufferNodes {
+		t.Errorf("workload peak nodes ordering violated: GCX %d, StaticOnly %d, FullBuffer %d",
+			g.PeakBufferNodes, s.PeakBufferNodes, f.PeakBufferNodes)
+	}
+	if g.PeakBufferBytes > s.PeakBufferBytes || s.PeakBufferBytes > f.PeakBufferBytes {
+		t.Errorf("workload peak bytes ordering violated: GCX %d, StaticOnly %d, FullBuffer %d",
+			g.PeakBufferBytes, s.PeakBufferBytes, f.PeakBufferBytes)
+	}
+}
