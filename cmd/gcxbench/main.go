@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -46,11 +47,23 @@ func main() {
 		serveDoc         = flag.String("serve-doc", "1MB", "serving benchmark document size")
 		serveRequests    = flag.Int("serve-requests", 20, "serving benchmark iterations per path")
 		serveConcurrency = flag.Int("serve-concurrency", 4, "concurrent HTTP clients on the server path")
+
+		bulkJSON  = flag.String("bulk-json", "", "run the bulk-corpus scaling benchmark instead of the Table 1 sweep and write the JSON report to this file")
+		bulkDocs  = flag.Int("bulk-docs", 64, "bulk benchmark corpus size in documents")
+		bulkDoc   = flag.String("bulk-doc", "256KB", "bulk benchmark mean document size")
+		bulkQuery = flag.String("bulk-query", "Q6", "bulk benchmark query name")
+		bulkJobs  = flag.String("bulk-j", "", "comma-separated worker counts to sweep (default 1,2,4,GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	if *serveJSON != "" {
 		if err := runServe(*serveJSON, *serveDoc, *qnames, *seed, *serveRequests, *serveConcurrency); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *bulkJSON != "" {
+		if err := runBulk(*bulkJSON, *bulkDoc, *bulkQuery, *bulkJobs, *seed, *bulkDocs); err != nil {
 			fatal(err)
 		}
 		return
@@ -130,6 +143,48 @@ func runServe(outPath, docSize, qnames string, seed uint64, requests, concurrenc
 	}
 	fmt.Println()
 	fmt.Print(bench.FormatServeTable(rep))
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+	return nil
+}
+
+func runBulk(outPath, docSize, queryName, jobsList string, seed uint64, docs int) error {
+	docBytes, err := bench.ParseSize(docSize)
+	if err != nil {
+		return err
+	}
+	q := queries.ByName(strings.TrimSpace(queryName))
+	if q.Name == "" {
+		return fmt.Errorf("unknown query %q", queryName)
+	}
+	cfg := bench.BulkConfig{
+		Docs:     docs,
+		DocBytes: docBytes,
+		Seed:     seed,
+		Query:    q,
+		Progress: os.Stderr,
+	}
+	if jobsList != "" {
+		for _, s := range strings.Split(jobsList, ",") {
+			j, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || j < 1 {
+				return fmt.Errorf("bad -bulk-j value %q", s)
+			}
+			cfg.Workers = append(cfg.Workers, j)
+		}
+	}
+	rep, err := bench.RunBulk(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(bench.FormatBulkTable(rep))
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -13,6 +13,8 @@
 //	curl -X POST --data-binary @doc.xml 'localhost:8080/query?id=q1'
 //	curl -X POST --data-binary @doc.xml --url-query 'q=<r>{ for $b in /bib/book return $b/title }</r>' 'localhost:8080/query'
 //	curl -X POST --data-binary @doc.xml 'localhost:8080/workload'
+//	curl -X POST -H 'Content-Type: application/x-tar' --data-binary @corpus.tar 'localhost:8080/bulk?id=q1&j=8'
+//	cat *.xml | curl -X POST --data-binary @- 'localhost:8080/bulk?id=q1'
 //	curl 'localhost:8080/metrics'
 //
 // The registry file holds one query, or several separated by "=== <id>"
@@ -42,18 +44,20 @@ func main() {
 		mode      = flag.String("mode", "gcx", "buffering strategy: gcx, static, full")
 		cacheCap  = flag.Int("cache", gcx.DefaultCompileCacheCapacity, "compile cache capacity (entries)")
 		maxBody   = flag.String("max-body", "256MB", "maximum request body size (0 = unlimited)")
+		maxDoc    = flag.String("max-doc", "64MB", "maximum size of a single /bulk corpus document (0 = unlimited)")
+		bulkJobs  = flag.Int("bulk-workers", 0, "per-request /bulk worker cap and default (0 = GOMAXPROCS)")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-request evaluation timeout (0 = none)")
 		readBatch = flag.Int("read-batch", 0, "workload scheduler token batch (0 = default)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown drain period")
 	)
 	flag.Parse()
-	if err := run(*listen, *queries, *mode, *cacheCap, *maxBody, *timeout, *readBatch, *drain); err != nil {
+	if err := run(*listen, *queries, *mode, *cacheCap, *maxBody, *maxDoc, *bulkJobs, *timeout, *readBatch, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "gcxd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, queriesPath, mode string, cacheCap int, maxBody string, timeout time.Duration, readBatch int, drain time.Duration) error {
+func run(listen, queriesPath, mode string, cacheCap int, maxBody, maxDoc string, bulkJobs int, timeout time.Duration, readBatch int, drain time.Duration) error {
 	var opts []gcx.Option
 	switch mode {
 	case "gcx":
@@ -72,6 +76,10 @@ func run(listen, queriesPath, mode string, cacheCap int, maxBody string, timeout
 	if err != nil {
 		return fmt.Errorf("-max-body: %w", err)
 	}
+	maxDocBytes, err := bench.ParseSize(maxDoc)
+	if err != nil {
+		return fmt.Errorf("-max-doc: %w", err)
+	}
 
 	var reg *server.Registry
 	if queriesPath != "" {
@@ -86,6 +94,8 @@ func run(listen, queriesPath, mode string, cacheCap int, maxBody string, timeout
 		Cache:        gcx.NewCompileCache(cacheCap),
 		Options:      opts,
 		MaxBodyBytes: maxBodyBytes,
+		MaxDocBytes:  maxDocBytes,
+		BulkWorkers:  bulkJobs,
 		Timeout:      timeout,
 	})
 	if err != nil {

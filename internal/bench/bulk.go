@@ -1,0 +1,243 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"slices"
+	"strings"
+	"time"
+
+	"gcx"
+	"gcx/internal/queries"
+	"gcx/internal/xmark"
+)
+
+// BulkConfig parameterizes the corpus-throughput benchmark
+// (cmd/gcxbench -bulk-json): one compiled engine evaluated over a
+// multi-document XMark corpus at increasing worker counts, reporting
+// docs/s, scaling efficiency against the serial run, pool utilization,
+// and a peak-heap proxy for resident memory. The corpus mixes document
+// sizes so the reorder window does real work.
+type BulkConfig struct {
+	// Docs is the corpus size in documents.
+	Docs int
+	// DocBytes is the MEAN target document size; sizes alternate
+	// between roughly 0.5× and 1.5× of it.
+	DocBytes int64
+	// Seed for document generation.
+	Seed uint64
+	// Query to evaluate; defaults to Q6 (the descendant-axis scan).
+	Query queries.Query
+	// Workers are the -j values to sweep; defaults to 1, 2, 4 and
+	// GOMAXPROCS (deduplicated, ascending).
+	Workers []int
+	// Progress, if non-nil, receives one line per completed sweep point.
+	Progress io.Writer
+}
+
+// BulkJobResult is one worker count's measurements in BENCH_bulk.json.
+// Field names are scrape-stable for CI trend tooling.
+type BulkJobResult struct {
+	Workers    int     `json:"workers"`
+	DocsPerSec float64 `json:"docs_per_sec"`
+	WallMs     float64 `json:"wall_ms"`
+	// SpeedupVsSerial is docs/s relative to the workers=1 row;
+	// ScalingEfficiency divides that by the worker count (1.0 = linear).
+	SpeedupVsSerial   float64 `json:"speedup_vs_serial"`
+	ScalingEfficiency float64 `json:"scaling_efficiency"`
+	// PoolUtilization is busy time / (wall × workers) as reported by
+	// the bulk runner.
+	PoolUtilization float64 `json:"pool_utilization"`
+	// PeakHeapBytes samples runtime.MemStats.HeapInuse during the run —
+	// the resident-memory proxy (the engine-controlled quantity is the
+	// buffer peak below).
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	// PeakBufferNodes/Bytes are the largest SINGLE-document buffer
+	// peaks; the run's engine memory bound is workers × these.
+	PeakBufferNodes int64 `json:"peak_buffer_nodes"`
+	PeakBufferBytes int64 `json:"peak_buffer_bytes"`
+}
+
+// BulkReport is the BENCH_bulk.json document.
+type BulkReport struct {
+	Docs        int             `json:"docs"`
+	CorpusBytes int64           `json:"corpus_bytes"`
+	Query       string          `json:"query"`
+	GoMaxProcs  int             `json:"gomaxprocs"`
+	Results     []BulkJobResult `json:"results"`
+}
+
+// RunBulk executes the worker-count sweep over one in-memory corpus.
+func RunBulk(cfg BulkConfig) (*BulkReport, error) {
+	if cfg.Docs <= 0 {
+		cfg.Docs = 64
+	}
+	if cfg.DocBytes <= 0 {
+		cfg.DocBytes = 256 << 10
+	}
+	if cfg.Query.Name == "" {
+		cfg.Query = queries.Q6
+	}
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = defaultBulkWorkers()
+	}
+
+	// Build the corpus once: alternating sizes, distinct seeds.
+	var corpus bytes.Buffer
+	for i := 0; i < cfg.Docs; i++ {
+		size := cfg.DocBytes / 2
+		if i%2 == 1 {
+			size = cfg.DocBytes * 3 / 2
+		}
+		if _, err := xmark.Generate(&corpus, xmark.Config{
+			Factor: xmark.FactorForSize(size),
+			Seed:   cfg.Seed + uint64(i),
+		}); err != nil {
+			return nil, err
+		}
+		corpus.WriteByte('\n')
+	}
+	data := corpus.Bytes()
+
+	eng, err := gcx.Compile(cfg.Query.Text)
+	if err != nil {
+		return nil, err
+	}
+	report := &BulkReport{
+		Docs:        cfg.Docs,
+		CorpusBytes: int64(len(data)),
+		Query:       cfg.Query.Name,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
+
+	// Warm-up at the largest worker count of the sweep (the list is in
+	// user order, not necessarily ascending), so every sweep point finds
+	// its run states pooled.
+	warm := 0
+	for _, j := range cfg.Workers {
+		warm = max(warm, j)
+	}
+	if _, err := eng.Bulk(gcx.CorpusConcat(bytes.NewReader(data)), gcx.BulkOptions{Workers: warm}, nil); err != nil {
+		return nil, err
+	}
+
+	for _, j := range cfg.Workers {
+		res, err := bulkPoint(eng, data, cfg.Docs, j)
+		if err != nil {
+			return nil, err
+		}
+		report.Results = append(report.Results, res)
+		if cfg.Progress != nil {
+			// Speedup figures need the serial baseline, which may not
+			// have run yet; report the raw point now (one line per
+			// completed sweep point) and leave the full table to
+			// FormatBulkTable.
+			fmt.Fprintf(cfg.Progress, "-j %-3d %7.1f docs/s   util %3.0f%%   heap %s\n",
+				res.Workers, res.DocsPerSec, 100*res.PoolUtilization, humanBytes(int64(res.PeakHeapBytes)))
+		}
+	}
+	// The baseline is the workers=1 row, as the field names promise —
+	// filled in after the sweep so the figures do not depend on the
+	// order the worker counts were given. A sweep without a serial row
+	// reports no speedup figures rather than silently rebasing.
+	var serial float64
+	for _, r := range report.Results {
+		if r.Workers == 1 {
+			serial = r.DocsPerSec
+			break
+		}
+	}
+	for i := range report.Results {
+		r := &report.Results[i]
+		if serial > 0 {
+			r.SpeedupVsSerial = r.DocsPerSec / serial
+			r.ScalingEfficiency = r.SpeedupVsSerial / float64(r.Workers)
+		}
+	}
+	return report, nil
+}
+
+// defaultBulkWorkers is the sweep 1, 2, 4, GOMAXPROCS (dedup, sorted —
+// the interesting suffix collapses on small machines).
+func defaultBulkWorkers() []int {
+	ws := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	var out []int
+	for _, w := range ws {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+// bulkPoint measures one worker count, sampling the heap as an RSS
+// proxy while the run is in flight.
+func bulkPoint(eng *gcx.Engine, data []byte, docs, workers int) (BulkJobResult, error) {
+	res := BulkJobResult{Workers: workers}
+	runtime.GC()
+
+	stop := make(chan struct{})
+	peakc := make(chan uint64)
+	go func() {
+		var peak uint64
+		var ms runtime.MemStats
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				peakc <- peak
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapInuse > peak {
+					peak = ms.HeapInuse
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	bs, err := eng.Bulk(gcx.CorpusConcat(bytes.NewReader(data)), gcx.BulkOptions{Workers: workers}, nil)
+	wall := time.Since(start)
+	close(stop)
+	res.PeakHeapBytes = <-peakc
+	if err != nil {
+		return res, err
+	}
+	if bs.Failed > 0 {
+		return res, fmt.Errorf("bulk sweep: %d of %d documents failed", bs.Failed, bs.Docs)
+	}
+	if int(bs.Docs) != docs {
+		return res, fmt.Errorf("bulk sweep: evaluated %d documents, corpus has %d", bs.Docs, docs)
+	}
+	res.WallMs = ms(wall)
+	res.DocsPerSec = float64(docs) / wall.Seconds()
+	res.PoolUtilization = bs.Utilization()
+	res.PeakBufferNodes = bs.Aggregate.PeakBufferNodes
+	res.PeakBufferBytes = bs.Aggregate.PeakBufferBytes
+	return res, nil
+}
+
+// FormatBulkResult renders one sweep point as a single line.
+func FormatBulkResult(r BulkJobResult) string {
+	return fmt.Sprintf("-j %-3d %7.1f docs/s   %5.2fx vs serial (%.0f%% efficient)   util %3.0f%%   heap %9s   peak %s/doc",
+		r.Workers, r.DocsPerSec, r.SpeedupVsSerial, 100*r.ScalingEfficiency,
+		100*r.PoolUtilization, humanBytes(int64(r.PeakHeapBytes)), humanBytes(r.PeakBufferBytes))
+}
+
+// FormatBulkTable renders the full report for humans.
+func FormatBulkTable(rep *BulkReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Bulk corpus: %d docs (%s), query %s, GOMAXPROCS %d\n",
+		rep.Docs, humanBytes(rep.CorpusBytes), rep.Query, rep.GoMaxProcs)
+	for _, r := range rep.Results {
+		b.WriteString(FormatBulkResult(r) + "\n")
+	}
+	return b.String()
+}

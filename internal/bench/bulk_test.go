@@ -1,0 +1,37 @@
+package bench
+
+import "testing"
+
+// TestRunBulkSmoke keeps the bulk sweep wired: a tiny corpus through
+// two worker counts must produce consistent, monotone-sane rows.
+func TestRunBulkSmoke(t *testing.T) {
+	rep, err := RunBulk(BulkConfig{
+		Docs:     6,
+		DocBytes: 8 << 10,
+		Seed:     7,
+		Workers:  []int{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("got %d sweep points, want 2", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.DocsPerSec <= 0 {
+			t.Errorf("-j %d: docs/s %v", r.Workers, r.DocsPerSec)
+		}
+		if r.PeakBufferNodes <= 0 {
+			t.Errorf("-j %d: no buffer peak recorded", r.Workers)
+		}
+		if r.PoolUtilization <= 0 || r.PoolUtilization > 1.001 {
+			t.Errorf("-j %d: utilization %v out of range", r.Workers, r.PoolUtilization)
+		}
+	}
+	if rep.Results[0].SpeedupVsSerial != 1 {
+		t.Errorf("serial speedup %v, want 1", rep.Results[0].SpeedupVsSerial)
+	}
+	if rep.CorpusBytes <= 0 || rep.Query != "Q6" {
+		t.Errorf("report header: %+v", rep)
+	}
+}

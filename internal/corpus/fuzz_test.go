@@ -1,0 +1,103 @@
+package corpus
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"gcx/internal/xmlstream"
+)
+
+// FuzzSplit drives the concatenated-document scanner with arbitrary
+// bytes and checks its structural contract:
+//
+//  1. it terminates without panicking, and every returned document is
+//     accounted against the input (no invented bytes);
+//  2. splitting is stable: re-splitting the concatenation of the
+//     emitted documents yields the same documents (the splitter's
+//     boundaries are self-consistent, so a bulk run over its own
+//     output partitions identically);
+//  3. every emitted document can be fed to the engine's tokenizer,
+//     which either tokenizes it or reports a syntax error — never
+//     hangs or panics (per-document failures stay per-document).
+func FuzzSplit(f *testing.F) {
+	f.Add([]byte("<a><b>x</b></a><c/>"))
+	f.Add([]byte(`<?xml version="1.0"?><a/><?xml version="1.0"?><b/>`))
+	f.Add([]byte("<a/><!-- between --><?pi?><b/>"))
+	f.Add([]byte("<!DOCTYPE a [<!ELEMENT a ANY>]><a>t</a><b>u</b>"))
+	f.Add([]byte("<a/><b><truncated>"))
+	f.Add([]byte("\xEF\xBB\xBF<a/>\xEF\xBB\xBF<b/>"))
+	f.Add([]byte("<a><![CDATA[x]]]]><![CDATA[>]]></a><b/>"))
+	f.Add([]byte(`<a x="1>2" y='</a>'><c/></a><b/>`))
+	f.Add([]byte("<a><!-- ---></a><b/>"))
+	f.Add([]byte("<a/>junk<b/>"))
+	f.Add([]byte("<q1>text&amp;more</q1>\n<q2 attr=\"v\"/>"))
+	f.Add([]byte(`<!DOCTYPE a [<!ENTITY lt "<"><!-- don't --><?p '> ?>]><a/><b/>`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		docs, err := drainSplitter(data)
+		if err != nil {
+			t.Fatalf("terminal error on in-memory input: %v", err)
+		}
+		var total int
+		for _, d := range docs {
+			total += len(d)
+		}
+		if total > len(data) {
+			t.Fatalf("emitted %d bytes from %d input bytes", total, len(data))
+		}
+
+		// Stability: split(join(split(x))) == split(x).
+		joined := bytes.Join(docs, nil)
+		again, err := drainSplitter(joined)
+		if err != nil {
+			t.Fatalf("terminal error on re-split: %v", err)
+		}
+		if len(again) != len(docs) {
+			t.Fatalf("re-split changed the document count: %d -> %d\ninput: %q\ndocs: %q\nagain: %q",
+				len(docs), len(again), data, docs, again)
+		}
+		for i := range docs {
+			if !bytes.Equal(docs[i], again[i]) {
+				t.Fatalf("re-split changed doc %d:\n was %q\n now %q", i, docs[i], again[i])
+			}
+		}
+
+		// Every document must be safely tokenizable (success or syntax
+		// error, bounded work).
+		for _, d := range docs {
+			tok := xmlstream.NewTokenizer(bytes.NewReader(d))
+			for {
+				tk, err := tok.Next()
+				if err != nil || tk.Kind == xmlstream.EOF {
+					break
+				}
+			}
+		}
+	})
+}
+
+// drainSplitter returns all documents of data; per-document size-cap
+// errors cannot occur (no cap is set), so any non-EOF error is
+// terminal and unexpected for an in-memory reader.
+func drainSplitter(data []byte) ([][]byte, error) {
+	sp := NewSplitter(strings.NewReader(string(data)))
+	var docs [][]byte
+	for {
+		d, err := sp.Next(nil)
+		if err == io.EOF {
+			return docs, nil
+		}
+		if err != nil {
+			var tooBig *DocTooLargeError
+			if errors.As(err, &tooBig) {
+				docs = append(docs, nil)
+				continue
+			}
+			return docs, err
+		}
+		docs = append(docs, append([]byte(nil), d...))
+	}
+}

@@ -1,0 +1,370 @@
+package corpus
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options parameterizes a bulk run.
+type Options struct {
+	// Workers is the number of concurrent evaluations (≤0: GOMAXPROCS).
+	Workers int
+	// Window bounds how many documents may be in flight at once —
+	// dispatched (hence materialized, for stream sources) but not yet
+	// emitted. Completed-but-out-of-turn results wait inside the window,
+	// so Window is what bounds the reorder memory. ≤0 selects 2×Workers;
+	// values below Workers+1 are raised to Workers+1 so a slow head
+	// document cannot idle the whole pool.
+	Window int
+	// Outputs is the number of result writers per document (1 for an
+	// engine, Len() for a workload). ≤0 means 1.
+	Outputs int
+	// MaxDocBytes fails any document whose known size exceeds it
+	// (file-backed documents are never even opened). Stream sources
+	// additionally enforce their own construction-time cap, which keeps
+	// oversized members from being materialized at all.
+	MaxDocBytes int64
+	// Context cancels the run: dispatch stops, and in-flight
+	// evaluations are unwound promptly (their document reads fail), so
+	// workers do not outlive a timeout. Documents already handed to
+	// workers are still emitted — late ones with a cancellation error
+	// in their slot — then Run returns ctx.Err(); a document the
+	// source was still producing at cancellation may be discarded
+	// (Run never waits on a blocked source read). Nil means no
+	// cancellation.
+	Context context.Context
+}
+
+// Result is one document's outcome, delivered to emit in corpus order.
+type Result[T any] struct {
+	// Index is the document's position in corpus order, starting at 0.
+	Index int
+	// Name identifies the document (file path, tar member, "doc[N]").
+	Name string
+	// Outs holds the result bytes, one buffer per output. The buffers
+	// are pooled: they are valid only during the emit call. On a failed
+	// document they hold whatever was produced before the failure —
+	// exactly what a solo run would have written.
+	Outs []*bytes.Buffer
+	// Value is the evaluation's payload (stats). On a failed document
+	// it holds whatever eval returned alongside the error — partial
+	// stats, mirroring the partial bytes in Outs.
+	Value T
+	// Err is the document's failure, nil on success. A failed document
+	// never affects its siblings.
+	Err error
+}
+
+// Totals summarizes a bulk run.
+type Totals struct {
+	Docs    int64 // documents emitted
+	Failed  int64 // documents whose slot carries an error
+	Workers int
+	Window  int
+	// PeakInFlight is the high watermark of concurrently evaluating
+	// documents (≤ Workers; how much of the pool the corpus kept busy).
+	PeakInFlight int
+	// BusyNanos sums per-document evaluation wall time across workers;
+	// WallNanos is the run's wall time. BusyNanos/(WallNanos×Workers)
+	// is the pool utilization.
+	BusyNanos int64
+	WallNanos int64
+}
+
+// EvalFunc evaluates one document, writing result bytes to outs and
+// returning a payload (typically the run's stats). It is called
+// concurrently from multiple workers and must be safe for that — the
+// compiled engines are, by their concurrency contract.
+type EvalFunc[T any] func(in io.Reader, outs []io.Writer) (T, error)
+
+// outBufs recycles result buffers across documents.
+var outBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// cappedReader enforces MaxDocBytes while a document streams through
+// the evaluating engine; exceeding it surfaces as a read error carrying
+// *DocTooLargeError, which the engine's unwinding reports in that
+// document's slot.
+type cappedReader struct {
+	r     io.Reader
+	limit int64
+	read  int64
+	name  string
+}
+
+// ctxReader fails document reads once the run's context is done, so a
+// timeout or client disconnect unwinds in-flight evaluations instead of
+// waiting for them.
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (c *ctxReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, fmt.Errorf("corpus: evaluation aborted: %w", err)
+	}
+	return c.r.Read(p)
+}
+
+func (c *cappedReader) Read(p []byte) (int, error) {
+	if c.read > c.limit {
+		return 0, &DocTooLargeError{Name: c.name, Limit: c.limit}
+	}
+	// Allow one excess byte so the overflow is detected rather than
+	// masked as a short read.
+	if window := c.limit + 1 - c.read; int64(len(p)) > window {
+		p = p[:window]
+	}
+	n, err := c.r.Read(p)
+	c.read += int64(n)
+	if c.read > c.limit {
+		return n, &DocTooLargeError{Name: c.name, Limit: c.limit}
+	}
+	return n, err
+}
+
+// Run evaluates every document of src across a bounded worker pool and
+// delivers results to emit strictly in corpus order. Per-document
+// failures (materialization or evaluation) are isolated: they arrive as
+// Results with Err set and do not disturb siblings or the pool — the
+// engine's error unwinding already returns the run state to a reusable
+// condition.
+//
+// Run returns a non-nil error only for whole-corpus failures: the
+// source broke mid-stream, emit returned an error (which cancels
+// dispatch), or the context was canceled. In every case all documents
+// dispatched before the failure are still emitted, in order.
+func Run[T any](src Source, opts Options, eval EvalFunc[T], emit func(*Result[T]) error) (Totals, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	window := opts.Window
+	if window <= 0 {
+		window = 2 * workers
+	}
+	if window < workers+1 {
+		window = workers + 1
+	}
+	outputs := opts.Outputs
+	if outputs <= 0 {
+		outputs = 1
+	}
+	parent := opts.Context
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	totals := Totals{Workers: workers, Window: window}
+	start := time.Now()
+
+	type task struct {
+		idx int
+		doc Doc
+		err error // materialization failure (per-document)
+	}
+	var (
+		sem        = make(chan struct{}, window)
+		tasks      = make(chan task)
+		results    = make(chan *Result[T], window)
+		srcErr     atomic.Pointer[error] // terminal source failure
+		dispatched atomic.Int64          // tasks handed to workers
+	)
+
+	// Dispatcher: pull documents while the window has room.
+	go func() {
+		defer close(tasks)
+		for idx := 0; ; idx++ {
+			// Cancellation wins over a free window slot: without the
+			// priority check, the two-way select keeps picking the
+			// acquire at random while emission drains slots, dispatching
+			// (and evaluating) documents for a run that is already dead.
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			doc, err := src.Next()
+			if err != nil {
+				var de *DocError
+				if errors.As(err, &de) {
+					dispatched.Add(1)
+					tasks <- task{idx: idx, doc: Doc{Name: de.Name}, err: de.Err}
+					continue
+				}
+				if err != io.EOF {
+					srcErr.Store(&err)
+				}
+				<-sem // release the slot acquired for the doc that never came
+				return
+			}
+			if opts.MaxDocBytes > 0 && doc.Size > opts.MaxDocBytes {
+				dispatched.Add(1)
+				tasks <- task{idx: idx, doc: Doc{Name: doc.Name},
+					err: &DocTooLargeError{Name: doc.Name, Limit: opts.MaxDocBytes}}
+				continue
+			}
+			dispatched.Add(1)
+			tasks <- task{idx: idx, doc: doc}
+		}
+	}()
+
+	// Workers: evaluate into pooled buffers, results go to the reorder
+	// stage. The results channel holds `window` slots, which is an upper
+	// bound on dispatched-but-unemitted documents, so workers never
+	// block on it — backpressure comes solely from the window.
+	var (
+		wg           sync.WaitGroup
+		busy         atomic.Int64
+		inFlight     atomic.Int64
+		peakInFlight atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			writers := make([]io.Writer, outputs)
+			for tk := range tasks {
+				res := &Result[T]{Index: tk.idx, Name: tk.doc.Name, Err: tk.err}
+				if tk.err == nil {
+					cur := inFlight.Add(1)
+					for {
+						p := peakInFlight.Load()
+						if cur <= p || peakInFlight.CompareAndSwap(p, cur) {
+							break
+						}
+					}
+					t0 := time.Now()
+					res.Outs = make([]*bytes.Buffer, outputs)
+					for i := range res.Outs {
+						res.Outs[i] = outBufs.Get().(*bytes.Buffer)
+						res.Outs[i].Reset()
+						writers[i] = res.Outs[i]
+					}
+					in, err := tk.doc.Open()
+					if err != nil {
+						res.Err = err
+					} else {
+						var reader io.Reader = in
+						if opts.MaxDocBytes > 0 {
+							// Read-time backstop for documents whose size
+							// is unknown up front (a file that stat could
+							// not size): the cap holds no matter what the
+							// source reported.
+							reader = &cappedReader{r: in, limit: opts.MaxDocBytes, name: tk.doc.Name}
+						}
+						// Cancellation must reach IN-FLIGHT evaluations,
+						// not just dispatch: documents are materialized,
+						// so without this check a slow evaluation would
+						// hold its worker past a timeout (the engine
+						// unwinds on the read error, as with any failing
+						// stream).
+						reader = &ctxReader{ctx: ctx, r: reader}
+						res.Value, res.Err = eval(reader, writers)
+						in.Close()
+					}
+					busy.Add(int64(time.Since(t0)))
+					inFlight.Add(-1)
+				}
+				results <- res
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Reorder stage (caller's goroutine): hold out-of-turn results,
+	// emit in-order runs, recycle buffers, free window slots. On
+	// cancellation the loop keeps receiving only until every DISPATCHED
+	// document has arrived (in-flight evaluations unwind fast — their
+	// reads fail), so a dispatcher stuck in a stalled source read can
+	// never hang Run; any straggler is handed to a background drainer.
+	var (
+		pending  = make(map[int]*Result[T])
+		nextIdx  int
+		received int64
+		emitErr  error
+		canceled bool
+		done     = ctx.Done()
+	)
+	for {
+		if canceled && received == dispatched.Load() {
+			break
+		}
+		select {
+		case res, ok := <-results:
+			if !ok {
+				done = nil
+				goto drained
+			}
+			received++
+			pending[res.Index] = res
+			for {
+				r, ok := pending[nextIdx]
+				if !ok {
+					break
+				}
+				delete(pending, nextIdx)
+				nextIdx++
+				if emitErr == nil {
+					if err := emit(r); err != nil {
+						emitErr = err
+						cancel() // stop dispatching; drain what is in flight
+					}
+					totals.Docs++
+					if r.Err != nil {
+						totals.Failed++
+					}
+				}
+				for _, b := range r.Outs {
+					outBufs.Put(b)
+				}
+				<-sem
+			}
+		case <-done:
+			canceled = true
+			done = nil // receive-only from here; the loop head decides when to stop
+		}
+	}
+	// Canceled exit: a straggler may still arrive if the dispatcher was
+	// caught between counting and handing off; recycle it whenever the
+	// stalled read finally returns.
+	go func() {
+		for res := range results {
+			for _, b := range res.Outs {
+				outBufs.Put(b)
+			}
+			<-sem
+		}
+	}()
+
+drained:
+	totals.PeakInFlight = int(peakInFlight.Load())
+	totals.BusyNanos = busy.Load()
+	totals.WallNanos = int64(time.Since(start))
+	srcFailure := srcErr.Load()
+	switch {
+	case emitErr != nil:
+		return totals, emitErr
+	case srcFailure != nil:
+		return totals, *srcFailure
+	default:
+		return totals, parent.Err()
+	}
+}

@@ -1,0 +1,330 @@
+// Package corpus evaluates compiled queries over collections of XML
+// documents: it abstracts where the documents come from (files on disk,
+// a tar archive, a concatenated multi-document stream) and runs them
+// through a bounded worker pool whose results are emitted strictly in
+// corpus order (see Run).
+//
+// A multi-document corpus is embarrassingly parallel for the paper's
+// technique: each document's evaluation is independent and bounded by
+// its own GCX buffer peak, so total memory stays roughly
+// workers × per-document peak plus the bounded reorder window.
+package corpus
+
+import (
+	"archive/tar"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Doc is one document of a corpus. Content is obtained through Open so
+// file-backed documents stream straight from disk inside the worker
+// (per-worker memory = the engine's buffer peak), while stream-backed
+// sources (tar, concatenated bodies) hand over bytes that were
+// necessarily materialized when the sequential underlying stream was
+// advanced past them.
+type Doc struct {
+	// Name identifies the document for results and errors: the file
+	// path, the tar member name, or "doc[N]" for split streams.
+	Name string
+	// Open returns the content. It is called at most once, by the worker
+	// evaluating the document; Close releases pooled backing storage.
+	Open func() (io.ReadCloser, error)
+	// Size is the content length in bytes when known, else -1.
+	Size int64
+}
+
+// Source yields the documents of a corpus in corpus order. Sources are
+// NOT safe for concurrent use; Run calls Next from a single goroutine.
+type Source interface {
+	// Next returns the next document. It returns io.EOF at the end of
+	// the corpus. A *DocError marks a document that could not be
+	// materialized: the caller records the failure in that document's
+	// slot and keeps consuming. Any other error is terminal.
+	Next() (Doc, error)
+	// Close releases resources owned by the source (e.g. an archive
+	// file opened from a path).
+	Close() error
+}
+
+// DocError reports a single document that could not be materialized;
+// the corpus continues with the following documents.
+type DocError struct {
+	Name string
+	Err  error
+}
+
+func (e *DocError) Error() string { return fmt.Sprintf("corpus: %s: %v", e.Name, e.Err) }
+func (e *DocError) Unwrap() error { return e.Err }
+
+// docBufs recycles the backing storage of materialized documents: a
+// buffer is drawn when the sequential stream is split, travels with the
+// Doc to its worker, and returns to the pool when the worker closes the
+// content reader.
+var docBufs = sync.Pool{New: func() any { return new(pooledDoc) }}
+
+// pooledDoc is a bytes.Reader over pooled storage.
+type pooledDoc struct {
+	bytes.Reader
+	data []byte
+}
+
+func (p *pooledDoc) Close() error {
+	p.Reset(nil)
+	docBufs.Put(p)
+	return nil
+}
+
+// materialize wraps content that was already read into pd's pooled
+// backing storage as a Doc; the storage returns to the pool when the
+// worker closes the content reader.
+func materialize(name string, data []byte, pd *pooledDoc) Doc {
+	pd.data = data
+	return Doc{
+		Name: name,
+		Size: int64(len(data)),
+		Open: func() (io.ReadCloser, error) {
+			pd.Reset(pd.data)
+			return pd, nil
+		},
+	}
+}
+
+// maxTarPrealloc caps how much a tar member's header-declared size may
+// pre-allocate before any content is read.
+const maxTarPrealloc = 1 << 20
+
+// grab returns a pooled doc whose storage has capacity for n bytes
+// (n < 0: keep whatever is there).
+func grab(n int64) *pooledDoc {
+	pd := docBufs.Get().(*pooledDoc)
+	if n > 0 && int64(cap(pd.data)) < n {
+		pd.data = make([]byte, 0, n)
+	}
+	return pd
+}
+
+// ---------------------------------------------------------------------
+// Files
+
+type filesSource struct {
+	paths []string
+	next  int
+}
+
+// Files returns a source over the given file paths, in order. Patterns
+// containing glob metacharacters are expanded (matches in lexical
+// order); a pattern with no matches falls back to the literal path —
+// shell semantics with nullglob off, so a file literally named
+// "doc[1].xml" stays reachable — and a path that turns out to be
+// unreadable fails only its own document slot.
+func Files(patterns ...string) (Source, error) {
+	paths, err := ExpandPatterns(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return FileList(paths...), nil
+}
+
+// FileList returns a source over literal file paths: no glob
+// expansion, order preserved.
+func FileList(paths ...string) Source {
+	return &filesSource{paths: paths}
+}
+
+// ExpandPatterns resolves glob patterns to file paths (see Files for
+// the fallback rule), keeping non-pattern paths literal.
+func ExpandPatterns(patterns ...string) ([]string, error) {
+	var paths []string
+	for _, p := range patterns {
+		if !strings.ContainsAny(p, "*?[") {
+			paths = append(paths, p)
+			continue
+		}
+		matches, err := filepath.Glob(p)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: bad pattern %q: %w", p, err)
+		}
+		if len(matches) == 0 {
+			// Nothing matched: treat the pattern as a literal name (its
+			// slot fails at open time if the file does not exist either).
+			paths = append(paths, p)
+			continue
+		}
+		paths = append(paths, matches...)
+	}
+	return paths, nil
+}
+
+func (f *filesSource) Next() (Doc, error) {
+	if f.next >= len(f.paths) {
+		return Doc{}, io.EOF
+	}
+	path := f.paths[f.next]
+	f.next++
+	size := int64(-1)
+	if fi, err := os.Stat(path); err == nil {
+		size = fi.Size()
+	}
+	return Doc{
+		Name: path,
+		Size: size,
+		Open: func() (io.ReadCloser, error) { return os.Open(path) },
+	}, nil
+}
+
+func (f *filesSource) Close() error { return nil }
+
+// ---------------------------------------------------------------------
+// Tar
+
+type tarSource struct {
+	tr    *tar.Reader
+	owned io.Closer // underlying file when opened from a path
+	max   int64
+}
+
+// Tar returns a source over the regular-file members of a tar archive,
+// in archive order. maxDocBytes > 0 caps single members: an oversized
+// member is skipped (its slot fails with *DocTooLargeError wrapped in a
+// *DocError) without reading it into memory.
+func Tar(r io.Reader, maxDocBytes int64) Source {
+	return &tarSource{tr: tar.NewReader(r), max: maxDocBytes}
+}
+
+// TarFile opens path and returns a Tar source that closes it on Close.
+func TarFile(path string, maxDocBytes int64) (Source, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &tarSource{tr: tar.NewReader(f), owned: f, max: maxDocBytes}, nil
+}
+
+func (t *tarSource) Next() (Doc, error) {
+	for {
+		hdr, err := t.tr.Next()
+		if err == io.EOF {
+			return Doc{}, io.EOF
+		}
+		if err != nil {
+			return Doc{}, fmt.Errorf("corpus: reading tar: %w", err)
+		}
+		if hdr.Typeflag != tar.TypeReg {
+			continue
+		}
+		if t.max > 0 && hdr.Size > t.max {
+			// Skip without materializing; tar.Reader discards the body
+			// on the next header read.
+			return Doc{}, &DocError{Name: hdr.Name, Err: &DocTooLargeError{Name: hdr.Name, Limit: t.max}}
+		}
+		// hdr.Size is untrusted input: pre-allocate only a bounded hint
+		// and grow while reading, so a crafted header claiming exabytes
+		// fails with a clean read error instead of an allocation crash.
+		pd := grab(min(hdr.Size, maxTarPrealloc))
+		data := pd.data[:0]
+		for {
+			if len(data) == cap(data) {
+				data = append(data, 0)[:len(data)]
+			}
+			n, err := t.tr.Read(data[len(data):cap(data)])
+			data = data[:len(data)+n]
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				pd.data = data
+				pd.Close()
+				return Doc{}, fmt.Errorf("corpus: reading tar member %s: %w", hdr.Name, err)
+			}
+		}
+		return materialize(hdr.Name, data, pd), nil
+	}
+}
+
+func (t *tarSource) Close() error {
+	if t.owned != nil {
+		return t.owned.Close()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Concatenated stream
+
+type concatSource struct {
+	sp  *Splitter
+	idx int
+}
+
+// Concat returns a source that splits a concatenated multi-document XML
+// stream into its top-level documents (see Splitter for the boundary
+// rules). maxDocBytes > 0 caps single documents; an oversized document
+// fails its own slot while the stream continues behind it.
+func Concat(r io.Reader, maxDocBytes int64) Source {
+	sp := NewSplitter(r)
+	sp.SetMaxDocBytes(maxDocBytes)
+	return &concatSource{sp: sp}
+}
+
+func (c *concatSource) Next() (Doc, error) {
+	name := fmt.Sprintf("doc[%d]", c.idx)
+	pd := grab(-1)
+	data, err := c.sp.Next(pd.data)
+	if err != nil {
+		// Next returns nil on every error; keep pd's existing backing
+		// storage so the pooled capacity survives for the next document.
+		pd.Close()
+		var tooBig *DocTooLargeError
+		if errors.As(err, &tooBig) {
+			c.idx++
+			return Doc{}, &DocError{Name: name, Err: &DocTooLargeError{Name: name, Limit: tooBig.Limit}}
+		}
+		return Doc{}, err
+	}
+	c.idx++
+	return materialize(name, data, pd), nil
+}
+
+func (c *concatSource) Close() error { return nil }
+
+// ---------------------------------------------------------------------
+// Chain
+
+type chainSource struct {
+	srcs []Source
+	cur  int
+}
+
+// Chain concatenates sources: all documents of the first, then the
+// second, and so on. Closing the chain closes every member.
+func Chain(srcs ...Source) Source {
+	return &chainSource{srcs: srcs}
+}
+
+func (c *chainSource) Next() (Doc, error) {
+	for c.cur < len(c.srcs) {
+		doc, err := c.srcs[c.cur].Next()
+		if err == io.EOF {
+			c.cur++
+			continue
+		}
+		return doc, err
+	}
+	return Doc{}, io.EOF
+}
+
+func (c *chainSource) Close() error {
+	var err error
+	for _, s := range c.srcs {
+		if cerr := s.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

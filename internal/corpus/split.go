@@ -1,0 +1,436 @@
+package corpus
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// Splitter scans a concatenated stream of top-level XML documents and
+// yields the bytes of each document in turn. It is the streaming front
+// of the Concat source: one sequential pass over the input, no lookahead
+// beyond the read buffer, and per-call memory bounded by the size of the
+// single document being accumulated.
+//
+// The splitter does NOT validate documents — it only finds boundaries.
+// It tracks exactly the XML surface structure needed to know when the
+// root element of the current document closes: tags (with quoted
+// attribute values, which may contain '>'), comments, processing
+// instructions and XML declarations, CDATA sections (']]>' edges), and
+// DOCTYPE/markup declarations (nested '<'/'>', mirroring the
+// tokenizer's declaration skipping). Anything malformed is passed
+// through verbatim and left for the tokenizer of the evaluating engine
+// to diagnose, so a bulk run reports the same per-document error a solo
+// run would.
+//
+// Between documents, whitespace and UTF-8 byte-order marks are
+// discarded; prologs (XML declarations, comments, PIs, DOCTYPE) are
+// attributed to the FOLLOWING document. Trailing whitespace, comments,
+// PIs and declarations after the last root element are discarded —
+// which also means a stream whose final (or only) "document" is a
+// prolog with no root yields no document for it: at EOF a bare prolog
+// is indistinguishable from trailing misc, an inherent ambiguity of
+// framing by content (archives and file lists frame externally and do
+// not share it). A stream that ends mid-document — the root's start
+// tag arrived — yields the truncated tail as a final document (its
+// tokenization error then lands in that document's slot).
+type Splitter struct {
+	r   io.Reader
+	buf []byte
+	pos int
+	n   int
+	err error // sticky read error (io.EOF included)
+	max int64 // per-document byte cap (0 = unlimited)
+}
+
+// NewSplitter returns a splitter reading the concatenated stream from r.
+func NewSplitter(r io.Reader) *Splitter {
+	return &Splitter{r: r, buf: make([]byte, 64<<10)}
+}
+
+// SetMaxDocBytes caps single-document size. A document growing past the
+// cap is scanned to its boundary (bytes discarded, memory stays bounded)
+// and reported as a *DocTooLargeError, so an oversized member fails
+// alone while its siblings evaluate normally.
+func (s *Splitter) SetMaxDocBytes(n int64) { s.max = n }
+
+// DocTooLargeError reports a document that exceeded a per-document byte
+// cap. It is a per-document failure: the source it came from continues
+// with the following documents.
+type DocTooLargeError struct {
+	Name  string
+	Limit int64
+}
+
+func (e *DocTooLargeError) Error() string {
+	return fmt.Sprintf("corpus: document %s exceeds the per-document limit of %d bytes", e.Name, e.Limit)
+}
+
+// splitter scan states.
+const (
+	spText        = iota // character data (inside or outside the root)
+	spLT                 // just consumed '<'
+	spBang               // "<!"
+	spBangSeq            // matching the tail of "<!--" or "<![CDATA["
+	spComment            // inside a comment, matching "-->"
+	spPI                 // inside a PI / XML declaration, matching "?>"
+	spCDATA              // inside CDATA, matching "]]>"
+	spDecl               // inside a DOCTYPE/markup declaration, depth-counted
+	spDeclQuote          // inside a quoted literal of a declaration
+	spDeclComment        // inside a comment within an internal subset
+	spDeclPI             // inside a PI within an internal subset
+	spTag                // inside a start or end tag
+	spTagQuote           // inside a quoted attribute value
+)
+
+var (
+	seqComment = "-"      // after "<!-": one more '-' completes "<!--"
+	seqCDATA   = "CDATA[" // after "<![": the rest of "<![CDATA["
+)
+
+// Next scans the next document and returns its bytes appended to
+// dst[:0] (pass a recycled slice to avoid allocation). At the end of
+// the stream it returns (nil, io.EOF). A *DocTooLargeError is
+// per-document: the stream stays usable and the following call returns
+// the next document. Any other error is terminal (the underlying reader
+// failed; boundaries past the failure cannot be trusted).
+func (s *Splitter) Next(dst []byte) ([]byte, error) {
+	dst = dst[:0]
+	var (
+		state         = spText
+		rootSeen      bool   // a real element tag was completed
+		sawJunk       bool   // non-whitespace character data before any root
+		depth         int    // open element depth
+		closeTag      bool   // current tag is </...>
+		prevSlash     bool   // last in-tag byte was '/' (self-closing detection)
+		quote         byte   // active attribute quote
+		seq           string // spBangSeq target
+		seqPos        int
+		commentDashes int  // consecutive '-' seen in spComment
+		piQuestion    bool // last spPI byte was '?'
+		cdataBrackets int  // consecutive ']' seen in spCDATA
+		declDepth     int
+		declPfx       int  // progress through "<!--" inside a declaration
+		started       bool // first document byte appended
+		discarding    bool // over the size cap: keep scanning, stop appending
+		total         int64
+	)
+
+	// keep appends c (and later, bulk runs) to dst unless the size cap
+	// tripped, in which case the document is scanned but dropped.
+	keep := func(run []byte) {
+		if discarding {
+			return
+		}
+		total += int64(len(run))
+		if s.max > 0 && total > s.max {
+			discarding = true
+			dst = dst[:0]
+			return
+		}
+		dst = append(dst, run...)
+	}
+
+	for {
+		if s.pos >= s.n && !s.fill() {
+			// End of input (or read error).
+			if s.err != io.EOF {
+				return nil, s.err
+			}
+			if discarding {
+				return nil, &DocTooLargeError{Name: "<stream>", Limit: s.max}
+			}
+			if !started || (!rootSeen && !sawJunk && state == spText) {
+				// Nothing, or only trailing misc (comments/PIs/decls and
+				// whitespace): clean end of the corpus.
+				return nil, io.EOF
+			}
+			// Truncated final document: hand it to the engine verbatim.
+			return dst, nil
+		}
+		c := s.buf[s.pos]
+
+		// Inter-document skipping: before the first kept byte, drop
+		// whitespace and UTF-8 BOMs, so a boundary like
+		// "</a>\n\xEF\xBB\xBF<?xml..." starts the next document at its
+		// prolog.
+		if !started {
+			if isSpaceByte(c) {
+				s.pos++
+				continue
+			}
+			if c == 0xEF && s.skipBOM() {
+				continue
+			}
+			started = true
+		}
+
+		s.pos++
+		keep(s.buf[s.pos-1 : s.pos])
+
+		switch state {
+		case spText:
+			if c == '<' {
+				state = spLT
+				break
+			}
+			if !rootSeen {
+				// Pre-root character data: per-byte so junk (which the
+				// engine must see and reject) is never silently dropped
+				// as trailing whitespace.
+				if !isSpaceByte(c) {
+					sawJunk = true
+				}
+				break
+			}
+			// Inside the document, only '<' changes the state: bulk-copy
+			// the rest of the character-data run.
+			if i := bytes.IndexByte(s.buf[s.pos:s.n], '<'); i != 0 {
+				run := s.buf[s.pos:s.n]
+				if i > 0 {
+					run = run[:i]
+				}
+				s.pos += len(run)
+				keep(run)
+			}
+		case spLT:
+			switch {
+			case c == '!':
+				state = spBang
+			case c == '?':
+				state, piQuestion = spPI, false
+			case c == '/':
+				state, closeTag, prevSlash, quote = spTag, true, false, 0
+			case isNameStartByte(c):
+				state, closeTag, prevSlash, quote = spTag, false, false, 0
+			default:
+				// "<" followed by junk: not markup the tokenizer would
+				// accept; treat as text and let the engine report it.
+				state = spText
+				if !rootSeen {
+					sawJunk = true
+				}
+			}
+		case spBang:
+			switch c {
+			case '-':
+				state, seq, seqPos = spBangSeq, seqComment, 0
+			case '[':
+				state, seq, seqPos = spBangSeq, seqCDATA, 0
+			case '>':
+				state = spText // empty declaration "<!>"
+			default:
+				state, declDepth, declPfx = spDecl, 1, 0
+			}
+		case spBangSeq:
+			switch {
+			case c == seq[seqPos]:
+				seqPos++
+				if seqPos == len(seq) {
+					if seq == seqComment {
+						state, commentDashes = spComment, 0
+					} else {
+						state, cdataBrackets = spCDATA, 0
+					}
+				}
+			case c == '>':
+				state = spText // malformed ("<!->"); engine will complain
+			default:
+				// Not a comment or CDATA after all: scan as declaration.
+				state, declDepth, declPfx = spDecl, 1, 0
+			}
+		case spComment:
+			switch {
+			case c == '-':
+				commentDashes++
+			case c == '>' && commentDashes >= 2:
+				state = spText
+			default:
+				commentDashes = 0
+			}
+		case spPI:
+			if c == '>' && piQuestion {
+				state = spText
+			} else {
+				piQuestion = c == '?'
+			}
+		case spCDATA:
+			switch {
+			case c == ']':
+				cdataBrackets++
+			case c == '>' && cdataBrackets >= 2:
+				state = spText
+			default:
+				cdataBrackets = 0
+			}
+		case spDecl:
+			// Quoted literals, comments, and PIs inside a DOCTYPE
+			// internal subset may legally contain '<', '>', and quote
+			// characters; all three are opaque to the nesting count
+			// (mirrors the tokenizer's declaration skipping). declPfx
+			// tracks progress through "<!--" (1='<', 2='<!', 3='<!-').
+			switch {
+			case declPfx == 1 && c == '?':
+				declPfx = 0
+				declDepth-- // undo the '<' that started the PI
+				state, piQuestion = spDeclPI, false
+			case declPfx == 3 && c == '-':
+				declPfx = 0
+				declDepth-- // undo the '<' that started the comment
+				state, commentDashes = spDeclComment, 0
+			default:
+				switch {
+				case c == '<':
+					declPfx = 1
+				case declPfx == 1 && c == '!':
+					declPfx = 2
+				case declPfx == 2 && c == '-':
+					declPfx = 3
+				default:
+					declPfx = 0
+				}
+				switch c {
+				case '"', '\'':
+					state, quote = spDeclQuote, c
+				case '<':
+					declDepth++
+				case '>':
+					declDepth--
+					if declDepth == 0 {
+						state = spText
+					}
+				}
+			}
+		case spDeclQuote:
+			if c == quote {
+				state = spDecl
+			}
+		case spDeclComment:
+			switch {
+			case c == '-':
+				commentDashes++
+			case c == '>' && commentDashes >= 2:
+				state = spDecl
+			default:
+				commentDashes = 0
+			}
+		case spDeclPI:
+			if c == '>' && piQuestion {
+				state = spDecl
+			} else {
+				piQuestion = c == '?'
+			}
+		case spTagQuote:
+			if c == quote {
+				state = spTag
+			}
+		case spTag:
+			switch {
+			case c == '"' || c == '\'':
+				state, quote = spTagQuote, c
+				prevSlash = false
+			case c == '/':
+				prevSlash = true
+			case c == '>':
+				state = spText
+				rootSeen = true
+				switch {
+				case closeTag:
+					depth--
+				case prevSlash:
+					// self-closing: depth unchanged
+				default:
+					depth++
+				}
+				if depth <= 0 {
+					// Root element closed: the document ends here.
+					if discarding {
+						return nil, &DocTooLargeError{Name: "<stream>", Limit: s.max}
+					}
+					return dst, nil
+				}
+			default:
+				prevSlash = false
+			}
+		}
+	}
+}
+
+// skipBOM consumes a UTF-8 BOM if the next three bytes are EF BB BF.
+// Called with s.buf[s.pos] == 0xEF.
+func (s *Splitter) skipBOM() bool {
+	// Make three bytes visible (compact + refill at the buffer edge).
+	for s.n-s.pos < 3 {
+		if !s.fillMore() {
+			return false
+		}
+	}
+	if s.buf[s.pos+1] == 0xBB && s.buf[s.pos+2] == 0xBF {
+		s.pos += 3
+		return true
+	}
+	return false
+}
+
+// fill makes at least one unread byte available.
+func (s *Splitter) fill() bool {
+	if s.pos < s.n {
+		return true
+	}
+	if s.err != nil {
+		return false
+	}
+	s.pos, s.n = 0, 0
+	for {
+		n, err := s.r.Read(s.buf)
+		if n > 0 {
+			s.n = n
+			if err != nil {
+				s.err = err
+			}
+			return true
+		}
+		if err != nil {
+			s.err = err
+			return false
+		}
+	}
+}
+
+// fillMore grows the unread window without consuming, for multi-byte
+// lookahead at the buffer edge. Like fill, it retries the legal
+// (0, nil) read until bytes arrive or the stream ends.
+func (s *Splitter) fillMore() bool {
+	if s.err != nil {
+		return false
+	}
+	if s.pos > 0 {
+		copy(s.buf, s.buf[s.pos:s.n])
+		s.n -= s.pos
+		s.pos = 0
+	}
+	if s.n == len(s.buf) {
+		s.buf = append(s.buf, make([]byte, len(s.buf))...)
+	}
+	for {
+		n, err := s.r.Read(s.buf[s.n:])
+		s.n += n
+		if err != nil {
+			s.err = err
+		}
+		if n > 0 {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+	}
+}
+
+func isSpaceByte(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+func isNameStartByte(c byte) bool {
+	return c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}

@@ -1,0 +1,201 @@
+package corpus
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// splitAll drains the splitter, returning the documents and the
+// terminating error (io.EOF for a clean end). Per-document
+// *DocTooLargeError failures are recorded as empty-string slots.
+func splitAll(t *testing.T, input string, maxDoc int64) ([]string, error) {
+	t.Helper()
+	sp := NewSplitter(strings.NewReader(input))
+	sp.SetMaxDocBytes(maxDoc)
+	var docs []string
+	var buf []byte
+	for {
+		d, err := sp.Next(buf)
+		var tooBig *DocTooLargeError
+		if errors.As(err, &tooBig) {
+			docs = append(docs, "")
+			continue
+		}
+		if err != nil {
+			return docs, err
+		}
+		docs = append(docs, string(d))
+		buf = d
+	}
+}
+
+func TestSplitterBoundaries(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  []string
+	}{
+		{"empty", "", nil},
+		{"whitespace only", " \n\t ", nil},
+		{"single", "<a><b>x</b></a>", []string{"<a><b>x</b></a>"}},
+		{"two adjacent", "<a/><b/>", []string{"<a/>", "<b/>"}},
+		{"newline separated", "<a>1</a>\n<b>2</b>\n", []string{"<a>1</a>", "<b>2</b>"}},
+		{"prolog attribution", `<?xml version="1.0"?><a/><?xml version="1.0"?><b/>`,
+			[]string{`<?xml version="1.0"?><a/>`, `<?xml version="1.0"?><b/>`}},
+		{"comment between docs joins the next", "<a/><!-- note --><b/>",
+			[]string{"<a/>", "<!-- note --><b/>"}},
+		{"trailing comment discarded", "<a/><!-- bye -->", []string{"<a/>"}},
+		{"trailing PI discarded", "<a/><?pi data?>", []string{"<a/>"}},
+		{"doctype prolog", "<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/><b/>",
+			[]string{"<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/>", "<b/>"}},
+		{"doctype entity value with angle brackets", `<!DOCTYPE a [<!ENTITY lt "<">]><a/><b/><c/>`,
+			[]string{`<!DOCTYPE a [<!ENTITY lt "<">]><a/>`, "<b/>", "<c/>"}},
+		{"doctype subset comment with apostrophe", "<!DOCTYPE a [<!-- don't -->]><a/><b/>",
+			[]string{"<!DOCTYPE a [<!-- don't -->]><a/>", "<b/>"}},
+		{"doctype subset comment with brackets", "<!DOCTYPE a [<!-- <x> \" > -->]><a/><b/>",
+			[]string{"<!DOCTYPE a [<!-- <x> \" > -->]><a/>", "<b/>"}},
+		{"doctype subset pi with quote", "<!DOCTYPE a [<?p don't ?>]><a/><b/>",
+			[]string{"<!DOCTYPE a [<?p don't ?>]><a/>", "<b/>"}},
+		{"gt inside attribute value", `<a x="1>2"><c/></a><b/>`,
+			[]string{`<a x="1>2"><c/></a>`, "<b/>"}},
+		{"gt inside single-quoted attr", `<a x='>'/><b/>`, []string{`<a x='>'/>`, "<b/>"}},
+		{"fake close tag inside comment", "<a><!-- </a> --></a><b/>",
+			[]string{"<a><!-- </a> --></a>", "<b/>"}},
+		{"fake tags inside CDATA", "<a><![CDATA[</a><z>]]></a><b/>",
+			[]string{"<a><![CDATA[</a><z>]]></a>", "<b/>"}},
+		{"cdata bracket edges", "<a><![CDATA[x]]]]><![CDATA[>y]]></a><b/>",
+			[]string{"<a><![CDATA[x]]]]><![CDATA[>y]]></a>", "<b/>"}},
+		{"bom between docs", "\xEF\xBB\xBF<a/>\n\xEF\xBB\xBF<b/>", []string{"<a/>", "<b/>"}},
+		{"truncated final doc", "<a/><b><c>", []string{"<a/>", "<b><c>"}},
+		{"truncated mid tag", "<a/><b", []string{"<a/>", "<b"}},
+		{"truncated comment surfaces", "<a/><!--oops", []string{"<a/>", "<!--oops"}},
+		{"junk tail surfaces", "<a/>junk", []string{"<a/>", "junk"}},
+		{"self-closing root with attrs", `<a x="1" y='2'/><b/>`,
+			[]string{`<a x="1" y='2'/>`, "<b/>"}},
+		{"nested same-name elements", "<a><a></a></a><a/>",
+			[]string{"<a><a></a></a>", "<a/>"}},
+		{"pi inside doc", "<a><?target d?></a><b/>", []string{"<a><?target d?></a>", "<b/>"}},
+		{"question mark inside pi", "<a/><?p a?b??><b/>", []string{"<a/>", "<?p a?b??><b/>"}},
+		{"dashes in comment", "<a><!-- - -- ---></a><b/>",
+			[]string{"<a><!-- - -- ---></a>", "<b/>"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := splitAll(t, tc.input, 0)
+			if err != io.EOF {
+				t.Fatalf("terminated with %v, want io.EOF", err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d docs %q, want %d %q", len(got), got, len(tc.want), tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("doc %d:\n got %q\nwant %q", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestSplitterMaxDocBytes(t *testing.T) {
+	big := "<big>" + strings.Repeat("x", 100) + "</big>"
+	input := "<a>1</a>" + big + "<b>2</b>"
+	docs, err := splitAll(t, input, 32)
+	if err != io.EOF {
+		t.Fatalf("terminated with %v", err)
+	}
+	want := []string{"<a>1</a>", "", "<b>2</b>"}
+	if len(docs) != len(want) {
+		t.Fatalf("got %q, want %q", docs, want)
+	}
+	for i := range want {
+		if docs[i] != want[i] {
+			t.Errorf("doc %d: got %q, want %q", i, docs[i], want[i])
+		}
+	}
+}
+
+func TestSplitterSmallReads(t *testing.T) {
+	// One byte per Read: every state-machine transition crosses a fill
+	// boundary, including the BOM lookahead.
+	input := "\xEF\xBB\xBF<?xml version=\"1.0\"?><a x=\">\"><![CDATA[]]>]]></a> \xEF\xBB\xBF<b><!-- -- --></b>"
+	sp := NewSplitter(iotest{r: strings.NewReader(input)})
+	var docs []string
+	for {
+		d, err := sp.Next(nil)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, string(d))
+	}
+	want := []string{`<?xml version="1.0"?><a x=">"><![CDATA[]]>]]></a>`, "<b><!-- -- --></b>"}
+	if len(docs) != 2 || docs[0] != want[0] || docs[1] != want[1] {
+		t.Fatalf("got %q, want %q", docs, want)
+	}
+}
+
+// iotest yields one byte per Read call.
+type iotest struct{ r io.Reader }
+
+func (o iotest) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return o.r.Read(p)
+}
+
+// TestSplitterZeroByteReads: the io.Reader contract permits (0, nil)
+// returns; the BOM lookahead must retry them like the main fill loop,
+// not leak an inter-document BOM into the following document.
+func TestSplitterZeroByteReads(t *testing.T) {
+	sp := NewSplitter(&stutterReader{r: iotest{r: strings.NewReader("<a/>\xEF\xBB\xBF<b/>")}})
+	var docs []string
+	for {
+		d, err := sp.Next(nil)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, string(d))
+	}
+	want := []string{"<a/>", "<b/>"}
+	if len(docs) != 2 || docs[0] != want[0] || docs[1] != want[1] {
+		t.Fatalf("got %q, want %q", docs, want)
+	}
+}
+
+// stutterReader returns (0, nil) before every real read.
+type stutterReader struct {
+	r    io.Reader
+	tick bool
+}
+
+func (s *stutterReader) Read(p []byte) (int, error) {
+	s.tick = !s.tick
+	if s.tick {
+		return 0, nil
+	}
+	return s.r.Read(p)
+}
+
+func TestSplitterReadErrorIsTerminal(t *testing.T) {
+	boom := errors.New("disk gone")
+	sp := NewSplitter(io.MultiReader(strings.NewReader("<a/><b>"), errReader{boom}))
+	if d, err := sp.Next(nil); err != nil || string(d) != "<a/>" {
+		t.Fatalf("first doc: %q, %v", d, err)
+	}
+	if _, err := sp.Next(nil); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the read error", err)
+	}
+}
+
+type errReader struct{ err error }
+
+func (e errReader) Read([]byte) (int, error) { return 0, e.err }

@@ -15,7 +15,16 @@ import (
 type metrics struct {
 	queryRequests    atomic.Int64
 	workloadRequests atomic.Int64
+	bulkRequests     atomic.Int64
 	erroredRequests  atomic.Int64
+
+	bulkDocs      atomic.Int64 // documents served through /bulk
+	bulkDocErrors atomic.Int64 // of which failed (isolated per document)
+	// Worker utilization of the /bulk pools: busy sums per-document
+	// evaluation time, worker sums wall × workers. busy/worker is the
+	// fleet-wide pool utilization since the last counter reset.
+	bulkBusyNanos   atomic.Int64
+	bulkWorkerNanos atomic.Int64
 
 	bytesIn  atomic.Int64 // request-body bytes streamed into engines
 	bytesOut atomic.Int64 // result bytes streamed to clients
@@ -60,7 +69,12 @@ func atomicMax(a *atomic.Int64, v int64) {
 type Snapshot struct {
 	RequestsQuery    int64          `json:"requests_query"`
 	RequestsWorkload int64          `json:"requests_workload"`
+	RequestsBulk     int64          `json:"requests_bulk"`
 	RequestsErrored  int64          `json:"requests_errored"`
+	BulkDocs         int64          `json:"bulk_docs"`
+	BulkDocErrors    int64          `json:"bulk_doc_errors"`
+	BulkBusyNanos    int64          `json:"bulk_busy_nanos"`
+	BulkWorkerNanos  int64          `json:"bulk_worker_nanos"`
 	BytesIn          int64          `json:"bytes_in"`
 	Cache            gcx.CacheStats `json:"cache"`
 	Aggregate        gcx.Stats      `json:"aggregate"`
@@ -72,7 +86,12 @@ func (m *metrics) snapshot(cache gcx.CacheStats) Snapshot {
 	return Snapshot{
 		RequestsQuery:    m.queryRequests.Load(),
 		RequestsWorkload: m.workloadRequests.Load(),
+		RequestsBulk:     m.bulkRequests.Load(),
 		RequestsErrored:  m.erroredRequests.Load(),
+		BulkDocs:         m.bulkDocs.Load(),
+		BulkDocErrors:    m.bulkDocErrors.Load(),
+		BulkBusyNanos:    m.bulkBusyNanos.Load(),
+		BulkWorkerNanos:  m.bulkWorkerNanos.Load(),
 		BytesIn:          m.bytesIn.Load(),
 		Cache:            cache,
 		Aggregate: gcx.Stats{
@@ -107,8 +126,17 @@ func (s Snapshot) writeProm(w io.Writer) error {
 	p("# TYPE gcxd_requests_total counter\n")
 	p("gcxd_requests_total{endpoint=\"query\"} %d\n", s.RequestsQuery)
 	p("gcxd_requests_total{endpoint=\"workload\"} %d\n", s.RequestsWorkload)
+	p("gcxd_requests_total{endpoint=\"bulk\"} %d\n", s.RequestsBulk)
 	p("# TYPE gcxd_errors_total counter\n")
 	p("gcxd_errors_total %d\n", s.RequestsErrored)
+	p("# TYPE gcxd_bulk_docs_total counter\n")
+	p("gcxd_bulk_docs_total %d\n", s.BulkDocs)
+	p("# TYPE gcxd_bulk_doc_errors_total counter\n")
+	p("gcxd_bulk_doc_errors_total %d\n", s.BulkDocErrors)
+	p("# TYPE gcxd_bulk_busy_seconds_total counter\n")
+	p("gcxd_bulk_busy_seconds_total %g\n", float64(s.BulkBusyNanos)/1e9)
+	p("# TYPE gcxd_bulk_worker_seconds_total counter\n")
+	p("gcxd_bulk_worker_seconds_total %g\n", float64(s.BulkWorkerNanos)/1e9)
 	p("# TYPE gcxd_cache_hits_total counter\n")
 	p("gcxd_cache_hits_total %d\n", s.Cache.Hits)
 	p("# TYPE gcxd_cache_misses_total counter\n")

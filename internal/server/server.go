@@ -48,6 +48,13 @@ type Config struct {
 	// Enforcement is streaming: the limit trips when the excess byte is
 	// read, not by buffering the body.
 	MaxBodyBytes int64
+	// MaxDocBytes caps a SINGLE document of a /bulk corpus (0 = no
+	// limit). An oversized member fails alone — 413 if it is the first
+	// document, a per-part error behind it — while siblings evaluate.
+	MaxDocBytes int64
+	// BulkWorkers caps the per-request worker pool of /bulk (and is the
+	// default when the request gives no j= parameter). ≤0 = GOMAXPROCS.
+	BulkWorkers int
 	// Timeout bounds one request's evaluation, input read included
 	// (0 = no limit). On expiry the engine's stream read fails and the
 	// evaluation unwinds; this reuses the engine's error propagation
@@ -60,6 +67,9 @@ type Config struct {
 //	POST /query?q=...        evaluate an inline query over the body
 //	POST /query?id=...       evaluate a registered query
 //	POST /workload?id=a&id=b evaluate several queries in ONE pass of the body
+//	POST /bulk?id=...&j=N    evaluate one query over EVERY document of the
+//	                         body (tar archive or concatenated XML stream)
+//	                         across N parallel workers
 //	GET  /queries            list registered query ids
 //	GET  /metrics            service counters (Prometheus text; ?format=json)
 //	GET  /healthz            liveness
@@ -95,6 +105,7 @@ func New(cfg Config) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /workload", s.handleWorkload)
+	mux.HandleFunc("POST /bulk", s.handleBulk)
 	mux.HandleFunc("GET /queries", s.handleQueries)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {

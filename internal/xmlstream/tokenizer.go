@@ -188,8 +188,32 @@ func (t *Tokenizer) next() (byte, bool) {
 	return c, true
 }
 
+// skipComment consumes input through the first "-->" and returns true,
+// or false on EOF. Comments need their own scan rather than
+// skipUntil("-->"): the naive matcher loses progress on runs of dashes,
+// so a comment ending in "--->" — whose terminator overlaps the extra
+// dash — would wrongly read as unterminated.
+func (t *Tokenizer) skipComment() bool {
+	dashes := 0
+	for {
+		c, ok := t.next()
+		if !ok {
+			return false
+		}
+		switch {
+		case c == '-':
+			dashes++
+		case c == '>' && dashes >= 2:
+			return true
+		default:
+			dashes = 0
+		}
+	}
+}
+
 // skipUntil consumes input through the first occurrence of the literal
-// sequence seq and returns true, or false on EOF.
+// sequence seq and returns true, or false on EOF. seq must not have a
+// repeated prefix (see skipComment for why "-->" does not qualify).
 func (t *Tokenizer) skipUntil(seq string) bool {
 	matched := 0
 	for {
@@ -519,7 +543,7 @@ func (t *Tokenizer) readBang() (Token, bool, error) {
 		if c, ok := t.next(); !ok || c != '-' {
 			return Token{}, false, t.syntaxErr("malformed comment")
 		}
-		if !t.skipUntil("-->") {
+		if !t.skipComment() {
 			return Token{}, false, t.syntaxErr("unterminated comment")
 		}
 		return Token{}, false, nil
@@ -532,13 +556,60 @@ func (t *Tokenizer) readBang() (Token, bool, error) {
 		}
 		return t.readCDATA()
 	default: // DOCTYPE or other declaration: skip to matching '>'
-		depth := 1
+		// The internal subset may contain quoted literals (entity
+		// values, defaults, system ids), comments, and PIs whose content
+		// legally includes '<', '>', and quote characters — all three
+		// are opaque to the nesting count. pfx tracks progress through a
+		// "<!--" opener (1='<', 2='<!', 3='<!-').
+		depth, pfx := 1, 0
+		unterminated := func() (Token, bool, error) {
+			return Token{}, false, t.syntaxErr("unterminated declaration")
+		}
 		for {
 			c, ok := t.next()
 			if !ok {
-				return Token{}, false, t.syntaxErr("unterminated declaration")
+				return unterminated()
+			}
+			if pfx == 1 && c == '?' {
+				// "<?": a processing instruction inside the subset.
+				pfx = 0
+				depth-- // undo the '<' that started it
+				if !t.skipUntil("?>") {
+					return unterminated()
+				}
+				continue
+			}
+			if pfx == 3 && c == '-' {
+				// "<!--": a comment inside the subset.
+				pfx = 0
+				depth--
+				if !t.skipComment() {
+					return unterminated()
+				}
+				continue
+			}
+			switch {
+			case c == '<':
+				pfx = 1
+			case pfx == 1 && c == '!':
+				pfx = 2
+			case pfx == 2 && c == '-':
+				pfx = 3
+			default:
+				pfx = 0
 			}
 			switch c {
+			case '"', '\'':
+				quote := c
+				for {
+					c, ok := t.next()
+					if !ok {
+						return unterminated()
+					}
+					if c == quote {
+						break
+					}
+				}
 			case '<':
 				depth++
 			case '>':
@@ -563,8 +634,17 @@ func (t *Tokenizer) readCDATA() (Token, bool, error) {
 			return Token{}, false, t.syntaxErr("unterminated CDATA section")
 		}
 		switch {
-		case c == ']' && matched < 2:
-			matched++
+		case c == ']':
+			// In a run of brackets only the FINAL two can belong to the
+			// "]]>" terminator; earlier ones are content. Flushing the
+			// whole run (the old behavior) lost the terminator for
+			// content ending in ']', rejecting valid CDATA like
+			// "<![CDATA[x]]]>".
+			if matched == 2 {
+				t.textBuf = append(t.textBuf, ']')
+			} else {
+				matched++
+			}
 			continue
 		case c == '>' && matched == 2:
 			if len(t.textBuf) == 0 {

@@ -179,10 +179,73 @@ func TestCommentsPIsDoctypeSkipped(t *testing.T) {
 	}
 }
 
+func TestDoctypeInternalSubsetOpaqueContent(t *testing.T) {
+	// Quoted literals, comments, and PIs inside the internal subset may
+	// legally contain '<', '>', and quote characters; the declaration
+	// skipper must treat them as opaque instead of counting them toward
+	// the nesting (or scanning a comment's apostrophe as a quote).
+	for _, input := range []string{
+		`<!DOCTYPE a [<!ENTITY lt "<">]><a/>`,
+		`<!DOCTYPE a [<!ENTITY gt '>'>]><a/>`,
+		"<!DOCTYPE a [<!-- don't < > -->]><a/>",
+		"<!DOCTYPE a [<?p quote ' bracket > ?>]><a/>",
+		`<!DOCTYPE a [<!ELEMENT a EMPTY><!-- x --><!ATTLIST a b CDATA "<">]><a/>`,
+	} {
+		got := collect(t, input, DefaultOptions())
+		want := []Token{
+			{Kind: StartElement, Name: "a"},
+			{Kind: EndElement, Name: "a"},
+		}
+		if !tokensEqual(got, want) {
+			t.Errorf("%s: got %v\nwant %v", input, got, want)
+		}
+	}
+}
+
+func TestCommentDashRuns(t *testing.T) {
+	// A comment whose terminator overlaps extra dashes ("--->") ends at
+	// the first "-->" occurrence; the old skipUntil matcher lost its
+	// match progress on dash runs and read such comments as
+	// unterminated, swallowing the rest of the document.
+	for _, input := range []string{
+		"<a><!-- x ---></a>",
+		"<a><!-- x ----></a>",
+		"<a><!----></a>",
+		"<a><!-- - -- ---></a>",
+	} {
+		got := collect(t, input, DefaultOptions())
+		want := []Token{
+			{Kind: StartElement, Name: "a"},
+			{Kind: EndElement, Name: "a"},
+		}
+		if !tokensEqual(got, want) {
+			t.Errorf("%s: got %v\nwant %v", input, got, want)
+		}
+	}
+}
+
 func TestCDATA(t *testing.T) {
 	got := collect(t, `<a><![CDATA[x < y & z ]] ]]></a>`, DefaultOptions())
 	if len(got) != 3 || got[1].Data != "x < y & z ]] " {
 		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCDATABracketRuns(t *testing.T) {
+	// CDATA content ending in ']' overlaps the "]]>" terminator; only
+	// the final two brackets of a run belong to the terminator. The old
+	// matcher flushed the whole run and read valid sections like
+	// "<![CDATA[x]]]>" as unterminated.
+	for _, tc := range []struct{ input, want string }{
+		{`<a><![CDATA[x]]]></a>`, "x]"},
+		{`<a><![CDATA[x]]]]></a>`, "x]]"},
+		{`<a><![CDATA[]]]]></a>`, "]]"},
+		{`<a><![CDATA[a]b]]]></a>`, "a]b]"},
+	} {
+		got := collect(t, tc.input, DefaultOptions())
+		if len(got) != 3 || got[1].Data != tc.want {
+			t.Errorf("%s: got %v, want CDATA %q", tc.input, got, tc.want)
+		}
 	}
 }
 

@@ -108,6 +108,80 @@ func orderingDoc(t *testing.T, size int64) []byte {
 	return buf.Bytes()
 }
 
+// TestBufferPeakOrderingBulk extends the memory claim to the bulk
+// path: evaluating a corpus (one document per XMark size) across a
+// worker pool must keep every per-document peak at its solo value —
+// the aggregate memory bound is then workers × the largest single
+// document peak, never the corpus sum — and under GCX that bound must
+// stay STRICTLY below FullBuffer's on the join-free queries, mirroring
+// TestBufferPeakOrdering.
+func TestBufferPeakOrderingBulk(t *testing.T) {
+	var docs [][]byte
+	var stream bytes.Buffer
+	for _, size := range orderingDocSizes {
+		d := orderingDoc(t, size)
+		docs = append(docs, d)
+		stream.Write(d)
+		stream.WriteByte('\n')
+	}
+	const workers = 4
+	for _, q := range queries.AllIncludingExtended() {
+		t.Run(q.Name, func(t *testing.T) {
+			type strat struct {
+				soloMaxNodes, soloMaxBytes int64 // max per-doc solo peak
+				bulkMaxNodes, bulkMaxBytes int64 // max per-doc bulk peak
+			}
+			peaks := map[Strategy]*strat{}
+			for _, s := range []Strategy{GCX, FullBuffer} {
+				eng, err := Compile(q.Text, WithStrategy(s))
+				if err != nil {
+					t.Fatal(err)
+				}
+				p := &strat{}
+				peaks[s] = p
+				for i, d := range docs {
+					st, err := eng.Run(bytes.NewReader(d), io.Discard)
+					if err != nil {
+						t.Fatalf("solo doc %d: %v", i, err)
+					}
+					p.soloMaxNodes = max(p.soloMaxNodes, st.PeakBufferNodes)
+					p.soloMaxBytes = max(p.soloMaxBytes, st.PeakBufferBytes)
+				}
+				bs, err := eng.Bulk(CorpusConcat(bytes.NewReader(stream.Bytes())), BulkOptions{Workers: workers},
+					func(d BulkDoc) error {
+						if d.Err != nil {
+							t.Errorf("bulk doc %d: %v", d.Index, d.Err)
+						}
+						return nil
+					})
+				if err != nil {
+					t.Fatal(err)
+				}
+				p.bulkMaxNodes = bs.Aggregate.PeakBufferNodes
+				p.bulkMaxBytes = bs.Aggregate.PeakBufferBytes
+				// No document's buffer may grow beyond its solo peak
+				// under concurrency: the aggregate bound
+				// workers × max-per-doc-solo-peak follows, because at
+				// most `workers` documents evaluate at once.
+				if p.bulkMaxNodes > p.soloMaxNodes || p.bulkMaxBytes > p.soloMaxBytes {
+					t.Errorf("%v: bulk per-doc peak %d nodes / %d bytes exceeds solo %d / %d",
+						s, p.bulkMaxNodes, p.bulkMaxBytes, p.soloMaxNodes, p.soloMaxBytes)
+				}
+				if bs.PeakInFlight > workers {
+					t.Errorf("%v: %d documents in flight with %d workers", s, bs.PeakInFlight, workers)
+				}
+			}
+			if joinFree(q.Name) {
+				g, f := peaks[GCX], peaks[FullBuffer]
+				if workers*g.bulkMaxNodes >= f.bulkMaxNodes {
+					t.Errorf("join-free %s: GCX bulk bound %d×%d nodes must stay strictly below FullBuffer's peak %d",
+						q.Name, workers, g.bulkMaxNodes, f.bulkMaxNodes)
+				}
+			}
+		})
+	}
+}
+
 // TestBufferPeakOrderingWorkload extends the ordering claim to the
 // shared-stream artifact: the merged pass under GCX must not exceed the
 // merged pass under StaticOnly, which must not exceed FullBuffer.
