@@ -16,6 +16,21 @@
 // artifact for CI trend tracking:
 //
 //	gcxbench -serve-json BENCH_serve.json -serve-doc 1MB -serve-requests 50
+//
+// Raw tokenizer throughput (chunked vs the retained per-byte reference
+// scanner vs the projected engine path, text-heavy and markup-heavy
+// documents):
+//
+//	gcxbench -tokenizer-json BENCH_tokenizer.json
+//
+// Benchmark regression gate (CI): compare fresh reports against the
+// committed baseline, exiting non-zero when any per-metric tolerance is
+// breached; and regenerate the baseline from fresh reports:
+//
+//	gcxbench -check BENCH_baseline.json -serve-in BENCH_serve.json \
+//	    -bulk-in BENCH_bulk.json -tokenizer-in BENCH_tokenizer.json
+//	gcxbench -baseline-out BENCH_baseline.json -serve-in ... -bulk-in ... \
+//	    -tokenizer-in ... -note "github-hosted runner, 2026-07"
 package main
 
 import (
@@ -53,9 +68,33 @@ func main() {
 		bulkDoc   = flag.String("bulk-doc", "256KB", "bulk benchmark mean document size")
 		bulkQuery = flag.String("bulk-query", "Q6", "bulk benchmark query name")
 		bulkJobs  = flag.String("bulk-j", "", "comma-separated worker counts to sweep (default 1,2,4,GOMAXPROCS)")
+
+		tokJSON  = flag.String("tokenizer-json", "", "run the tokenizer throughput benchmark (chunked vs reference vs projected) and write the JSON report to this file")
+		tokDoc   = flag.String("tok-doc", "4MB", "tokenizer benchmark document size")
+		tokIters = flag.Int("tok-iters", 10, "tokenizer benchmark passes per cell")
+
+		checkPath   = flag.String("check", "", "compare benchmark reports against this committed baseline JSON and exit non-zero on regression")
+		checkTol    = flag.Float64("check-tol", 1.0, "multiply the relative regression budgets (throughput/alloc/peak) by this factor")
+		baselineOut = flag.String("baseline-out", "", "assemble a baseline JSON from the -*-in reports and write it to this file")
+		serveIn     = flag.String("serve-in", "", "BENCH_serve.json to check or fold into a baseline")
+		bulkIn      = flag.String("bulk-in", "", "BENCH_bulk.json to check or fold into a baseline")
+		tokIn       = flag.String("tokenizer-in", "", "BENCH_tokenizer.json to check or fold into a baseline")
+		note        = flag.String("note", "", "provenance note stored in the baseline written by -baseline-out")
 	)
 	flag.Parse()
 
+	if *checkPath != "" {
+		if err := runCheck(*checkPath, *serveIn, *bulkIn, *tokIn, *checkTol); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *baselineOut != "" {
+		if err := runBaselineOut(*baselineOut, *serveIn, *bulkIn, *tokIn, *note); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *serveJSON != "" {
 		if err := runServe(*serveJSON, *serveDoc, *qnames, *seed, *serveRequests, *serveConcurrency); err != nil {
 			fatal(err)
@@ -64,6 +103,12 @@ func main() {
 	}
 	if *bulkJSON != "" {
 		if err := runBulk(*bulkJSON, *bulkDoc, *bulkQuery, *bulkJobs, *seed, *bulkDocs); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *tokJSON != "" {
+		if err := runTokenizer(*tokJSON, *tokDoc, *seed, *tokIters); err != nil {
 			fatal(err)
 		}
 		return
@@ -186,6 +231,110 @@ func runBulk(outPath, docSize, queryName, jobsList string, seed uint64, docs int
 	fmt.Println()
 	fmt.Print(bench.FormatBulkTable(rep))
 	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+	return nil
+}
+
+func runTokenizer(outPath, docSize string, seed uint64, iters int) error {
+	docBytes, err := bench.ParseSize(docSize)
+	if err != nil {
+		return err
+	}
+	rep, err := bench.RunTokenizer(bench.TokenizerConfig{
+		DocBytes: docBytes,
+		Seed:     seed,
+		Iters:    iters,
+		Progress: os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(bench.FormatTokenizerTable(rep))
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+	return nil
+}
+
+// assembleBaseline folds the individual report files (empty paths are
+// skipped) into one Baseline document.
+func assembleBaseline(serveIn, bulkIn, tokIn string) (*bench.Baseline, error) {
+	var b bench.Baseline
+	if serveIn != "" {
+		if err := readJSON(serveIn, &b.Serve); err != nil {
+			return nil, err
+		}
+	}
+	if bulkIn != "" {
+		if err := readJSON(bulkIn, &b.Bulk); err != nil {
+			return nil, err
+		}
+	}
+	if tokIn != "" {
+		if err := readJSON(tokIn, &b.Tokenizer); err != nil {
+			return nil, err
+		}
+	}
+	return &b, nil
+}
+
+func readJSON(path string, dst any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, dst); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// runCheck is the CI regression gate: compare the current run's reports
+// against the committed baseline and fail loudly on any breached budget.
+func runCheck(baselinePath, serveIn, bulkIn, tokIn string, tolFactor float64) error {
+	base, err := bench.LoadBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+	cur, err := assembleBaseline(serveIn, bulkIn, tokIn)
+	if err != nil {
+		return err
+	}
+	tol := bench.DefaultTolerances().Scale(tolFactor)
+	violations := base.Compare(cur, tol)
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "gcxbench -check: %d regression(s) against %s:\n", len(violations), baselinePath)
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "  FAIL %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("gcxbench -check: all metrics within tolerance of %s\n", baselinePath)
+	return nil
+}
+
+func runBaselineOut(outPath, serveIn, bulkIn, tokIn, note string) error {
+	b, err := assembleBaseline(serveIn, bulkIn, tokIn)
+	if err != nil {
+		return err
+	}
+	if b.Serve == nil && b.Bulk == nil && b.Tokenizer == nil {
+		return fmt.Errorf("-baseline-out needs at least one of -serve-in, -bulk-in, -tokenizer-in")
+	}
+	b.Note = note
+	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Baseline is the committed BENCH_baseline.json document: the serve,
+// bulk, and tokenizer reports captured on a known-good commit with the
+// same parameters CI uses. The gcxbench -check gate compares a fresh
+// run against it with per-metric tolerances, so a throughput or
+// allocation regression fails the build instead of silently shipping
+// as a prettier artifact.
+//
+// Regenerate (same machine class as the numbers being checked — the
+// absolute throughput floors are hardware-relative) with:
+//
+//	gcxbench -serve-json BENCH_serve.json ...
+//	gcxbench -bulk-json BENCH_bulk.json ...
+//	gcxbench -tokenizer-json BENCH_tokenizer.json ...
+//	gcxbench -baseline-out BENCH_baseline.json \
+//	    -serve-in BENCH_serve.json -bulk-in BENCH_bulk.json \
+//	    -tokenizer-in BENCH_tokenizer.json
+type Baseline struct {
+	// Note documents where the numbers came from (host class, date).
+	Note      string           `json:"note,omitempty"`
+	Serve     *ServeReport     `json:"serve,omitempty"`
+	Bulk      *BulkReport      `json:"bulk,omitempty"`
+	Tokenizer *TokenizerReport `json:"tokenizer,omitempty"`
+}
+
+// Tolerances are the per-metric regression budgets. The zero value is
+// unusable; start from DefaultTolerances.
+type Tolerances struct {
+	// ThroughputDrop is the fractional docs/s / MB/s loss that fails the
+	// gate (0.15 = fail on >15% drop).
+	ThroughputDrop float64
+	// AllocGrowth is the fractional allocs/op growth that fails the
+	// gate, with AllocSlack absolute headroom on top: serve-path alloc
+	// figures are process-wide deltas (GC and runtime goroutines bleed
+	// in), so a literal zero-growth gate would flake. A real leak blows
+	// through both in one step.
+	AllocGrowth float64
+	AllocSlack  uint64
+	// PeakGrowth is the fractional buffer-peak growth that fails the
+	// gate. Peaks are deterministic for a fixed (query, corpus), so
+	// this mostly guards against projection/GC regressions.
+	PeakGrowth float64
+	// MinTextSpeedup is the absolute floor on the tokenizer's
+	// chunked-vs-reference MB/s ratio for the text-heavy document —
+	// the chunked rework's acceptance bar, held machine-portably.
+	MinTextSpeedup float64
+}
+
+// DefaultTolerances returns the gate's defaults (the values the CI step
+// runs with).
+func DefaultTolerances() Tolerances {
+	return Tolerances{
+		ThroughputDrop: 0.15,
+		AllocGrowth:    0.10,
+		AllocSlack:     64,
+		PeakGrowth:     0.15,
+		MinTextSpeedup: 1.8,
+	}
+}
+
+// Scale widens (factor > 1) or tightens every relative budget; the
+// absolute floors (AllocSlack, MinTextSpeedup) are left alone.
+func (tol Tolerances) Scale(factor float64) Tolerances {
+	if factor > 0 {
+		tol.ThroughputDrop *= factor
+		tol.AllocGrowth *= factor
+		tol.PeakGrowth *= factor
+	}
+	return tol
+}
+
+// LoadBaseline reads a Baseline (or a current-run Baseline assembled
+// from individual report files — the format is the same).
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Compare checks a current run against the baseline and returns one
+// violation string per breached budget (empty = gate passes). Sections
+// present in the baseline but missing from the current run are
+// violations — a gate that silently skips a lost artifact is no gate.
+func (b *Baseline) Compare(cur *Baseline, tol Tolerances) []string {
+	var v []string
+	v = append(v, compareServe(b.Serve, cur.Serve, tol)...)
+	v = append(v, compareBulk(b.Bulk, cur.Bulk, tol)...)
+	v = append(v, compareTokenizer(b.Tokenizer, cur.Tokenizer, tol)...)
+	return v
+}
+
+func throughputFloor(base float64, tol Tolerances) float64 {
+	return base * (1 - tol.ThroughputDrop)
+}
+
+func allocCeiling(base uint64, tol Tolerances) uint64 {
+	return base + uint64(float64(base)*tol.AllocGrowth) + tol.AllocSlack
+}
+
+func compareServe(base, cur *ServeReport, tol Tolerances) []string {
+	if base == nil {
+		return nil
+	}
+	if cur == nil {
+		return []string{"serve: baseline has a serve section but the current run is missing BENCH_serve.json"}
+	}
+	var v []string
+	if base.DocBytes != cur.DocBytes || base.Requests != cur.Requests ||
+		strings.Join(base.Queries, ",") != strings.Join(cur.Queries, ",") {
+		v = append(v, fmt.Sprintf("serve: parameter mismatch (doc %d vs %d bytes, %d vs %d requests, queries %v vs %v) — regenerate the baseline or fix the CI flags",
+			base.DocBytes, cur.DocBytes, base.Requests, cur.Requests, base.Queries, cur.Queries))
+		return v
+	}
+	// Absolute throughput floors only make sense on comparable hardware:
+	// a core-count change is an environment change, not a regression, so
+	// report it as such instead of as a misleading docs/s FAIL.
+	if base.GoMaxProcs != cur.GoMaxProcs {
+		v = append(v, fmt.Sprintf("serve: GOMAXPROCS changed %d -> %d — the runner hardware class differs from the baseline's; regenerate BENCH_baseline.json with gcxbench -baseline-out on the new class",
+			base.GoMaxProcs, cur.GoMaxProcs))
+		return v
+	}
+	curByPath := map[string]ServePathResult{}
+	for _, r := range cur.Results {
+		curByPath[r.Path] = r
+	}
+	for _, br := range base.Results {
+		cr, ok := curByPath[br.Path]
+		if !ok {
+			v = append(v, fmt.Sprintf("serve/%s: path missing from current run", br.Path))
+			continue
+		}
+		if floor := throughputFloor(br.DocsPerSec, tol); cr.DocsPerSec < floor {
+			v = append(v, fmt.Sprintf("serve/%s: docs/s regressed %.1f -> %.1f (floor %.1f, -%.0f%% budget)",
+				br.Path, br.DocsPerSec, cr.DocsPerSec, floor, tol.ThroughputDrop*100))
+		}
+		if ceil := allocCeiling(br.AllocsPerOp, tol); cr.AllocsPerOp > ceil {
+			v = append(v, fmt.Sprintf("serve/%s: allocs/op grew %d -> %d (ceiling %d)",
+				br.Path, br.AllocsPerOp, cr.AllocsPerOp, ceil))
+		}
+		if br.PeakBufferBytes > 0 {
+			if ceil := int64(float64(br.PeakBufferBytes) * (1 + tol.PeakGrowth)); cr.PeakBufferBytes > ceil {
+				v = append(v, fmt.Sprintf("serve/%s: peak buffer grew %d -> %d bytes (ceiling %d)",
+					br.Path, br.PeakBufferBytes, cr.PeakBufferBytes, ceil))
+			}
+		}
+	}
+	return v
+}
+
+func compareBulk(base, cur *BulkReport, tol Tolerances) []string {
+	if base == nil {
+		return nil
+	}
+	if cur == nil {
+		return []string{"bulk: baseline has a bulk section but the current run is missing BENCH_bulk.json"}
+	}
+	var v []string
+	if base.Docs != cur.Docs || base.Query != cur.Query {
+		v = append(v, fmt.Sprintf("bulk: parameter mismatch (%d vs %d docs, query %s vs %s) — regenerate the baseline or fix the CI flags",
+			base.Docs, cur.Docs, base.Query, cur.Query))
+		return v
+	}
+	if base.GoMaxProcs != cur.GoMaxProcs {
+		v = append(v, fmt.Sprintf("bulk: GOMAXPROCS changed %d -> %d — the runner hardware class differs from the baseline's; regenerate BENCH_baseline.json with gcxbench -baseline-out on the new class",
+			base.GoMaxProcs, cur.GoMaxProcs))
+		return v
+	}
+	curByWorkers := map[int]BulkJobResult{}
+	for _, r := range cur.Results {
+		curByWorkers[r.Workers] = r
+	}
+	for _, br := range base.Results {
+		cr, ok := curByWorkers[br.Workers]
+		if !ok {
+			v = append(v, fmt.Sprintf("bulk/j=%d: worker count missing from current run", br.Workers))
+			continue
+		}
+		if floor := throughputFloor(br.DocsPerSec, tol); cr.DocsPerSec < floor {
+			v = append(v, fmt.Sprintf("bulk/j=%d: docs/s regressed %.1f -> %.1f (floor %.1f)",
+				br.Workers, br.DocsPerSec, cr.DocsPerSec, floor))
+		}
+		if br.PeakBufferBytes > 0 {
+			if ceil := int64(float64(br.PeakBufferBytes) * (1 + tol.PeakGrowth)); cr.PeakBufferBytes > ceil {
+				v = append(v, fmt.Sprintf("bulk/j=%d: per-doc peak buffer grew %d -> %d bytes (ceiling %d)",
+					br.Workers, br.PeakBufferBytes, cr.PeakBufferBytes, ceil))
+			}
+		}
+	}
+	return v
+}
+
+func compareTokenizer(base, cur *TokenizerReport, tol Tolerances) []string {
+	if base == nil {
+		return nil
+	}
+	if cur == nil {
+		return []string{"tokenizer: baseline has a tokenizer section but the current run is missing BENCH_tokenizer.json"}
+	}
+	var v []string
+	if base.DocBytes != cur.DocBytes {
+		v = append(v, fmt.Sprintf("tokenizer: parameter mismatch (doc %d vs %d bytes) — regenerate the baseline or fix the CI flags",
+			base.DocBytes, cur.DocBytes))
+		return v
+	}
+	curByCell := map[string]TokenizerResult{}
+	for _, r := range cur.Results {
+		curByCell[r.Doc+"/"+r.Path] = r
+	}
+	for _, br := range base.Results {
+		key := br.Doc + "/" + br.Path
+		cr, ok := curByCell[key]
+		if !ok {
+			v = append(v, fmt.Sprintf("tokenizer/%s: cell missing from current run", key))
+			continue
+		}
+		if floor := throughputFloor(br.MBPerSec, tol); cr.MBPerSec < floor {
+			v = append(v, fmt.Sprintf("tokenizer/%s: MB/s regressed %.1f -> %.1f (floor %.1f)",
+				key, br.MBPerSec, cr.MBPerSec, floor))
+		}
+		if ceil := allocCeiling(br.AllocsPerOp, tol); cr.AllocsPerOp > ceil {
+			v = append(v, fmt.Sprintf("tokenizer/%s: allocs/op grew %d -> %d (ceiling %d)",
+				key, br.AllocsPerOp, cr.AllocsPerOp, ceil))
+		}
+		if br.Tokens > 0 && cr.Tokens != br.Tokens {
+			v = append(v, fmt.Sprintf("tokenizer/%s: token count changed %d -> %d (deterministic corpus — scanner behavior changed)",
+				key, br.Tokens, cr.Tokens))
+		}
+	}
+	if tol.MinTextSpeedup > 0 && cur.SpeedupTextHeavy < tol.MinTextSpeedup {
+		v = append(v, fmt.Sprintf("tokenizer: chunked/reference speedup on text-heavy fell to %.2fx (floor %.2fx)",
+			cur.SpeedupTextHeavy, tol.MinTextSpeedup))
+	}
+	return v
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is active; allocation
+// regression tests skip under it (instrumentation allocates and the
+// detector deliberately defeats sync.Pool reuse to expose races).
+const raceEnabled = true

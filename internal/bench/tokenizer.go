@@ -1,0 +1,282 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"gcx"
+	"gcx/internal/queries"
+	"gcx/internal/xmlstream"
+)
+
+// TokenizerConfig parameterizes the raw-scan throughput benchmark
+// (cmd/gcxbench -tokenizer-json): the chunked tokenizer, the retained
+// per-byte Reference scanner, and the full projected engine path are
+// driven over a text-heavy and a markup-heavy XMark document, reporting
+// MB/s and allocs per pass. Scan throughput is the floor under docs/s
+// for every layer above (solo runs, workloads, gcxd, bulk corpora), so
+// BENCH_tokenizer.json is the first place a hot-path regression shows.
+type TokenizerConfig struct {
+	// DocBytes is the target size of each generated document.
+	DocBytes int64
+	// Seed for document generation.
+	Seed uint64
+	// Iters is the number of measured passes per cell.
+	Iters int
+	// Query drives the projected path; defaults to Q1 (whose projection
+	// tree discards nearly the whole document, so the row isolates the
+	// projector's fast-skip riding on tokenizer sentinel scans).
+	Query queries.Query
+	// Progress, if non-nil, receives one line per completed cell.
+	Progress io.Writer
+}
+
+// TokenizerResult is one (document, path) cell in BENCH_tokenizer.json.
+// Field names are scrape-stable for CI trend tooling.
+type TokenizerResult struct {
+	Doc         string  `json:"doc"`  // text-heavy | markup-heavy
+	Path        string  `json:"path"` // chunked | reference | projected
+	MBPerSec    float64 `json:"mb_per_sec"`
+	Tokens      int64   `json:"tokens"` // tokens produced per pass (0 for projected)
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+}
+
+// TokenizerReport is the BENCH_tokenizer.json document.
+type TokenizerReport struct {
+	DocBytes int64             `json:"doc_bytes"`
+	Iters    int               `json:"iters"`
+	Query    string            `json:"query"`
+	Results  []TokenizerResult `json:"results"`
+	// SpeedupTextHeavy and SpeedupMarkupHeavy are chunked MB/s divided
+	// by reference MB/s on the same document — the machine-portable
+	// ratio the CI gate holds above its floor.
+	SpeedupTextHeavy   float64 `json:"speedup_text_heavy"`
+	SpeedupMarkupHeavy float64 `json:"speedup_markup_heavy"`
+}
+
+// tokenizerDocs builds the two scan-profile extremes out of the XMark
+// vocabulary: the text-heavy document is wall-to-wall description text
+// (long character-data runs, the projector discards them for most
+// queries), the markup-heavy one is catgraph/incategory-style — dense
+// small tags and attributes with almost no character data.
+func tokenizerDocs(target int64, seed uint64) (textHeavy, markupHeavy []byte) {
+	return genTextHeavyDoc(target, seed), genMarkupHeavyDoc(target, seed)
+}
+
+var tokenizerWords = []string{
+	"gold", "silver", "auction", "reserve", "bidder", "parcel", "estate",
+	"vintage", "catalog", "shipping", "antique", "seller", "increment",
+	"closing", "preview", "condition", "provenance", "lot", "appraisal",
+	"creditcard", "international", "description", "quantity", "payment",
+}
+
+// tokRand is the xorshift64* generator the xmark package uses, kept
+// deterministic in the seed so baselines stay byte-stable.
+type tokRand uint64
+
+func newTokRand(seed uint64) tokRand {
+	r := tokRand(seed*2862933555777941757 + 3037000493)
+	if r == 0 {
+		r = 88172645463325252
+	}
+	return r
+}
+
+func (r *tokRand) next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = tokRand(x)
+	return x * 2685821657736338717
+}
+
+func (r *tokRand) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// genTextHeavyDoc emits XMark region items whose descriptions carry long
+// uninterrupted text runs — the best case for sentinel scanning.
+func genTextHeavyDoc(target int64, seed uint64) []byte {
+	rng := newTokRand(seed)
+	var b bytes.Buffer
+	b.Grow(int(target) + 4096)
+	b.WriteString("<site><regions><europe>\n")
+	for id := 0; int64(b.Len()) < target; id++ {
+		fmt.Fprintf(&b, `<item id="item%d"><name>`, id)
+		writeWords(&b, &rng, 3)
+		b.WriteString("</name><description><text>")
+		writeWords(&b, &rng, 120+rng.intn(80))
+		b.WriteString("</text></description></item>\n")
+	}
+	b.WriteString("</europe></regions></site>\n")
+	return b.Bytes()
+}
+
+// genMarkupHeavyDoc emits an XMark catgraph — rows of small
+// attribute-bearing elements with no character data, the tag-parsing
+// worst case where sentinel runs are short.
+func genMarkupHeavyDoc(target int64, seed uint64) []byte {
+	rng := newTokRand(seed)
+	var b bytes.Buffer
+	b.Grow(int(target) + 4096)
+	b.WriteString("<site><catgraph>\n")
+	for int64(b.Len()) < target {
+		fmt.Fprintf(&b, "<edge from=\"category%d\" to=\"category%d\"></edge><incategory category=\"category%d\"/>\n",
+			rng.intn(1000), rng.intn(1000), rng.intn(1000))
+	}
+	b.WriteString("</catgraph></site>\n")
+	return b.Bytes()
+}
+
+func writeWords(b *bytes.Buffer, rng *tokRand, n int) {
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(tokenizerWords[rng.intn(len(tokenizerWords))])
+	}
+}
+
+// drainTokenizer is the solo scan loop shared by the chunked and
+// reference rows; next is Tokenizer.Next or Reference.Next.
+func drainTokenizer(next func() (xmlstream.Token, error)) (int64, error) {
+	var n int64
+	for {
+		tk, err := next()
+		if err != nil {
+			return n, err
+		}
+		if tk.Kind == xmlstream.EOF {
+			return n, nil
+		}
+		n++
+	}
+}
+
+// RunTokenizer executes the 2×3 sweep and computes the speedup ratios.
+func RunTokenizer(cfg TokenizerConfig) (*TokenizerReport, error) {
+	if cfg.DocBytes <= 0 {
+		cfg.DocBytes = 4 << 20
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 10
+	}
+	if cfg.Query.Name == "" {
+		cfg.Query = queries.Q1
+	}
+
+	textHeavy, markupHeavy := tokenizerDocs(cfg.DocBytes, cfg.Seed)
+	eng, err := gcx.Compile(cfg.Query.Text)
+	if err != nil {
+		return nil, err
+	}
+
+	opts := xmlstream.DefaultOptions()
+	opts.BorrowText = true // the engine's mode: discarded regions cost no copies
+	chunked := xmlstream.NewTokenizerOptions(nil, opts)
+	reference := xmlstream.NewReference(nil, opts)
+
+	report := &TokenizerReport{
+		DocBytes: cfg.DocBytes,
+		Iters:    cfg.Iters,
+		Query:    cfg.Query.Name,
+	}
+	mbs := map[string]float64{}
+	for _, doc := range []struct {
+		name string
+		data []byte
+	}{{"text-heavy", textHeavy}, {"markup-heavy", markupHeavy}} {
+		r := bytes.NewReader(doc.data)
+		paths := []struct {
+			name string
+			op   func() (int64, error)
+		}{
+			{"chunked", func() (int64, error) {
+				r.Reset(doc.data)
+				chunked.Reset(r)
+				return drainTokenizer(chunked.Next)
+			}},
+			{"reference", func() (int64, error) {
+				r.Reset(doc.data)
+				reference.Reset(r)
+				return drainTokenizer(reference.Next)
+			}},
+			{"projected", func() (int64, error) {
+				r.Reset(doc.data)
+				_, err := eng.Run(r, io.Discard)
+				return 0, err
+			}},
+		}
+		for _, path := range paths {
+			res, err := measureTokenizerCell(doc.name, path.name, int64(len(doc.data)), cfg.Iters, path.op)
+			if err != nil {
+				return nil, err
+			}
+			report.Results = append(report.Results, res)
+			mbs[doc.name+"/"+path.name] = res.MBPerSec
+			if cfg.Progress != nil {
+				fmt.Fprintf(cfg.Progress, "%s\n", FormatTokenizerResult(res))
+			}
+		}
+	}
+	if ref := mbs["text-heavy/reference"]; ref > 0 {
+		report.SpeedupTextHeavy = mbs["text-heavy/chunked"] / ref
+	}
+	if ref := mbs["markup-heavy/reference"]; ref > 0 {
+		report.SpeedupMarkupHeavy = mbs["markup-heavy/chunked"] / ref
+	}
+	return report, nil
+}
+
+// measureTokenizerCell times iters passes of op (after one warm-up pass)
+// and reads alloc counters around the loop.
+func measureTokenizerCell(doc, path string, docBytes int64, iters int, op func() (int64, error)) (TokenizerResult, error) {
+	res := TokenizerResult{Doc: doc, Path: path}
+	tokens, err := op() // warm-up: populate pools, size scratch buffers
+	if err != nil {
+		return res, fmt.Errorf("%s/%s warm-up: %w", doc, path, err)
+	}
+	res.Tokens = tokens
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := op(); err != nil {
+			return res, fmt.Errorf("%s/%s: %w", doc, path, err)
+		}
+	}
+	elapsed := time.Since(start)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	res.MBPerSec = float64(docBytes) * float64(iters) / elapsed.Seconds() / (1 << 20)
+	res.AllocsPerOp = (after.Mallocs - before.Mallocs) / uint64(iters)
+	return res, nil
+}
+
+// FormatTokenizerResult renders one cell as a single line.
+func FormatTokenizerResult(r TokenizerResult) string {
+	return fmt.Sprintf("%-12s %-10s %8.1f MB/s   %8d tokens   %d allocs/op",
+		r.Doc, r.Path, r.MBPerSec, r.Tokens, r.AllocsPerOp)
+}
+
+// FormatTokenizerTable renders the full report for humans.
+func FormatTokenizerTable(rep *TokenizerReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tokenizer throughput: %s docs, %d passes, projected via %s\n",
+		humanBytes(rep.DocBytes), rep.Iters, rep.Query)
+	for _, r := range rep.Results {
+		b.WriteString(FormatTokenizerResult(r) + "\n")
+	}
+	fmt.Fprintf(&b, "speedup chunked/reference: text-heavy %.2fx, markup-heavy %.2fx\n",
+		rep.SpeedupTextHeavy, rep.SpeedupMarkupHeavy)
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"gcx"
+	"gcx/internal/queries"
+	"gcx/internal/xmlstream"
+)
+
+// BenchmarkTokenizerThroughput reports scan MB/s for the chunked
+// tokenizer against the retained per-byte Reference scanner (and the
+// full projected engine path) on the two XMark profile extremes. Run as
+// a -benchtime 1x smoke in CI; locally:
+//
+//	go test -run xxx -bench BenchmarkTokenizerThroughput -benchmem ./internal/bench
+//
+// The acceptance bar for the chunked rework: ≥1.8x MB/s over reference
+// on the text-heavy document with no allocs/op growth (the ratio is
+// asserted continuously by the BENCH_baseline.json gate, not here —
+// benchmark binaries must not fail on machine-dependent timings).
+func BenchmarkTokenizerThroughput(b *testing.B) {
+	textHeavy, markupHeavy := tokenizerDocs(4<<20, 1)
+	opts := xmlstream.DefaultOptions()
+	opts.BorrowText = true
+
+	eng, err := gcx.Compile(queries.Q1.Text)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	for _, doc := range []struct {
+		name string
+		data []byte
+	}{{"text-heavy", textHeavy}, {"markup-heavy", markupHeavy}} {
+		r := bytes.NewReader(doc.data)
+		b.Run(doc.name+"/chunked", func(b *testing.B) {
+			tok := xmlstream.NewTokenizerOptions(nil, opts)
+			b.SetBytes(int64(len(doc.data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Reset(doc.data)
+				tok.Reset(r)
+				if _, err := drainTokenizer(tok.Next); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(doc.name+"/reference", func(b *testing.B) {
+			tok := xmlstream.NewReference(nil, opts)
+			b.SetBytes(int64(len(doc.data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Reset(doc.data)
+				tok.Reset(r)
+				if _, err := drainTokenizer(tok.Next); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(doc.name+"/projected", func(b *testing.B) {
+			b.SetBytes(int64(len(doc.data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Reset(doc.data)
+				if _, err := eng.Run(r, io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestChunkedTokenizerAllocsNotAboveReference is the deterministic half
+// of the acceptance bar: in the engine's BorrowText mode a warm chunked
+// tokenizer must not allocate more per pass than the per-byte scanner it
+// replaced (both are zero in steady state; the chunked scanner must not
+// regress that).
+func TestChunkedTokenizerAllocsNotAboveReference(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	textHeavy, markupHeavy := tokenizerDocs(256<<10, 1)
+	opts := xmlstream.DefaultOptions()
+	opts.BorrowText = true
+	chunked := xmlstream.NewTokenizerOptions(nil, opts)
+	reference := xmlstream.NewReference(nil, opts)
+
+	for _, doc := range [][]byte{textHeavy, markupHeavy} {
+		r := bytes.NewReader(doc)
+		drainChunked := func() {
+			r.Reset(doc)
+			chunked.Reset(r)
+			if _, err := drainTokenizer(chunked.Next); err != nil {
+				t.Fatal(err)
+			}
+		}
+		drainReference := func() {
+			r.Reset(doc)
+			reference.Reset(r)
+			if _, err := drainTokenizer(reference.Next); err != nil {
+				t.Fatal(err)
+			}
+		}
+		drainChunked() // warm up scratch buffers and name tables
+		drainReference()
+		ca := testing.AllocsPerRun(5, drainChunked)
+		ra := testing.AllocsPerRun(5, drainReference)
+		if ca > ra {
+			t.Fatalf("chunked tokenizer allocates more than reference: %.1f > %.1f allocs/pass", ca, ra)
+		}
+		if ca > 0 {
+			t.Fatalf("warm chunked tokenizer allocates: %.1f allocs/pass, want 0", ca)
+		}
+	}
+}
+
+// TestRunTokenizer smoke-tests the report: all six cells present, sane
+// throughput numbers, and both scanners agree on the token count per
+// document (the in-benchmark differential check).
+func TestRunTokenizer(t *testing.T) {
+	rep, err := RunTokenizer(TokenizerConfig{DocBytes: 64 << 10, Seed: 3, Iters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 6 {
+		t.Fatalf("got %d cells, want 6", len(rep.Results))
+	}
+	tokens := map[string]int64{}
+	for _, r := range rep.Results {
+		if r.MBPerSec <= 0 {
+			t.Errorf("%s/%s: non-positive MB/s", r.Doc, r.Path)
+		}
+		if r.Path != "projected" {
+			tokens[r.Doc+"/"+r.Path] = r.Tokens
+		}
+	}
+	for _, doc := range []string{"text-heavy", "markup-heavy"} {
+		if tokens[doc+"/chunked"] == 0 || tokens[doc+"/chunked"] != tokens[doc+"/reference"] {
+			t.Errorf("%s: token count divergence chunked=%d reference=%d",
+				doc, tokens[doc+"/chunked"], tokens[doc+"/reference"])
+		}
+	}
+	if rep.SpeedupTextHeavy <= 0 || rep.SpeedupMarkupHeavy <= 0 {
+		t.Fatalf("speedups not computed: %+v", rep)
+	}
+}

@@ -131,6 +131,35 @@ func (s *Splitter) Next(dst []byte) ([]byte, error) {
 		dst = append(dst, run...)
 	}
 
+	// skipTo / skipToAny bulk-consume the run of bytes strictly before
+	// the next sentinel, mirroring the tokenizer's chunked fast paths:
+	// interior bytes of comments, PIs, CDATA, quoted values, and
+	// declarations cannot change the scanner state, so whole runs move
+	// with one IndexByte/IndexAny call instead of per-byte stepping
+	// (no sentinel in the window = the whole window is interior).
+	skipTo := func(stop byte) {
+		if i := bytes.IndexByte(s.buf[s.pos:s.n], stop); i != 0 {
+			run := s.buf[s.pos:s.n]
+			if i > 0 {
+				run = run[:i]
+			}
+			s.pos += len(run)
+			keep(run)
+		}
+	}
+	skipToAny := func(stops string) bool {
+		if i := bytes.IndexAny(s.buf[s.pos:s.n], stops); i != 0 {
+			run := s.buf[s.pos:s.n]
+			if i > 0 {
+				run = run[:i]
+			}
+			s.pos += len(run)
+			keep(run)
+			return len(run) > 0
+		}
+		return false
+	}
+
 	for {
 		if s.pos >= s.n && !s.fill() {
 			// End of input (or read error).
@@ -185,14 +214,7 @@ func (s *Splitter) Next(dst []byte) ([]byte, error) {
 			}
 			// Inside the document, only '<' changes the state: bulk-copy
 			// the rest of the character-data run.
-			if i := bytes.IndexByte(s.buf[s.pos:s.n], '<'); i != 0 {
-				run := s.buf[s.pos:s.n]
-				if i > 0 {
-					run = run[:i]
-				}
-				s.pos += len(run)
-				keep(run)
-			}
+			skipTo('<')
 		case spLT:
 			switch {
 			case c == '!':
@@ -247,12 +269,16 @@ func (s *Splitter) Next(dst []byte) ([]byte, error) {
 				state = spText
 			default:
 				commentDashes = 0
+				skipTo('-') // interior run: nothing before a dash matters
 			}
 		case spPI:
 			if c == '>' && piQuestion {
 				state = spText
 			} else {
 				piQuestion = c == '?'
+				if !piQuestion {
+					skipTo('?')
+				}
 			}
 		case spCDATA:
 			switch {
@@ -262,6 +288,7 @@ func (s *Splitter) Next(dst []byte) ([]byte, error) {
 				state = spText
 			default:
 				cdataBrackets = 0
+				skipTo(']')
 			}
 		case spDecl:
 			// Quoted literals, comments, and PIs inside a DOCTYPE
@@ -301,9 +328,16 @@ func (s *Splitter) Next(dst []byte) ([]byte, error) {
 					}
 				}
 			}
+			if state == spDecl && declPfx == 0 {
+				// Outside any "<!--"/"<?" prefix, only brackets and quote
+				// openers matter: skip the run to the next one.
+				skipToAny(`<>"'`)
+			}
 		case spDeclQuote:
 			if c == quote {
 				state = spDecl
+			} else {
+				skipTo(quote)
 			}
 		case spDeclComment:
 			switch {
@@ -313,16 +347,22 @@ func (s *Splitter) Next(dst []byte) ([]byte, error) {
 				state = spDecl
 			default:
 				commentDashes = 0
+				skipTo('-')
 			}
 		case spDeclPI:
 			if c == '>' && piQuestion {
 				state = spDecl
 			} else {
 				piQuestion = c == '?'
+				if !piQuestion {
+					skipTo('?')
+				}
 			}
 		case spTagQuote:
 			if c == quote {
 				state = spTag
+			} else {
+				skipTo(quote)
 			}
 		case spTag:
 			switch {
@@ -351,6 +391,14 @@ func (s *Splitter) Next(dst []byte) ([]byte, error) {
 				}
 			default:
 				prevSlash = false
+			}
+			if state == spTag {
+				// Names, attribute names, '=' and spaces: skip to the next
+				// byte that can end the tag or open a quote. A nonempty
+				// run separates any earlier '/' from the closing '>'.
+				if skipToAny(`"'/>`) {
+					prevSlash = false
+				}
 			}
 		}
 	}

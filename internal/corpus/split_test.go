@@ -199,3 +199,64 @@ func TestSplitterReadErrorIsTerminal(t *testing.T) {
 type errReader struct{ err error }
 
 func (e errReader) Read([]byte) (int, error) { return 0, e.err }
+
+// capReader yields at most k bytes per Read, bounding the splitter's
+// window so interior runs straddle refills at every offset.
+type capReader struct {
+	r io.Reader
+	k int
+}
+
+func (c capReader) Read(p []byte) (int, error) {
+	if c.k > 0 && len(p) > c.k {
+		p = p[:c.k]
+	}
+	return c.r.Read(p)
+}
+
+// TestSplitterBoundarySizeSweep: the run-scanning fast paths (comment,
+// PI, CDATA, quoted-value, declaration, and tag interiors) must frame
+// identically whether a run arrives whole or split at any refill
+// boundary. The same stream is framed at read sizes 1, 2, 7, 4096, and
+// unbounded, and every framing must match.
+func TestSplitterBoundarySizeSweep(t *testing.T) {
+	input := strings.Join([]string{
+		`<?xml version="1.0"?><!DOCTYPE a [<!ENTITY gt ">"><!-- <c> --><?p >?>]><a k="x > y">text<!-- ` + strings.Repeat("-", 97) + ` --><![CDATA[ ]] >]] ` + strings.Repeat("]", 41) + `]]></a>`,
+		`<b><inner attr='<">' x="&amp;"/>` + strings.Repeat("run of text without any markup at all ", 60) + `</b>`,
+		`<c/>`,
+		`<d><?pi ` + strings.Repeat("?", 33) + `?><e f="g"></e></d>`,
+	}, "\n")
+
+	frame := func(k int) []string {
+		t.Helper()
+		sp := NewSplitter(capReader{r: strings.NewReader(input), k: k})
+		var docs []string
+		for {
+			d, err := sp.Next(nil)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("read size %d: %v", k, err)
+			}
+			docs = append(docs, string(d))
+		}
+		return docs
+	}
+
+	want := frame(0) // unbounded reads: the all-fast-path framing
+	if len(want) != 4 {
+		t.Fatalf("unbounded framing found %d docs, want 4: %q", len(want), want)
+	}
+	for _, k := range []int{1, 2, 7, 4096} {
+		got := frame(k)
+		if len(got) != len(want) {
+			t.Fatalf("read size %d: %d docs, want %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("read size %d: doc %d diverges\n got  %q\n want %q", k, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -12,6 +12,12 @@ import (
 // the attribute-free three-token-kind model the engine consumes, so the
 // round trip must be lossless (attributes have already been converted to
 // subelements, entities resolved, CDATA folded into text).
+//
+// It also differentially cross-checks the chunked Tokenizer against the
+// retained per-byte Reference scanner at refill boundary sizes 1, 2, 7,
+// and 4096 (every run-scanning fast path must behave identically whether
+// or not the run straddles a refill), in both owning and BorrowText
+// modes.
 func FuzzTokenizer(f *testing.F) {
 	seeds := []string{
 		`<a/>`,
@@ -26,6 +32,15 @@ func FuzzTokenizer(f *testing.F) {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {
+		// Differential: chunked vs reference at every boundary size, on
+		// malformed inputs too (errors must agree, not just successes).
+		for _, w := range []int{1, 2, 7, 4096} {
+			diffOne(t, []byte(src), w, DefaultOptions())
+			engineMode := DefaultOptions()
+			engineMode.BorrowText = true
+			diffOne(t, []byte(src), w, engineMode)
+		}
+
 		toks, err := collectTokens(strings.NewReader(src))
 		if err != nil {
 			return // malformed input must be reported, not panic — done

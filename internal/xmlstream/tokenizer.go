@@ -1,6 +1,7 @@
 package xmlstream
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -56,6 +57,15 @@ func DefaultOptions() Options {
 //
 // Well-formedness of tag nesting is checked; the tokenizer returns a
 // *SyntaxError on mismatched or unclosed tags.
+//
+// The scanner is chunked: it maintains a lookahead window over the reader
+// and skips whole runs with bytes.IndexByte/IndexAny — text content (to
+// '<'/'&'), attribute values (to the quote), comment/PI/CDATA/DOCTYPE
+// interiors (to their '-'/'?'/']'/sentinel bytes), whitespace, and names —
+// falling back to the per-byte state machine only at structural
+// boundaries. The retained per-byte implementation (Reference) is the
+// differential-testing and benchmarking baseline; both must produce
+// byte-identical token streams (see DESIGN.md, "Chunked scanning").
 type Tokenizer struct {
 	r    io.Reader
 	opts Options
@@ -196,10 +206,23 @@ func (t *Tokenizer) next() (byte, bool) {
 func (t *Tokenizer) skipComment() bool {
 	dashes := 0
 	for {
-		c, ok := t.next()
-		if !ok {
+		if t.pos >= t.n && !t.fill() {
 			return false
 		}
+		if dashes == 0 {
+			// No partial terminator: everything before the next '-' is
+			// interior and can be skipped in one IndexByte call.
+			i := bytes.IndexByte(t.buf[t.pos:t.n], '-')
+			if i < 0 {
+				t.pos = t.n
+				continue
+			}
+			t.pos += i + 1
+			dashes = 1
+			continue
+		}
+		c := t.buf[t.pos]
+		t.pos++
 		switch {
 		case c == '-':
 			dashes++
@@ -217,10 +240,26 @@ func (t *Tokenizer) skipComment() bool {
 func (t *Tokenizer) skipUntil(seq string) bool {
 	matched := 0
 	for {
-		c, ok := t.next()
-		if !ok {
+		if t.pos >= t.n && !t.fill() {
 			return false
 		}
+		if matched == 0 {
+			// Nothing matched yet: skip the run up to the next candidate
+			// first byte in one IndexByte call.
+			i := bytes.IndexByte(t.buf[t.pos:t.n], seq[0])
+			if i < 0 {
+				t.pos = t.n
+				continue
+			}
+			t.pos += i + 1
+			matched = 1
+			if matched == len(seq) {
+				return true
+			}
+			continue
+		}
+		c := t.buf[t.pos]
+		t.pos++
 		if c == seq[matched] {
 			matched++
 			if matched == len(seq) {
@@ -246,7 +285,10 @@ func isSpace(c byte) bool {
 	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
 }
 
-// readName reads an XML name into nameBuf and returns it as a string.
+// readName reads an XML name and returns it as an interned string. The
+// fast path scans the name inside the current window and interns straight
+// from the window subslice (the map lookup on string(b) does not
+// allocate); only a name that straddles a refill goes through nameBuf.
 func (t *Tokenizer) readName() (string, error) {
 	c, ok := t.peek()
 	if !ok {
@@ -255,7 +297,25 @@ func (t *Tokenizer) readName() (string, error) {
 	if !isNameStart(c) {
 		return "", t.syntaxErr(fmt.Sprintf("expected name, found %q", c))
 	}
-	t.nameBuf = t.nameBuf[:0]
+	win := t.buf[t.pos:t.n]
+	i := 1
+	for i < len(win) && isNameByte(win[i]) {
+		i++
+	}
+	if i < len(win) {
+		// Whole name in the window: intern without copying.
+		name := win[:i]
+		t.pos += i
+		if interned, ok := t.names[string(name)]; ok {
+			return interned, nil
+		}
+		owned := string(name)
+		t.names[owned] = owned
+		return owned, nil
+	}
+	// The name may continue past the refill boundary: accumulate.
+	t.nameBuf = append(t.nameBuf[:0], win...)
+	t.pos = t.n
 	for {
 		c, ok := t.peek()
 		if !ok || !isNameByte(c) {
@@ -274,11 +334,18 @@ func (t *Tokenizer) readName() (string, error) {
 
 func (t *Tokenizer) skipSpace() {
 	for {
-		c, ok := t.peek()
-		if !ok || !isSpace(c) {
+		if t.pos >= t.n && !t.fill() {
 			return
 		}
-		t.pos++
+		win := t.buf[t.pos:t.n]
+		i := 0
+		for i < len(win) && isSpace(win[i]) {
+			i++
+		}
+		t.pos += i
+		if i < len(win) {
+			return
+		}
 	}
 }
 
@@ -451,31 +518,68 @@ func (t *Tokenizer) nextToken() (Token, error) {
 }
 
 // readText consumes character data up to the next '<' and reports whether a
-// Text token was produced (whitespace-only runs may be suppressed).
+// Text token was produced (whitespace-only runs may be suppressed). One
+// maximal run yields at most one Text token, exactly like Reference.
+//
+// Fast path: when the whole run lies inside the current window and holds
+// no entity reference, the token borrows the window subslice directly
+// under BorrowText — zero copies, zero allocations. A run that straddles a
+// refill (or contains '&') is accumulated in textBuf, because the refill
+// overwrites the window.
 func (t *Tokenizer) readText() (Token, bool, error) {
+	win := t.buf[t.pos:t.n] // nonempty: the caller peeked a non-'<' byte
+	if lt := bytes.IndexByte(win, '<'); lt >= 0 {
+		run := win[:lt]
+		if bytes.IndexByte(run, '&') < 0 {
+			t.pos += lt
+			return t.emitText(run, isAllSpace(run))
+		}
+	}
+	// Slow path: the run straddles the window or contains entities.
+	// Consume it in sub-runs delimited by '<', '&', and refills.
 	t.textBuf = t.textBuf[:0]
 	whitespaceOnly := true
 	for {
-		c, ok := t.peek()
-		if !ok || c == '<' {
+		if t.pos >= t.n && !t.fill() {
 			break
 		}
-		t.pos++
-		if c == '&' {
+		win := t.buf[t.pos:t.n]
+		stop, term := len(win), byte(0)
+		if i := bytes.IndexByte(win, '<'); i >= 0 {
+			stop, term = i, '<'
+		}
+		if i := bytes.IndexByte(win[:stop], '&'); i >= 0 {
+			stop, term = i, '&'
+		}
+		run := win[:stop]
+		if whitespaceOnly && !isAllSpace(run) {
+			whitespaceOnly = false
+		}
+		t.textBuf = append(t.textBuf, run...)
+		t.pos += stop
+		if term == '<' {
+			break
+		}
+		if term == '&' {
+			t.pos++
 			var err error
 			t.textBuf, err = t.resolveEntity(t.textBuf)
 			if err != nil {
 				return Token{}, false, err
 			}
 			whitespaceOnly = false
-			continue
 		}
-		if whitespaceOnly && !isSpace(c) {
-			whitespaceOnly = false
-		}
-		t.textBuf = append(t.textBuf, c)
 	}
-	if len(t.textBuf) == 0 {
+	return t.emitText(t.textBuf, whitespaceOnly)
+}
+
+// emitText applies the suppression rules shared by both readText paths
+// and converts the accumulated run into a Text token: a borrowed view
+// under BorrowText (of the window on the fast path, of textBuf on the
+// slow path — both live until the next Next call), an owned copy
+// otherwise.
+func (t *Tokenizer) emitText(data []byte, whitespaceOnly bool) (Token, bool, error) {
+	if len(data) == 0 {
 		return Token{}, false, nil
 	}
 	if whitespaceOnly && !t.opts.KeepWhitespaceText {
@@ -487,7 +591,20 @@ func (t *Tokenizer) readText() (Token, bool, error) {
 		}
 		return Token{}, false, t.syntaxErr("character data outside the root element")
 	}
-	return Token{Kind: Text, Data: t.textString()}, true, nil
+	if t.opts.BorrowText {
+		return Token{Kind: Text, Data: borrowString(data)}, true, nil
+	}
+	return Token{Kind: Text, Data: string(data)}, true, nil
+}
+
+// isAllSpace reports whether every byte of b is XML whitespace.
+func isAllSpace(b []byte) bool {
+	for _, c := range b {
+		if !isSpace(c) {
+			return false
+		}
+	}
+	return true
 }
 
 // readMarkup handles input immediately after '<'. It reports whether a token
@@ -566,10 +683,22 @@ func (t *Tokenizer) readBang() (Token, bool, error) {
 			return Token{}, false, t.syntaxErr("unterminated declaration")
 		}
 		for {
-			c, ok := t.next()
-			if !ok {
+			if t.pos >= t.n && !t.fill() {
 				return unterminated()
 			}
+			if pfx == 0 {
+				// Outside any "<!--"/"<?" prefix, only '<', '>', and
+				// quote characters can change state: skip the run up to
+				// the next sentinel in one IndexAny call.
+				i := bytes.IndexAny(t.buf[t.pos:t.n], declSentinels)
+				if i < 0 {
+					t.pos = t.n
+					continue
+				}
+				t.pos += i
+			}
+			c := t.buf[t.pos]
+			t.pos++
 			if pfx == 1 && c == '?' {
 				// "<?": a processing instruction inside the subset.
 				pfx = 0
@@ -600,15 +729,19 @@ func (t *Tokenizer) readBang() (Token, bool, error) {
 			}
 			switch c {
 			case '"', '\'':
-				quote := c
+				// Quoted literal: opaque, skip straight to the closing
+				// quote run by run.
 				for {
-					c, ok := t.next()
-					if !ok {
+					if t.pos >= t.n && !t.fill() {
 						return unterminated()
 					}
-					if c == quote {
-						break
+					i := bytes.IndexByte(t.buf[t.pos:t.n], c)
+					if i < 0 {
+						t.pos = t.n
+						continue
 					}
+					t.pos += i + 1
+					break
 				}
 			case '<':
 				depth++
@@ -622,6 +755,11 @@ func (t *Tokenizer) readBang() (Token, bool, error) {
 	}
 }
 
+// declSentinels are the only bytes that can change state while scanning a
+// DOCTYPE/markup declaration outside a "<!--"/"<?" prefix: nesting
+// brackets and quote openers.
+const declSentinels = `<>"'`
+
 func (t *Tokenizer) readCDATA() (Token, bool, error) {
 	if len(t.stack) == 0 {
 		return Token{}, false, t.syntaxErr("CDATA outside the root element")
@@ -629,23 +767,37 @@ func (t *Tokenizer) readCDATA() (Token, bool, error) {
 	t.textBuf = t.textBuf[:0]
 	matched := 0
 	for {
-		c, ok := t.next()
-		if !ok {
+		if t.pos >= t.n && !t.fill() {
 			return Token{}, false, t.syntaxErr("unterminated CDATA section")
 		}
+		if matched == 0 {
+			// Interior run: everything before the next ']' is content and
+			// is bulk-copied in one append.
+			win := t.buf[t.pos:t.n]
+			i := bytes.IndexByte(win, ']')
+			if i < 0 {
+				t.textBuf = append(t.textBuf, win...)
+				t.pos = t.n
+				continue
+			}
+			t.textBuf = append(t.textBuf, win[:i]...)
+			t.pos += i + 1
+			matched = 1
+			continue
+		}
+		c := t.buf[t.pos]
+		t.pos++
 		switch {
 		case c == ']':
 			// In a run of brackets only the FINAL two can belong to the
 			// "]]>" terminator; earlier ones are content. Flushing the
-			// whole run (the old behavior) lost the terminator for
-			// content ending in ']', rejecting valid CDATA like
-			// "<![CDATA[x]]]>".
+			// whole run would lose the terminator for content ending in
+			// ']', rejecting valid CDATA like "<![CDATA[x]]]>".
 			if matched == 2 {
 				t.textBuf = append(t.textBuf, ']')
 			} else {
 				matched++
 			}
-			continue
 		case c == '>' && matched == 2:
 			if len(t.textBuf) == 0 {
 				return Token{}, false, nil
@@ -706,23 +858,39 @@ func (t *Tokenizer) readStartTag() (Token, bool, error) {
 		if !ok || (quote != '"' && quote != '\'') {
 			return Token{}, false, t.syntaxErr("attribute " + aname + " missing quoted value")
 		}
+		// The value is bulk-copied run by run: everything up to the next
+		// closing quote or '&' moves in one append. It lands in attrBuf
+		// (not a window borrow) because parsing the rest of the tag can
+		// refill the window while the value must survive until the
+		// pending attribute tokens drain.
 		valStart := len(t.attrBuf)
+	value:
 		for {
-			c, ok := t.next()
-			if !ok {
+			if t.pos >= t.n && !t.fill() {
 				return Token{}, false, errUnexpectedEOF
 			}
-			if c == quote {
-				break
+			win := t.buf[t.pos:t.n]
+			stop, term := len(win), byte(0)
+			if i := bytes.IndexByte(win, quote); i >= 0 {
+				stop, term = i, quote
 			}
-			if c == '&' {
+			if i := bytes.IndexByte(win[:stop], '&'); i >= 0 {
+				stop, term = i, '&'
+			}
+			t.attrBuf = append(t.attrBuf, win[:stop]...)
+			t.pos += stop
+			switch term {
+			case 0: // window exhausted mid-value: refill and continue
+			case '&':
+				t.pos++
 				t.attrBuf, err = t.resolveEntity(t.attrBuf)
 				if err != nil {
 					return Token{}, false, err
 				}
-				continue
+			default: // the closing quote
+				t.pos++
+				break value
 			}
-			t.attrBuf = append(t.attrBuf, c)
 		}
 		if t.opts.AttributesAsElements {
 			var value string
