@@ -313,13 +313,23 @@ func runCheck(baselinePath, serveIn, bulkIn, tokIn string, tolFactor float64) er
 		return err
 	}
 	tol := bench.DefaultTolerances().Scale(tolFactor)
-	violations := base.Compare(cur, tol)
+	violations, warnings := base.Compare(cur, tol)
+	// Warnings (e.g. a runner hardware-class change that suspends the
+	// absolute throughput floors until the baseline is regenerated) are
+	// advisory: print them loudly but do not fail the gate.
+	for _, w := range warnings {
+		fmt.Fprintf(os.Stderr, "  WARN %s\n", w)
+	}
 	if len(violations) > 0 {
 		fmt.Fprintf(os.Stderr, "gcxbench -check: %d regression(s) against %s:\n", len(violations), baselinePath)
 		for _, v := range violations {
 			fmt.Fprintf(os.Stderr, "  FAIL %s\n", v)
 		}
 		os.Exit(1)
+	}
+	if len(warnings) > 0 {
+		fmt.Printf("gcxbench -check: gated metrics within tolerance of %s (%d warning(s) above)\n", baselinePath, len(warnings))
+		return nil
 	}
 	fmt.Printf("gcxbench -check: all metrics within tolerance of %s\n", baselinePath)
 	return nil

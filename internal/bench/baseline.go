@@ -14,8 +14,13 @@ import (
 // allocation regression fails the build instead of silently shipping
 // as a prettier artifact.
 //
-// Regenerate (same machine class as the numbers being checked — the
-// absolute throughput floors are hardware-relative) with:
+// The absolute throughput and allocation floors are hardware-relative,
+// so they are only enforced when the current run's GOMAXPROCS matches
+// the baseline's; on a mismatch (runner class changed) those floors are
+// skipped with a warning and only the machine-portable metrics —
+// parameters, token counts, buffer peaks, the chunked/reference
+// speedup ratio — keep gating. Regenerate on the new class to restore
+// the full gate:
 //
 //	gcxbench -serve-json BENCH_serve.json ...
 //	gcxbench -bulk-json BENCH_bulk.json ...
@@ -92,15 +97,28 @@ func LoadBaseline(path string) (*Baseline, error) {
 }
 
 // Compare checks a current run against the baseline and returns one
-// violation string per breached budget (empty = gate passes). Sections
-// present in the baseline but missing from the current run are
-// violations — a gate that silently skips a lost artifact is no gate.
-func (b *Baseline) Compare(cur *Baseline, tol Tolerances) []string {
-	var v []string
-	v = append(v, compareServe(b.Serve, cur.Serve, tol)...)
-	v = append(v, compareBulk(b.Bulk, cur.Bulk, tol)...)
-	v = append(v, compareTokenizer(b.Tokenizer, cur.Tokenizer, tol)...)
-	return v
+// violation string per breached budget (empty = gate passes), plus
+// advisory warnings that do not fail the gate. Sections present in the
+// baseline but missing from the current run are violations — a gate
+// that silently skips a lost artifact is no gate. A GOMAXPROCS change
+// is a warning: it means the runner hardware class differs from the
+// baseline's, so the hardware-relative floors (throughput, allocs/op)
+// are skipped until the baseline is regenerated on the new class,
+// while the machine-portable checks (parameters, token counts, buffer
+// peaks, speedup ratio) keep gating.
+func (b *Baseline) Compare(cur *Baseline, tol Tolerances) (violations, warnings []string) {
+	v, w := compareServe(b.Serve, cur.Serve, tol)
+	violations, warnings = append(violations, v...), append(warnings, w...)
+	v, w = compareBulk(b.Bulk, cur.Bulk, tol)
+	violations, warnings = append(violations, v...), append(warnings, w...)
+	v, w = compareTokenizer(b.Tokenizer, cur.Tokenizer, tol)
+	violations, warnings = append(violations, v...), append(warnings, w...)
+	return violations, warnings
+}
+
+func classChangeWarning(section string, base, cur int) string {
+	return fmt.Sprintf("%s: GOMAXPROCS changed %d -> %d — the runner hardware class differs from the baseline's, so throughput and allocs/op floors are skipped; regenerate BENCH_baseline.json with gcxbench -baseline-out on this class to restore them",
+		section, base, cur)
 }
 
 func throughputFloor(base float64, tol Tolerances) float64 {
@@ -111,27 +129,27 @@ func allocCeiling(base uint64, tol Tolerances) uint64 {
 	return base + uint64(float64(base)*tol.AllocGrowth) + tol.AllocSlack
 }
 
-func compareServe(base, cur *ServeReport, tol Tolerances) []string {
+func compareServe(base, cur *ServeReport, tol Tolerances) (v, w []string) {
 	if base == nil {
-		return nil
+		return nil, nil
 	}
 	if cur == nil {
-		return []string{"serve: baseline has a serve section but the current run is missing BENCH_serve.json"}
+		return []string{"serve: baseline has a serve section but the current run is missing BENCH_serve.json"}, nil
 	}
-	var v []string
 	if base.DocBytes != cur.DocBytes || base.Requests != cur.Requests ||
 		strings.Join(base.Queries, ",") != strings.Join(cur.Queries, ",") {
 		v = append(v, fmt.Sprintf("serve: parameter mismatch (doc %d vs %d bytes, %d vs %d requests, queries %v vs %v) — regenerate the baseline or fix the CI flags",
 			base.DocBytes, cur.DocBytes, base.Requests, cur.Requests, base.Queries, cur.Queries))
-		return v
+		return v, nil
 	}
-	// Absolute throughput floors only make sense on comparable hardware:
-	// a core-count change is an environment change, not a regression, so
-	// report it as such instead of as a misleading docs/s FAIL.
-	if base.GoMaxProcs != cur.GoMaxProcs {
-		v = append(v, fmt.Sprintf("serve: GOMAXPROCS changed %d -> %d — the runner hardware class differs from the baseline's; regenerate BENCH_baseline.json with gcxbench -baseline-out on the new class",
-			base.GoMaxProcs, cur.GoMaxProcs))
-		return v
+	// Absolute throughput and allocation floors only make sense on
+	// comparable hardware: a core-count change is an environment change,
+	// not a regression, so warn and fall through to the deterministic
+	// checks instead of failing the gate on every run until the baseline
+	// catches up with the runner class.
+	sameClass := base.GoMaxProcs == cur.GoMaxProcs
+	if !sameClass {
+		w = append(w, classChangeWarning("serve", base.GoMaxProcs, cur.GoMaxProcs))
 	}
 	curByPath := map[string]ServePathResult{}
 	for _, r := range cur.Results {
@@ -143,13 +161,15 @@ func compareServe(base, cur *ServeReport, tol Tolerances) []string {
 			v = append(v, fmt.Sprintf("serve/%s: path missing from current run", br.Path))
 			continue
 		}
-		if floor := throughputFloor(br.DocsPerSec, tol); cr.DocsPerSec < floor {
-			v = append(v, fmt.Sprintf("serve/%s: docs/s regressed %.1f -> %.1f (floor %.1f, -%.0f%% budget)",
-				br.Path, br.DocsPerSec, cr.DocsPerSec, floor, tol.ThroughputDrop*100))
-		}
-		if ceil := allocCeiling(br.AllocsPerOp, tol); cr.AllocsPerOp > ceil {
-			v = append(v, fmt.Sprintf("serve/%s: allocs/op grew %d -> %d (ceiling %d)",
-				br.Path, br.AllocsPerOp, cr.AllocsPerOp, ceil))
+		if sameClass {
+			if floor := throughputFloor(br.DocsPerSec, tol); cr.DocsPerSec < floor {
+				v = append(v, fmt.Sprintf("serve/%s: docs/s regressed %.1f -> %.1f (floor %.1f, -%.0f%% budget)",
+					br.Path, br.DocsPerSec, cr.DocsPerSec, floor, tol.ThroughputDrop*100))
+			}
+			if ceil := allocCeiling(br.AllocsPerOp, tol); cr.AllocsPerOp > ceil {
+				v = append(v, fmt.Sprintf("serve/%s: allocs/op grew %d -> %d (ceiling %d)",
+					br.Path, br.AllocsPerOp, cr.AllocsPerOp, ceil))
+			}
 		}
 		if br.PeakBufferBytes > 0 {
 			if ceil := int64(float64(br.PeakBufferBytes) * (1 + tol.PeakGrowth)); cr.PeakBufferBytes > ceil {
@@ -158,26 +178,24 @@ func compareServe(base, cur *ServeReport, tol Tolerances) []string {
 			}
 		}
 	}
-	return v
+	return v, w
 }
 
-func compareBulk(base, cur *BulkReport, tol Tolerances) []string {
+func compareBulk(base, cur *BulkReport, tol Tolerances) (v, w []string) {
 	if base == nil {
-		return nil
+		return nil, nil
 	}
 	if cur == nil {
-		return []string{"bulk: baseline has a bulk section but the current run is missing BENCH_bulk.json"}
+		return []string{"bulk: baseline has a bulk section but the current run is missing BENCH_bulk.json"}, nil
 	}
-	var v []string
 	if base.Docs != cur.Docs || base.Query != cur.Query {
 		v = append(v, fmt.Sprintf("bulk: parameter mismatch (%d vs %d docs, query %s vs %s) — regenerate the baseline or fix the CI flags",
 			base.Docs, cur.Docs, base.Query, cur.Query))
-		return v
+		return v, nil
 	}
-	if base.GoMaxProcs != cur.GoMaxProcs {
-		v = append(v, fmt.Sprintf("bulk: GOMAXPROCS changed %d -> %d — the runner hardware class differs from the baseline's; regenerate BENCH_baseline.json with gcxbench -baseline-out on the new class",
-			base.GoMaxProcs, cur.GoMaxProcs))
-		return v
+	sameClass := base.GoMaxProcs == cur.GoMaxProcs
+	if !sameClass {
+		w = append(w, classChangeWarning("bulk", base.GoMaxProcs, cur.GoMaxProcs))
 	}
 	curByWorkers := map[int]BulkJobResult{}
 	for _, r := range cur.Results {
@@ -189,9 +207,11 @@ func compareBulk(base, cur *BulkReport, tol Tolerances) []string {
 			v = append(v, fmt.Sprintf("bulk/j=%d: worker count missing from current run", br.Workers))
 			continue
 		}
-		if floor := throughputFloor(br.DocsPerSec, tol); cr.DocsPerSec < floor {
-			v = append(v, fmt.Sprintf("bulk/j=%d: docs/s regressed %.1f -> %.1f (floor %.1f)",
-				br.Workers, br.DocsPerSec, cr.DocsPerSec, floor))
+		if sameClass {
+			if floor := throughputFloor(br.DocsPerSec, tol); cr.DocsPerSec < floor {
+				v = append(v, fmt.Sprintf("bulk/j=%d: docs/s regressed %.1f -> %.1f (floor %.1f)",
+					br.Workers, br.DocsPerSec, cr.DocsPerSec, floor))
+			}
 		}
 		if br.PeakBufferBytes > 0 {
 			if ceil := int64(float64(br.PeakBufferBytes) * (1 + tol.PeakGrowth)); cr.PeakBufferBytes > ceil {
@@ -200,21 +220,29 @@ func compareBulk(base, cur *BulkReport, tol Tolerances) []string {
 			}
 		}
 	}
-	return v
+	return v, w
 }
 
-func compareTokenizer(base, cur *TokenizerReport, tol Tolerances) []string {
+func compareTokenizer(base, cur *TokenizerReport, tol Tolerances) (v, w []string) {
 	if base == nil {
-		return nil
+		return nil, nil
 	}
 	if cur == nil {
-		return []string{"tokenizer: baseline has a tokenizer section but the current run is missing BENCH_tokenizer.json"}
+		return []string{"tokenizer: baseline has a tokenizer section but the current run is missing BENCH_tokenizer.json"}, nil
 	}
-	var v []string
 	if base.DocBytes != cur.DocBytes {
 		v = append(v, fmt.Sprintf("tokenizer: parameter mismatch (doc %d vs %d bytes) — regenerate the baseline or fix the CI flags",
 			base.DocBytes, cur.DocBytes))
-		return v
+		return v, nil
+	}
+	// The primary tokenizer gates are machine-portable and always run:
+	// token counts (deterministic corpus) and the chunked/reference
+	// speedup ratio, which cancels out runner speed. Absolute MB/s and
+	// allocs/op floors are only held within one hardware class, same as
+	// serve/bulk.
+	sameClass := base.GoMaxProcs == cur.GoMaxProcs
+	if !sameClass {
+		w = append(w, classChangeWarning("tokenizer", base.GoMaxProcs, cur.GoMaxProcs))
 	}
 	curByCell := map[string]TokenizerResult{}
 	for _, r := range cur.Results {
@@ -227,13 +255,15 @@ func compareTokenizer(base, cur *TokenizerReport, tol Tolerances) []string {
 			v = append(v, fmt.Sprintf("tokenizer/%s: cell missing from current run", key))
 			continue
 		}
-		if floor := throughputFloor(br.MBPerSec, tol); cr.MBPerSec < floor {
-			v = append(v, fmt.Sprintf("tokenizer/%s: MB/s regressed %.1f -> %.1f (floor %.1f)",
-				key, br.MBPerSec, cr.MBPerSec, floor))
-		}
-		if ceil := allocCeiling(br.AllocsPerOp, tol); cr.AllocsPerOp > ceil {
-			v = append(v, fmt.Sprintf("tokenizer/%s: allocs/op grew %d -> %d (ceiling %d)",
-				key, br.AllocsPerOp, cr.AllocsPerOp, ceil))
+		if sameClass {
+			if floor := throughputFloor(br.MBPerSec, tol); cr.MBPerSec < floor {
+				v = append(v, fmt.Sprintf("tokenizer/%s: MB/s regressed %.1f -> %.1f (floor %.1f)",
+					key, br.MBPerSec, cr.MBPerSec, floor))
+			}
+			if ceil := allocCeiling(br.AllocsPerOp, tol); cr.AllocsPerOp > ceil {
+				v = append(v, fmt.Sprintf("tokenizer/%s: allocs/op grew %d -> %d (ceiling %d)",
+					key, br.AllocsPerOp, cr.AllocsPerOp, ceil))
+			}
 		}
 		if br.Tokens > 0 && cr.Tokens != br.Tokens {
 			v = append(v, fmt.Sprintf("tokenizer/%s: token count changed %d -> %d (deterministic corpus — scanner behavior changed)",
@@ -244,5 +274,5 @@ func compareTokenizer(base, cur *TokenizerReport, tol Tolerances) []string {
 		v = append(v, fmt.Sprintf("tokenizer: chunked/reference speedup on text-heavy fell to %.2fx (floor %.2fx)",
 			cur.SpeedupTextHeavy, tol.MinTextSpeedup))
 	}
-	return v
+	return v, w
 }

@@ -47,10 +47,14 @@ type TokenizerResult struct {
 
 // TokenizerReport is the BENCH_tokenizer.json document.
 type TokenizerReport struct {
-	DocBytes int64             `json:"doc_bytes"`
-	Iters    int               `json:"iters"`
-	Query    string            `json:"query"`
-	Results  []TokenizerResult `json:"results"`
+	DocBytes int64  `json:"doc_bytes"`
+	Iters    int    `json:"iters"`
+	Query    string `json:"query"`
+	// GoMaxProcs records the hardware class the numbers were captured
+	// on; the baseline gate skips the absolute MB/s and allocs/op floors
+	// when it differs (see compareTokenizer).
+	GoMaxProcs int               `json:"gomaxprocs"`
+	Results    []TokenizerResult `json:"results"`
 	// SpeedupTextHeavy and SpeedupMarkupHeavy are chunked MB/s divided
 	// by reference MB/s on the same document — the machine-portable
 	// ratio the CI gate holds above its floor.
@@ -185,9 +189,10 @@ func RunTokenizer(cfg TokenizerConfig) (*TokenizerReport, error) {
 	reference := xmlstream.NewReference(nil, opts)
 
 	report := &TokenizerReport{
-		DocBytes: cfg.DocBytes,
-		Iters:    cfg.Iters,
-		Query:    cfg.Query.Name,
+		DocBytes:   cfg.DocBytes,
+		Iters:      cfg.Iters,
+		Query:      cfg.Query.Name,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	mbs := map[string]float64{}
 	for _, doc := range []struct {
@@ -271,8 +276,8 @@ func FormatTokenizerResult(r TokenizerResult) string {
 // FormatTokenizerTable renders the full report for humans.
 func FormatTokenizerTable(rep *TokenizerReport) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Tokenizer throughput: %s docs, %d passes, projected via %s\n",
-		humanBytes(rep.DocBytes), rep.Iters, rep.Query)
+	fmt.Fprintf(&b, "Tokenizer throughput: %s docs, %d passes, projected via %s, GOMAXPROCS=%d\n",
+		humanBytes(rep.DocBytes), rep.Iters, rep.Query, rep.GoMaxProcs)
 	for _, r := range rep.Results {
 		b.WriteString(FormatTokenizerResult(r) + "\n")
 	}

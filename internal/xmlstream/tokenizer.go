@@ -235,8 +235,9 @@ func (t *Tokenizer) skipComment() bool {
 }
 
 // skipUntil consumes input through the first occurrence of the literal
-// sequence seq and returns true, or false on EOF. seq must not have a
-// repeated prefix (see skipComment for why "-->" does not qualify).
+// sequence seq and returns true, or false on EOF. seq must be at least
+// two bytes and must not have a repeated prefix (see skipComment for
+// why "-->" does not qualify).
 func (t *Tokenizer) skipUntil(seq string) bool {
 	matched := 0
 	for {
@@ -253,9 +254,6 @@ func (t *Tokenizer) skipUntil(seq string) bool {
 			}
 			t.pos += i + 1
 			matched = 1
-			if matched == len(seq) {
-				return true
-			}
 			continue
 		}
 		c := t.buf[t.pos]
