@@ -1,0 +1,28 @@
+// Command gcxlint is the repo's static invariant checker. It bundles the
+// four gcx-specific analyzers and speaks the `go vet -vettool=` unit
+// protocol, so the usual invocation is
+//
+//	go vet -vettool=$(go tool -n gcxlint) ./...
+//
+// It also runs standalone over GOPATH-style source trees (the analyzers'
+// seeded-violation testdata, which go vet cannot see):
+//
+//	gcxlint -dir internal/lint/resetcheck/testdata/src/resetbad
+package main
+
+import (
+	"gcx/internal/lint/borrowcheck"
+	"gcx/internal/lint/gcxlint"
+	"gcx/internal/lint/noalloccheck"
+	"gcx/internal/lint/resetcheck"
+	"gcx/internal/lint/roleoffsetcheck"
+)
+
+func main() {
+	gcxlint.Main(
+		resetcheck.Analyzer,
+		borrowcheck.Analyzer,
+		noalloccheck.Analyzer,
+		roleoffsetcheck.Analyzer,
+	)
+}

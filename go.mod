@@ -1,3 +1,5 @@
 module gcx
 
 go 1.24
+
+tool gcx/cmd/gcxlint

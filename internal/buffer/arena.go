@@ -19,6 +19,7 @@ type arena struct {
 	free  []*Node
 }
 
+//gcxlint:noalloc
 func (a *arena) get() *Node {
 	if n := len(a.free); n > 0 {
 		nd := a.free[n-1]
@@ -27,7 +28,7 @@ func (a *arena) get() *Node {
 		return nd
 	}
 	if a.slab == len(a.slabs) {
-		a.slabs = append(a.slabs, make([]Node, slabSize))
+		a.slabs = append(a.slabs, make([]Node, slabSize)) //gcxlint:allocok slab growth tracks the document's buffer peak; slabs are retained across runs
 	}
 	s := a.slabs[a.slab]
 	nd := &s[a.next]
@@ -40,6 +41,7 @@ func (a *arena) get() *Node {
 	return nd
 }
 
+//gcxlint:noalloc
 func (a *arena) put(n *Node) { a.free = append(a.free, n) }
 
 // reset makes every slab node available again without releasing the slabs.
@@ -47,6 +49,8 @@ func (a *arena) put(n *Node) { a.free = append(a.free, n) }
 // cleared lazily on get, and an idle (pooled) buffer must not pin the
 // previous document's character data until those slots happen to be
 // re-carved.
+//
+//gcxlint:keep slabs retaining the slabs is the arena's purpose; only their Text references are dropped
 func (a *arena) reset() {
 	for i := 0; i < a.slab && i < len(a.slabs); i++ {
 		clearText(a.slabs[i])
@@ -59,6 +63,7 @@ func (a *arena) reset() {
 	a.free = a.free[:0]
 }
 
+//gcxlint:noalloc
 func clearText(s []Node) {
 	for i := range s {
 		s[i].Text = ""

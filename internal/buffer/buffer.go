@@ -109,12 +109,22 @@ func (b *Buffer) initRoot() {
 // state for a new run with the same role table. The symbol table and the
 // canceller wiring are retained; any node pointer obtained before the
 // reset is invalidated.
+//
+//gcxlint:keep syms the symbol table is shared with the projector and survives runs by contract (the owner bounds it)
+//gcxlint:keep aggregate the role table is fixed for the compiled query this buffer serves
+//gcxlint:keep canceller projector wiring established once by SetCanceller; runs swap documents, not projectors
 func (b *Buffer) Reset() {
 	b.arena.reset()
 	for i := range b.assigned {
 		b.assigned[i] = 0
 		b.removed[i] = 0
 	}
+	// The resolution scratch holds *Node pointers from the last signOff;
+	// an idle pooled buffer must not pin freed arena nodes through them.
+	clear(b.resA[:cap(b.resA)])
+	clear(b.resB[:cap(b.resB)])
+	b.resA = b.resA[:0]
+	b.resB = b.resB[:0]
 	b.stats = Stats{}
 	b.initRoot()
 }

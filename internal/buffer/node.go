@@ -83,6 +83,8 @@ type Node struct {
 
 // recycle clears n for reuse by the arena, retaining the capacity of its
 // role and schema-fact slices.
+//
+//gcxlint:noalloc
 func (n *Node) recycle() {
 	roles := n.roles[:0]
 	noMore := n.noMore[:0]

@@ -1,0 +1,28 @@
+package corpus
+
+import "testing"
+
+// Pooled document storage must be truncated on release — the pool must
+// not serve readable bytes of a previous document as live length — and
+// oversized buffers must not be retained at all.
+func TestPooledDocResetBoundsRetention(t *testing.T) {
+	pd := new(pooledDoc)
+	pd.data = append(pd.data[:0], make([]byte, maxRetainedDocBytes+1)...)
+	pd.Reset()
+	if pd.data != nil {
+		t.Fatalf("oversized storage retained: cap=%d", cap(pd.data))
+	}
+
+	pd.data = append(pd.data, "hello"...)
+	c := cap(pd.data)
+	pd.Reset()
+	if len(pd.data) != 0 {
+		t.Fatalf("storage not truncated: len=%d", len(pd.data))
+	}
+	if cap(pd.data) != c {
+		t.Fatalf("bounded storage not retained: cap %d -> %d", c, cap(pd.data))
+	}
+	if n, _ := pd.Reader.Read(make([]byte, 1)); n != 0 {
+		t.Fatal("embedded reader still serves bytes after Reset")
+	}
+}

@@ -74,8 +74,24 @@ type pooledDoc struct {
 	data []byte
 }
 
+// maxRetainedDocBytes bounds pooled document storage: one huge document
+// must not pin a same-sized buffer in the pool for the rest of the
+// process lifetime. Capacity below the bound is retained so steady-state
+// corpus runs reuse their buffers.
+const maxRetainedDocBytes = 4 << 20
+
+// Reset truncates the document storage (releasing oversized backing) and
+// rewinds the embedded reader for the next pooled use.
+func (p *pooledDoc) Reset() {
+	if cap(p.data) > maxRetainedDocBytes {
+		p.data = nil
+	}
+	p.data = p.data[:0]
+	p.Reader.Reset(nil)
+}
+
 func (p *pooledDoc) Close() error {
-	p.Reset(nil)
+	p.Reset()
 	docBufs.Put(p)
 	return nil
 }
@@ -89,7 +105,7 @@ func materialize(name string, data []byte, pd *pooledDoc) Doc {
 		Name: name,
 		Size: int64(len(data)),
 		Open: func() (io.ReadCloser, error) {
-			pd.Reset(pd.data)
+			pd.Reader.Reset(pd.data)
 			return pd, nil
 		},
 	}

@@ -204,13 +204,20 @@ func (c *Compiled) newRunState() *runState {
 }
 
 // acquire takes a runState from the pool and points it at this run's
-// input, output, and hooks. Reset order matters: the projector rebuilds
-// its root frame around the buffer's fresh root.
+// input, output, and hooks.
 func (c *Compiled) acquire(in io.Reader, out io.Writer, ro RunOptions) *runState {
 	rs, _ := c.pool.Get().(*runState)
 	if rs == nil {
 		rs = c.newRunState()
 	}
+	rs.reset(c, in, out, ro)
+	return rs
+}
+
+// reset points the runState at a new run's input, output, and hooks.
+// Reset order matters: the projector rebuilds its root frame around the
+// buffer's fresh root.
+func (rs *runState) reset(c *Compiled, in io.Reader, out io.Writer, ro RunOptions) {
 	rs.tok.Reset(in)
 	rs.buf.Reset()
 	// The symbol table survives runs (tag vocabularies repeat) but is
@@ -227,7 +234,6 @@ func (c *Compiled) acquire(in io.Reader, out io.Writer, ro RunOptions) *runState
 		ro.Trace.install(&evOpts, rs.buf, rs.proj)
 	}
 	rs.ev.Reset(evOpts)
-	return rs
 }
 
 // release returns a runState to the pool, dropping the references to the

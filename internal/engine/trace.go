@@ -28,6 +28,9 @@ type TraceStep struct {
 }
 
 func (t *Tracer) install(opts *eval.Options, buf *buffer.Buffer, p *proj.Projector) {
+	// LastToken snapshots are pay-for-use: the projector copies token
+	// data only while a tracer is watching.
+	p.TrackLastToken(true)
 	opts.OnToken = func() {
 		t.Steps = append(t.Steps, TraceStep{
 			Event:  "read " + p.LastToken().String(),

@@ -30,6 +30,7 @@ type cursor struct {
 	released bool
 }
 
+//gcxlint:noalloc
 func newCursor(e *Evaluator, ctx *buffer.Node, step xqast.Step) *cursor {
 	var c *cursor
 	if n := len(e.curPool); n > 0 {
@@ -37,7 +38,7 @@ func newCursor(e *Evaluator, ctx *buffer.Node, step xqast.Step) *cursor {
 		e.curPool = e.curPool[:n-1]
 		*c = cursor{}
 	} else {
-		c = &cursor{}
+		c = &cursor{} //gcxlint:allocok freelist growth to loop-nesting depth, amortized across runs
 	}
 	c.e = e
 	c.ctx = ctx
@@ -56,21 +57,28 @@ func newCursor(e *Evaluator, ctx *buffer.Node, step xqast.Step) *cursor {
 
 // close releases the cursor's pin and returns it to the evaluator's
 // freelist. The cursor must not be used afterwards.
+//
+//gcxlint:noalloc
 func (c *cursor) close() {
 	if c.released {
 		return
 	}
-	c.released = true
 	if c.cur != nil {
 		c.e.buf.Unpin(c.cur)
-		c.cur = nil
 	}
-	c.e.curPool = append(c.e.curPool, c)
+	// Zero the whole cursor before pooling: an idle freelist entry must
+	// not pin its context node (or the step's strings) until reuse
+	// happens to overwrite it.
+	e := c.e
+	*c = cursor{released: true}
+	e.curPool = append(e.curPool, c)
 }
 
 // next returns the next match in document order, or nil when the sequence
 // is exhausted. The returned node is pinned until the following next() or
 // close().
+//
+//gcxlint:noalloc
 func (c *cursor) next() (*buffer.Node, error) {
 	if c.done {
 		return nil, nil
@@ -103,6 +111,7 @@ func (c *cursor) next() (*buffer.Node, error) {
 	}
 }
 
+//gcxlint:noalloc
 func (c *cursor) finish() {
 	c.done = true
 	c.close()
@@ -110,6 +119,8 @@ func (c *cursor) finish() {
 
 // scan finds the next buffered match after the current position without
 // blocking.
+//
+//gcxlint:noalloc
 func (c *cursor) scan() *buffer.Node {
 	switch c.step.Axis {
 	case xqast.Child:
@@ -148,6 +159,8 @@ func (c *cursor) scan() *buffer.Node {
 
 // nextInDocOrder advances one position in the DFS over the subtree of
 // c.ctx, returning nil at the end of the currently buffered region.
+//
+//gcxlint:noalloc
 func (c *cursor) nextInDocOrder(n *buffer.Node) *buffer.Node {
 	if n.FirstChild != nil {
 		return n.FirstChild
@@ -166,6 +179,8 @@ func (c *cursor) nextInDocOrder(n *buffer.Node) *buffer.Node {
 // child-axis name tests with a schema — once the content model proves no
 // further match can arrive (the projector marks the context node when a
 // sibling tag kills the test tag; see package dtd).
+//
+//gcxlint:noalloc
 func (c *cursor) regionFinished() bool {
 	if c.ctx.Finished() {
 		return true

@@ -1,0 +1,12 @@
+package borrowcheck_test
+
+import (
+	"testing"
+
+	"gcx/internal/lint/borrowcheck"
+	"gcx/internal/lint/gcxlint/linttest"
+)
+
+func TestBorrowCheck(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), borrowcheck.Analyzer, "borrowok", "borrowbad")
+}

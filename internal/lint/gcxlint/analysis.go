@@ -1,0 +1,102 @@
+// Package gcxlint is a minimal, dependency-free analysis framework in the
+// spirit of golang.org/x/tools/go/analysis, hosting the repo-specific
+// analyzers that statically prove the engine's pooling, zero-copy, and
+// hot-path invariants (see DESIGN.md, "Static invariant checking").
+//
+// The framework exists because this repository builds offline: it cannot
+// depend on x/tools, but the `go vet -vettool=` driver protocol is stable
+// and small, so unit.go implements it directly against the standard
+// library's go/parser, go/types, and go/importer. Analyzers written
+// against Analyzer/Pass here look like ordinary go/analysis passes and
+// could be ported to x/tools with mechanical changes only.
+package gcxlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Unlike x/tools analyzers, there is
+// no Requires/Facts machinery: every gcxlint analyzer is package-local by
+// design (cross-package contracts are expressed through annotations on the
+// declarations that cross the boundary).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run executes the analyzer on one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer,
+// mirroring analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers a diagnostic to the driver.
+	Report func(Diagnostic)
+
+	directives *directiveIndex
+}
+
+// Diagnostic is a finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// PathHasSuffix reports whether the package under analysis has the given
+// import-path suffix ("internal/xmlstream" matches both the real package
+// and a testdata mirror like "gcxtest/internal/xmlstream"). Analyzers use
+// suffix matching so their seeded-violation fixtures can impersonate the
+// real packages.
+func (p *Pass) PathHasSuffix(suffix string) bool {
+	path := p.Pkg.Path()
+	if path == suffix {
+		return true
+	}
+	return len(path) > len(suffix) && path[len(path)-len(suffix)-1] == '/' && path[len(path)-len(suffix):] == suffix
+}
+
+// RunAnalyzers executes the analyzers over a package loaded with LoadDir
+// and returns the diagnostics in report order. It is the entry point for
+// linttest and standalone -dir mode.
+func RunAnalyzers(fset *token.FileSet, lp *LoadedPackage, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return runPackage(fset, lp.Files, lp.Pkg, lp.Info, analyzers)
+}
+
+// runPackage executes each analyzer over one loaded package and returns
+// the diagnostics in report order.
+func runPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	idx := indexDirectives(fset, files)
+	diags = append(diags, idx.unknown...)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			Report:     func(d Diagnostic) { diags = append(diags, d) },
+			directives: idx,
+		}
+		if err := a.Run(pass); err != nil {
+			return diags, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	return diags, nil
+}

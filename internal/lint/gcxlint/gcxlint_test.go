@@ -1,0 +1,108 @@
+package gcxlint_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gcx/internal/lint/gcxlint"
+)
+
+// writePkg lays out a GOPATH-style src tree under a temp dir and returns
+// the src root.
+func writePkg(t *testing.T, importPath, src string) string {
+	t.Helper()
+	root := filepath.Join(t.TempDir(), "src")
+	dir := filepath.Join(root, filepath.FromSlash(importPath))
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// A misspelled directive verb must be a finding in its own right: a typo
+// like //gcxlint:kep would otherwise silently disable the escape hatch
+// it was meant to be.
+func TestUnknownDirectiveVerb(t *testing.T) {
+	root := writePkg(t, "m", `package m
+
+//gcxlint:kep buf some reason
+type s struct{ buf []byte }
+`)
+	fset := token.NewFileSet()
+	lp, err := gcxlint.LoadDir(fset, root, "m", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := gcxlint.RunAnalyzers(fset, lp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, `unknown gcxlint directive verb "kep"`) {
+		t.Fatalf("want one unknown-verb diagnostic, got %+v", diags)
+	}
+}
+
+// Known verbs must not trip the hygiene check, and analyzer suffix
+// matching must see through testdata-style prefixes.
+func TestKnownVerbAndSuffixMatch(t *testing.T) {
+	root := writePkg(t, "fake/internal/xmlstream", `package xmlstream
+
+//gcxlint:noalloc
+func hot() {}
+`)
+	fset := token.NewFileSet()
+	lp, err := gcxlint.LoadDir(fset, root, "fake/internal/xmlstream", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawSuffix bool
+	probe := &gcxlint.Analyzer{
+		Name: "probe",
+		Doc:  "records suffix matching",
+		Run: func(pass *gcxlint.Pass) error {
+			sawSuffix = pass.PathHasSuffix("internal/xmlstream")
+			if pass.PathHasSuffix("ternal/xmlstream") {
+				return nil // non-boundary suffixes must not match, checked below
+			}
+			return nil
+		},
+	}
+	diags, err := gcxlint.RunAnalyzers(fset, lp, []*gcxlint.Analyzer{probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("no diagnostics expected, got %+v", diags)
+	}
+	if !sawSuffix {
+		t.Fatal("PathHasSuffix(internal/xmlstream) = false for fake/internal/xmlstream")
+	}
+}
+
+func TestPathSuffixBoundary(t *testing.T) {
+	root := writePkg(t, "notinternal/xmlstream", `package xmlstream`)
+	fset := token.NewFileSet()
+	lp, err := gcxlint.LoadDir(fset, root, "notinternal/xmlstream", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &gcxlint.Analyzer{
+		Name: "probe",
+		Doc:  "suffix matching respects path segment boundaries",
+		Run: func(pass *gcxlint.Pass) error {
+			if pass.PathHasSuffix("internal/xmlstream") {
+				t.Error("notinternal/xmlstream must not match suffix internal/xmlstream")
+			}
+			return nil
+		},
+	}
+	if _, err := gcxlint.RunAnalyzers(fset, lp, []*gcxlint.Analyzer{probe}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+// Package linttest runs a gcxlint analyzer over GOPATH-style testdata
+// packages and checks its diagnostics against `// want "regexp"` comments,
+// mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// An expectation comment attaches to its own source line:
+//
+//	p.lastToken = tk // want `borrowed .* stored in struct field`
+//
+// Every diagnostic must match exactly one pending expectation on its line,
+// and every expectation must be consumed, so both false positives and
+// false negatives fail the test.
+package linttest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gcx/internal/lint/gcxlint"
+)
+
+// TestData returns the absolute path of the package's testdata directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+// Run loads each import path from testdata/src, applies the analyzer, and
+// verifies its diagnostics against the // want comments in the sources.
+func Run(t *testing.T, testdata string, a *gcxlint.Analyzer, importPaths ...string) {
+	t.Helper()
+	for _, path := range importPaths {
+		path := path
+		t.Run(path, func(t *testing.T) {
+			t.Helper()
+			runOne(t, testdata, a, path)
+		})
+	}
+}
+
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func runOne(t *testing.T, testdata string, a *gcxlint.Analyzer, importPath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	lp, err := gcxlint.LoadDir(fset, filepath.Join(testdata, "src"), importPath, false)
+	if err != nil {
+		t.Fatalf("loading %s: %v", importPath, err)
+	}
+
+	var wants []*expectation
+	for _, f := range lp.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, found := strings.CutPrefix(text, "want ")
+				if !found {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for rest = strings.TrimSpace(rest); rest != ""; rest = strings.TrimSpace(rest) {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s: malformed want comment %q: %v", pos, c.Text, err)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: malformed want pattern %s: %v", pos, q, err)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, rx: rx, raw: pat})
+					rest = rest[len(q):]
+				}
+			}
+		}
+	}
+
+	diags, err := gcxlint.RunAnalyzers(fset, lp, []*gcxlint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, importPath, err)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != pos.Filename || w.line != pos.Line || !w.rx.MatchString(d.Message) {
+				continue
+			}
+			w.matched = true
+			found = true
+			break
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched pending expectation %q", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package gcxlint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// vetConfig is the JSON configuration `go vet -vettool=` writes for each
+// compilation unit, as defined by the unitchecker protocol
+// (golang.org/x/tools/go/analysis/unitchecker). Fields this driver does
+// not consult are retained so the full file decodes cleanly.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main implements the vettool side of the unitchecker protocol for the
+// given analyzers, plus a standalone -dir source mode used by tests and
+// the CI self-check (testdata packages are invisible to `go vet`).
+//
+// Protocol summary (stable since Go 1.12):
+//
+//	gcxlint -V=full          print a version line ending in buildID=<hex>
+//	gcxlint -flags           print a JSON description of supported flags
+//	gcxlint <unit>.cfg       analyze one compilation unit, writing the
+//	                         fact file named by the config; diagnostics go
+//	                         to stderr as "pos: message", exit 1 if any
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	flag.Var(versionFlag{}, "V", "print version and exit")
+	printflags := flag.Bool("flags", false, "print analyzer flags in JSON")
+	dirs := flag.String("dir", "", "comma-separated package directories to analyze from source (standalone mode)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-dir pkgdir[,pkgdir...]] | <unit>.cfg\n\nAnalyzers:\n", progname)
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, firstLine(a.Doc))
+		}
+	}
+	flag.Parse()
+
+	if *printflags {
+		printFlags()
+		os.Exit(0)
+	}
+	if *dirs != "" {
+		os.Exit(runDirs(strings.Split(*dirs, ","), analyzers))
+	}
+	args := flag.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		flag.Usage()
+		os.Exit(2)
+	}
+	os.Exit(runUnit(args[0], analyzers))
+}
+
+// versionFlag implements -V=full. The go command runs the vettool with
+// this flag to obtain a cache key, and requires the output to end in a
+// buildID derived from the tool binary, so a rebuilt gcxlint invalidates
+// stale vet results.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) Get() any         { return nil }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		return fmt.Errorf("unsupported flag value: -V=%s", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", filepath.Base(os.Args[0]), string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}
+
+// printFlags emits the flag description JSON the go command consumes to
+// decide which vet flags this tool accepts.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// runUnit analyzes one compilation unit described by a .cfg file.
+func runUnit(cfgFile string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+
+	// The go command drives the vettool over the entire import graph,
+	// standard library included, to propagate facts. gcxlint analyzers
+	// are fact-free and package-local, so only this module's own
+	// packages need analysis; everything else just gets its (empty)
+	// fact file written.
+	diags, err := analyzeUnit(cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log.Fatal(err)
+	}
+
+	if cfg.VetxOutput != "" {
+		// gcxlint exports no facts; an empty file satisfies the cache.
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			log.Fatalf("writing facts: %v", err)
+		}
+	}
+	if cfg.VetxOnly || len(diags) == 0 {
+		return 0
+	}
+	// Diagnostics were produced against a freshly parsed fileset local
+	// to analyzeUnit; positions were already rendered into the message
+	// stream there.
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	return 1
+}
+
+// analyzeUnit typechecks the unit from the export data the go command
+// supplied and runs the analyzers. Diagnostics are returned pre-rendered
+// as "file:line:col: message (analyzer)" strings.
+func analyzeUnit(cfg *vetConfig, analyzers []*Analyzer) ([]string, error) {
+	if cfg.ModulePath != moduleName || cfg.Standard[cfg.ImportPath] {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// Path is a resolved package path, perhaps vendor-mangled.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := newTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+
+	diags, err := runPackage(fset, files, pkg, info, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = fmt.Sprintf("%s: %s (%s)", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return out, nil
+}
+
+// moduleName gates analysis to this repository's own packages; the go
+// command also runs the vettool over every dependency (including the
+// standard library) purely to build the fact-file chain.
+const moduleName = "gcx"
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		FileVersions: make(map[*ast.File]string),
+	}
+}
+
+// runDirs analyzes package directories from source (no export data, no go
+// command): the mode linttest and the CI self-check use to point gcxlint
+// at seeded-violation testdata packages.
+func runDirs(dirs []string, analyzers []*Analyzer) int {
+	exit := 0
+	for _, dir := range dirs {
+		root, importPath, err := inferSrcRoot(dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fset := token.NewFileSet()
+		loaded, err := LoadDir(fset, root, importPath, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		diags, err := runPackage(fset, loaded.Files, loaded.Pkg, loaded.Info, analyzers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// inferSrcRoot maps a package directory to a GOPATH-style source root and
+// import path: the nearest ancestor directory named "src" anchors the
+// root (the testdata convention); otherwise the directory's parent does.
+func inferSrcRoot(dir string) (root, importPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for p := filepath.Dir(abs); p != filepath.Dir(p); p = filepath.Dir(p) {
+		if filepath.Base(p) == "src" {
+			rel, err := filepath.Rel(p, abs)
+			if err != nil {
+				return "", "", err
+			}
+			return p, filepath.ToSlash(rel), nil
+		}
+	}
+	return filepath.Dir(abs), filepath.Base(abs), nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,12 @@
+package noalloccheck_test
+
+import (
+	"testing"
+
+	"gcx/internal/lint/gcxlint/linttest"
+	"gcx/internal/lint/noalloccheck"
+)
+
+func TestNoAllocCheck(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), noalloccheck.Analyzer, "noallocok", "noallocbad")
+}

@@ -1,0 +1,74 @@
+// Package noallocbad seeds one violation of each noalloccheck rule.
+package noallocbad
+
+import (
+	"fmt"
+	"strings"
+)
+
+type hot struct {
+	scratch []byte
+}
+
+//gcxlint:allocok test sink, not part of the hot path
+func sink(v any) { _ = v }
+
+func plain(b []byte) int { return len(b) }
+
+//gcxlint:noalloc
+func (h *hot) step(window []byte) {
+	m := make(map[string]int) // want `make allocates`
+	_ = m
+	p := new(hot) // want `new allocates`
+	_ = p
+	xs := []int{1, 2, 3} // want `slice or map literal allocates`
+	_ = xs
+	kv := map[string]string{} // want `slice or map literal allocates`
+	_ = kv
+	hp := &hot{} // want `address of composite literal escapes to the heap`
+	_ = hp
+	f := func() {} // want `func literal allocates a closure`
+	f()
+	s := string(window) // want `string conversion allocates and copies`
+	_ = s
+	b := []byte(s) // want `string conversion allocates and copies`
+	_ = b
+	fmt.Println(len(window)) // want `call to fmt\.Println allocates`
+	c := strings.Clone(s)    // want `call to strings\.Clone allocates`
+	_ = c
+	var sb strings.Builder // want `strings\.Builder grows by allocating`
+	_ = sb
+	sink(42) // want `interface boxing of int allocates`
+}
+
+//gcxlint:noalloc
+func spawn() {
+	go work() // want `go statement allocates a goroutine`
+}
+
+//gcxlint:noalloc
+func work() {}
+
+//gcxlint:noalloc
+func localGrowth(n int) int {
+	var acc []int // locally born: nil backing
+	for i := 0; i < n; i++ {
+		acc = append(acc, i) // want `append to function-local slice acc allocates`
+	}
+	return len(acc)
+}
+
+//gcxlint:noalloc
+func cascade(b []byte) int {
+	return plain(b) // want `call to plain, which is neither //gcxlint:noalloc nor declared //gcxlint:allocok`
+}
+
+//gcxlint:noalloc
+func bareSuppression() {
+	//gcxlint:allocok
+	x := make([]int, 4) // want `//gcxlint:allocok requires a reason`
+	_ = x
+}
+
+//gcxlint:allocok
+func bareDeclSuppression() {} // want `declaration-level //gcxlint:allocok on bareDeclSuppression requires a reason`

@@ -1,0 +1,459 @@
+// Package resetcheck verifies the repo's pooling hygiene invariant: every
+// type that cycles through a sync.Pool must declare a Reset method, and
+// every Reset (or reset) method must account for every field of its
+// receiver — by assigning it, clear()ing it, delegating to the field's own
+// Reset, or carrying an explicit //gcxlint:keep annotation with a reason.
+//
+// This is the static form of the PR-1 bug class: a pooled run state whose
+// Reset misses a field silently leaks one run's state (or one document's
+// text) into the next run's. AllocsPerRun and equivalence tests catch the
+// symptom probabilistically; the field-set difference here catches the
+// missing assignment at the diff.
+package resetcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"gcx/internal/lint/gcxlint"
+)
+
+// Analyzer is the resetcheck pass.
+var Analyzer = &gcxlint.Analyzer{
+	Name: "resetcheck",
+	Doc:  "pooled types must declare Reset, and Reset must cover every field",
+	Run:  run,
+}
+
+// structDecl is one named struct type declared in the package.
+type structDecl struct {
+	name    *ast.Ident
+	st      *ast.StructType
+	doc     []*ast.CommentGroup // GenDecl doc + TypeSpec doc/comment
+	obj     types.Object
+	methods map[string]*ast.FuncDecl // declared methods, by name
+	recvs   map[*ast.FuncDecl]types.Object
+}
+
+func run(pass *gcxlint.Pass) error {
+	decls := collectStructs(pass)
+	pooled := collectPooled(pass, decls)
+
+	for _, d := range decls {
+		resetDecls := resetMethods(d)
+		if _, ok := pooled[d]; ok && len(resetDecls) == 0 {
+			if !allowNoReset(pass, d) {
+				pass.Reportf(d.name.Pos(), "%s cycles through a sync.Pool but declares no Reset method (add one or annotate the type //gcxlint:noreset <reason>)", d.name.Name)
+			}
+			continue
+		}
+		for _, m := range resetDecls {
+			checkReset(pass, d, m)
+		}
+	}
+	return nil
+}
+
+// collectStructs indexes the package's named struct declarations and
+// their methods.
+func collectStructs(pass *gcxlint.Pass) []*structDecl {
+	byObj := make(map[types.Object]*structDecl)
+	var decls []*structDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[ts.Name]
+				if obj == nil {
+					continue
+				}
+				d := &structDecl{
+					name:    ts.Name,
+					st:      st,
+					doc:     []*ast.CommentGroup{gd.Doc, ts.Doc, ts.Comment},
+					obj:     obj,
+					methods: make(map[string]*ast.FuncDecl),
+					recvs:   make(map[*ast.FuncDecl]types.Object),
+				}
+				byObj[obj] = d
+				decls = append(decls, d)
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			recvObj, typeObj := receiver(pass, fd)
+			if d, ok := byObj[typeObj]; ok {
+				d.methods[fd.Name.Name] = fd
+				d.recvs[fd] = recvObj
+			}
+		}
+	}
+	return decls
+}
+
+// receiver resolves a method's receiver variable and its named type's
+// type object.
+func receiver(pass *gcxlint.Pass, fd *ast.FuncDecl) (recvObj, typeObj types.Object) {
+	field := fd.Recv.List[0]
+	if len(field.Names) == 1 {
+		recvObj = pass.TypesInfo.Defs[field.Names[0]]
+	}
+	t := field.Type
+	for {
+		switch e := t.(type) {
+		case *ast.StarExpr:
+			t = e.X
+		case *ast.ParenExpr:
+			t = e.X
+		case *ast.IndexExpr: // generic receiver; not used in this repo
+			t = e.X
+		case *ast.Ident:
+			return recvObj, pass.TypesInfo.Uses[e]
+		default:
+			return recvObj, nil
+		}
+	}
+}
+
+// collectPooled finds local struct types that flow through a sync.Pool —
+// via Put arguments, Get type assertions, or New closures — and maps each
+// to the first position evidencing the pooling.
+func collectPooled(pass *gcxlint.Pass, decls []*structDecl) map[*structDecl]token.Pos {
+	byObj := make(map[types.Object]*structDecl, len(decls))
+	for _, d := range decls {
+		byObj[d.obj] = d
+	}
+	pooled := make(map[*structDecl]token.Pos)
+	mark := func(t types.Type, pos token.Pos) {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return
+		}
+		if d, ok := byObj[named.Obj()]; ok {
+			if _, seen := pooled[d]; !seen {
+				pooled[d] = pos
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := e.Fun.(*ast.SelectorExpr)
+				if !ok || !isSyncPool(pass.TypesInfo.Types[sel.X].Type) {
+					return true
+				}
+				if sel.Sel.Name == "Put" && len(e.Args) == 1 {
+					if tv, ok := pass.TypesInfo.Types[e.Args[0]]; ok {
+						mark(tv.Type, e.Args[0].Pos())
+					}
+				}
+			case *ast.TypeAssertExpr:
+				// rs, _ := pool.Get().(*runState)
+				call, ok := e.X.(*ast.CallExpr)
+				if !ok || e.Type == nil {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Get" || !isSyncPool(pass.TypesInfo.Types[sel.X].Type) {
+					return true
+				}
+				if tv, ok := pass.TypesInfo.Types[e.Type]; ok {
+					mark(tv.Type, e.Pos())
+				}
+			case *ast.KeyValueExpr:
+				// sync.Pool{New: func() any { return &T{} }}
+				key, ok := e.Key.(*ast.Ident)
+				if !ok || key.Name != "New" {
+					return true
+				}
+				fn, ok := e.Value.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					ret, ok := n.(*ast.ReturnStmt)
+					if !ok || len(ret.Results) != 1 {
+						return true
+					}
+					if tv, ok := pass.TypesInfo.Types[ret.Results[0]]; ok {
+						mark(tv.Type, ret.Results[0].Pos())
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	return pooled
+}
+
+func isSyncPool(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}
+
+// resetMethods returns the type's declared Reset-style methods.
+func resetMethods(d *structDecl) []*ast.FuncDecl {
+	var ms []*ast.FuncDecl
+	for _, name := range [2]string{"Reset", "reset"} {
+		if m, ok := d.methods[name]; ok {
+			ms = append(ms, m)
+		}
+	}
+	return ms
+}
+
+// allowNoReset honors a //gcxlint:noreset <reason> annotation on the type
+// declaration, reporting it if the reason is missing.
+func allowNoReset(pass *gcxlint.Pass, d *structDecl) bool {
+	for _, dir := range gcxlint.Directives(d.doc...) {
+		if dir.Verb != "noreset" {
+			continue
+		}
+		if dir.Args == "" {
+			pass.Reportf(d.name.Pos(), "//gcxlint:noreset on %s requires a reason", d.name.Name)
+		}
+		return true
+	}
+	return false
+}
+
+// checkReset computes the set difference between the receiver's fields and
+// the fields the reset method (plus same-receiver helpers it calls)
+// covers, then reports the uncovered, unannotated remainder.
+func checkReset(pass *gcxlint.Pass, d *structDecl, m *ast.FuncDecl) {
+	fields := structFields(d.st)
+	if len(fields) == 0 {
+		return
+	}
+	if _, isPtr := m.Recv.List[0].Type.(*ast.StarExpr); !isPtr {
+		pass.Reportf(m.Name.Pos(), "%s.%s has a value receiver and cannot reset the pooled state; use a pointer receiver", d.name.Name, m.Name.Name)
+		return
+	}
+
+	kept := collectKeeps(pass, d, m, fields)
+	handled := make(map[string]bool)
+	var all bool
+	scanned := make(map[*ast.FuncDecl]bool)
+
+	var scan func(fd *ast.FuncDecl)
+	scan = func(fd *ast.FuncDecl) {
+		if fd.Body == nil || scanned[fd] {
+			return
+		}
+		scanned[fd] = true
+		recvObj := d.recvs[fd]
+		if recvObj == nil {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range e.Lhs {
+					if isRecvDeref(pass, recvObj, lhs) {
+						all = true // *t = T{...} covers everything
+						continue
+					}
+					if f, ok := rootField(pass, recvObj, lhs); ok {
+						handled[f] = true
+					}
+				}
+			case *ast.IncDecStmt:
+				if f, ok := rootField(pass, recvObj, e.X); ok {
+					handled[f] = true
+				}
+			case *ast.UnaryExpr:
+				// &t.field handed to a helper counts as a write.
+				if e.Op == token.AND {
+					if f, ok := rootField(pass, recvObj, e.X); ok {
+						handled[f] = true
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "clear" && len(e.Args) == 1 {
+					if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+						if f, ok := rootField(pass, recvObj, e.Args[0]); ok {
+							handled[f] = true
+						}
+					}
+					return true
+				}
+				sel, ok := e.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if recvIdent(pass, recvObj, sel.X) {
+					// Same-receiver helper: analyze its body too, so
+					// Reset → initRoot chains count.
+					if helper, ok := d.methods[sel.Sel.Name]; ok {
+						scan(helper)
+					}
+					return true
+				}
+				// Delegated reset: t.field.Reset(...) in any casing.
+				if sel.Sel.Name == "Reset" || sel.Sel.Name == "reset" {
+					if f, ok := rootField(pass, recvObj, sel.X); ok {
+						handled[f] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	scan(m)
+
+	if all {
+		return
+	}
+	for _, name := range fields {
+		if name == "_" || handled[name] || kept[name] {
+			continue
+		}
+		pass.Reportf(m.Name.Pos(), "%s.%s does not reset field %q (assign it, delegate to %s.Reset, or annotate //gcxlint:keep %s <reason>)",
+			d.name.Name, m.Name.Name, name, name, name)
+	}
+}
+
+// structFields lists the receiver struct's field names in declaration
+// order; embedded fields are named by their type.
+func structFields(st *ast.StructType) []string {
+	var names []string
+	for _, f := range st.Fields.List {
+		if len(f.Names) == 0 {
+			if name := embeddedName(f.Type); name != "" {
+				names = append(names, name)
+			}
+			continue
+		}
+		for _, id := range f.Names {
+			names = append(names, id.Name)
+		}
+	}
+	return names
+}
+
+func embeddedName(t ast.Expr) string {
+	switch e := t.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return embeddedName(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+// collectKeeps gathers //gcxlint:keep <field> <reason> annotations from
+// the struct's field declarations and the reset method's doc comment,
+// validating the field name and the presence of a reason.
+func collectKeeps(pass *gcxlint.Pass, d *structDecl, m *ast.FuncDecl, fields []string) map[string]bool {
+	known := make(map[string]bool, len(fields))
+	for _, f := range fields {
+		known[f] = true
+	}
+	kept := make(map[string]bool)
+	type source struct {
+		dirs []gcxlint.Directive
+		pos  token.Pos // annotated declaration, where hygiene findings anchor
+	}
+	sources := []source{{gcxlint.Directives(m.Doc), m.Name.Pos()}}
+	for _, f := range d.st.Fields.List {
+		sources = append(sources, source{gcxlint.Directives(f.Doc, f.Comment), f.Pos()})
+	}
+	for _, src := range sources {
+		for _, dir := range src.dirs {
+			if dir.Verb != "keep" {
+				continue
+			}
+			field, reason, _ := strings.Cut(dir.Args, " ")
+			if field == "" {
+				pass.Reportf(src.pos, "//gcxlint:keep requires a field name and a reason")
+				continue
+			}
+			if !known[field] {
+				pass.Reportf(src.pos, "//gcxlint:keep names unknown field %q of %s", field, d.name.Name)
+				continue
+			}
+			if strings.TrimSpace(reason) == "" {
+				pass.Reportf(src.pos, "//gcxlint:keep %s requires a reason", field)
+				continue
+			}
+			kept[field] = true
+		}
+	}
+	return kept
+}
+
+// rootField reports the receiver field at the root of an lvalue-ish
+// expression chain: t.f, t.f[i], t.f.g = …, (*t.f), &t.f.
+func rootField(pass *gcxlint.Pass, recvObj types.Object, expr ast.Expr) (string, bool) {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			if recvIdent(pass, recvObj, e.X) {
+				return e.Sel.Name, true
+			}
+			expr = e.X
+		default:
+			return "", false
+		}
+	}
+}
+
+func recvIdent(pass *gcxlint.Pass, recvObj types.Object, expr ast.Expr) bool {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.Ident:
+			return recvObj != nil && pass.TypesInfo.Uses[e] == recvObj
+		default:
+			return false
+		}
+	}
+}
+
+func isRecvDeref(pass *gcxlint.Pass, recvObj types.Object, expr ast.Expr) bool {
+	e, ok := expr.(*ast.StarExpr)
+	return ok && recvIdent(pass, recvObj, e.X)
+}

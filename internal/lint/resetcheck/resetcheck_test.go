@@ -1,0 +1,12 @@
+package resetcheck_test
+
+import (
+	"testing"
+
+	"gcx/internal/lint/gcxlint/linttest"
+	"gcx/internal/lint/resetcheck"
+)
+
+func TestResetCheck(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), resetcheck.Analyzer, "resetok", "resetbad")
+}

@@ -1,0 +1,63 @@
+// Package resetbad seeds one violation of each resetcheck rule; the CI
+// self-check also runs the real gcxlint binary over this package and
+// asserts a non-zero exit.
+package resetbad
+
+import "sync"
+
+// leaky is the PR-1 bug class: pooled state whose Reset forgets a field.
+type leaky struct {
+	kept  int
+	buf   []byte
+	stale map[string]int
+}
+
+var pool = sync.Pool{New: func() any { return &leaky{} }}
+
+func (l *leaky) Reset() { // want `leaky\.Reset does not reset field "stale"`
+	l.kept = 0
+	l.buf = l.buf[:0]
+}
+
+func recycle(l *leaky) {
+	pool.Put(l)
+}
+
+var _ = recycle
+
+// orphan cycles through a pool with no Reset at all.
+type orphan struct{ n int } // want `orphan cycles through a sync\.Pool but declares no Reset method`
+
+var orphanPool sync.Pool
+
+func orphanUse() {
+	o, _ := orphanPool.Get().(*orphan)
+	orphanPool.Put(o)
+}
+
+var _ = orphanUse
+
+// valrecv declares Reset on a value receiver, which mutates a copy.
+type valrecv struct{ n int }
+
+func (v valrecv) Reset() { v.n = 0 } // want `value receiver`
+
+// annotated carries a keep annotation with no reason, so the escape hatch
+// does not engage and the field still counts as unreset.
+type annotated struct {
+	//gcxlint:keep big
+	big []byte // want `//gcxlint:keep big requires a reason`
+	n   int
+}
+
+func (a *annotated) Reset() { a.n = 0 } // want `does not reset field "big"`
+
+// mistargeted names a field that does not exist.
+type mistargeted struct {
+	n int
+}
+
+// Reset clears the counter.
+//
+//gcxlint:keep nosuch left over from a refactor
+func (m *mistargeted) Reset() { m.n = 0 } // want `unknown field "nosuch"`

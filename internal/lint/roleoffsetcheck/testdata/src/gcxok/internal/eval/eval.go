@@ -1,0 +1,50 @@
+// Package eval is a clean boundary consumer: every role crossing into
+// the buffer carries the offset translation; roleoffsetcheck must stay
+// silent here.
+package eval
+
+import (
+	"gcxtest/internal/buffer"
+	"gcxtest/internal/xqast"
+)
+
+type Options struct {
+	RoleOffset xqast.Role
+}
+
+type Compiled struct {
+	Offsets    []xqast.Role
+	roleCounts []int
+}
+
+type Evaluator struct {
+	buf  *buffer.Buffer
+	opts Options
+}
+
+// direct translation at the call site, the solo evaluator's shape.
+func (e *Evaluator) signOff(binding *buffer.Node, role xqast.Role) {
+	e.buf.SignOff(binding, role+e.opts.RoleOffset)
+}
+
+// throughLocal mirrors the workload accounting loop: the loop variable
+// derives from Offsets, so every use of it is translated.
+func throughLocal(c *Compiled, buf *buffer.Buffer, i int) int64 {
+	var total int64
+	for r := c.Offsets[i] + 1; r <= c.Offsets[i]+xqast.Role(c.roleCounts[i]); r++ {
+		total += buf.AssignedCount(r)
+		total += buf.RemovedCount(r)
+	}
+	return total
+}
+
+// nonRoleArgs never trips the check: only Role-typed parameters of the
+// role APIs are proof obligations.
+func nonRoleArgs(buf *buffer.Buffer, binding *buffer.Node) int64 {
+	return buf.AssignedTotal(binding, 3)
+}
+
+// suppressed documents a deliberate solo-space probe.
+func suppressed(e *Evaluator, role xqast.Role) {
+	e.buf.AddRole(nil, role) //gcxlint:solorole solo-mode diagnostics run before any merge exists
+}

@@ -1,0 +1,19 @@
+// Package buffer mirrors the real buffer manager's role APIs; the
+// import-path suffix internal/buffer is what roleoffsetcheck matches.
+package buffer
+
+import "gcxtest/internal/xqast"
+
+type Node struct{}
+
+type Buffer struct {
+	assigned []int64
+	removed  []int64
+}
+
+func (b *Buffer) SignOff(binding *Node, role xqast.Role)   {}
+func (b *Buffer) AddRole(n *Node, role xqast.Role)         {}
+func (b *Buffer) AssignedCount(role xqast.Role) int64      { return b.assigned[role] }
+func (b *Buffer) RemovedCount(role xqast.Role) int64       { return b.removed[role] }
+func (b *Buffer) Unrelated(role xqast.Role)                {}
+func (b *Buffer) AssignedTotal(binding *Node, n int) int64 { return int64(n) }

@@ -1,0 +1,5 @@
+// Package xqast mirrors the real AST package's Role type; the import-path
+// suffix internal/xqast is what roleoffsetcheck matches.
+package xqast
+
+type Role int32

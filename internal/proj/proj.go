@@ -143,8 +143,14 @@ type Projector struct {
 	// extend scopes copy-on-append, so it is never shared downward).
 	rootScopes []*entry
 
-	tokens    int64
-	lastToken xmlstream.Token
+	tokens int64
+
+	// trackLast enables LastToken (tracing support). It is off in
+	// production runs so the hot path never copies token data.
+	trackLast bool
+	lastKind  xmlstream.Kind
+	lastName  []byte // owned copy of the last token's tag name
+	lastData  []byte // owned copy of the last token's character data
 }
 
 // New creates a projector reading from tok into buf, guided by tree.
@@ -181,6 +187,11 @@ func (p *Projector) init() {
 // All frames are recycled into the pool, so steady-state runs allocate
 // only when a document opens more simultaneous elements, matches, or
 // captures than any run before it.
+//
+//gcxlint:keep tok wired at construction; the owner resets the tokenizer separately
+//gcxlint:keep buf wired at construction; the owner resets the buffer separately
+//gcxlint:keep tree the compiled projection tree is immutable and shared across runs
+//gcxlint:keep opts configuration is part of the projector's identity
 func (p *Projector) Reset() {
 	for i := len(p.stack) - 1; i >= 0; i-- {
 		p.releaseFrame(p.stack[i])
@@ -190,19 +201,46 @@ func (p *Projector) Reset() {
 	p.cands = p.cands[:0]
 	p.eof = false
 	p.tokens = 0
-	p.lastToken = xmlstream.Token{}
+	p.trackLast = false
+	p.lastKind = 0
+	p.lastName = p.lastName[:0]
+	p.lastData = p.lastData[:0]
 	p.init()
 }
 
 // TokensRead returns the number of stream tokens consumed.
 func (p *Projector) TokensRead() int64 { return p.tokens }
 
+// TrackLastToken enables or disables LastToken snapshots. Tracking is
+// off by default (and after Reset): it copies every token's name and
+// data, which the production hot path must not pay for.
+func (p *Projector) TrackLastToken(on bool) { p.trackLast = on }
+
 // LastToken returns the most recently consumed token (tracing support).
-func (p *Projector) LastToken() xmlstream.Token { return p.lastToken }
+// The returned token owns its strings: unlike the tokenizer's borrowed
+// tokens it stays valid across subsequent Steps. It is the zero Token
+// until TrackLastToken(true) is called.
+func (p *Projector) LastToken() xmlstream.Token {
+	return xmlstream.Token{Kind: p.lastKind, Name: string(p.lastName), Data: string(p.lastData)}
+}
+
+// noteToken snapshots a token for LastToken. The copy is the point:
+// under BorrowText the token's strings alias tokenizer scratch that the
+// next Next() overwrites, so retaining tk itself would corrupt the
+// snapshot (and is exactly what borrowcheck forbids).
+//
+//gcxlint:borrowed
+//gcxlint:noalloc
+func (p *Projector) noteToken(tk xmlstream.Token) {
+	p.lastKind = tk.Kind
+	p.lastName = append(p.lastName[:0], tk.Name...)
+	p.lastData = append(p.lastData[:0], tk.Data...)
+}
 
 // EOF reports whether the input is exhausted.
 func (p *Projector) EOF() bool { return p.eof }
 
+//gcxlint:noalloc
 func hasDescChildren(pn *projtree.Node) bool {
 	for _, c := range pn.Children {
 		if c.Step.Axis == xqast.Descendant {
@@ -215,6 +253,8 @@ func hasDescChildren(pn *projtree.Node) bool {
 // Step reads and processes one token. It returns false once the input is
 // exhausted. This is the nextNode() interface of Figure 11: the buffer
 // manager calls Step until the data the evaluator blocks on is available.
+//
+//gcxlint:noalloc
 func (p *Projector) Step() (bool, error) {
 	if p.eof {
 		return false, nil
@@ -224,7 +264,9 @@ func (p *Projector) Step() (bool, error) {
 		return false, err
 	}
 	p.tokens++
-	p.lastToken = tk
+	if p.trackLast {
+		p.noteToken(tk)
+	}
 	switch tk.Kind {
 	case xmlstream.StartElement:
 		p.openElement(tk.Name)
@@ -235,6 +277,7 @@ func (p *Projector) Step() (bool, error) {
 	case xmlstream.EOF:
 		p.eof = true
 		if len(p.stack) != 1 {
+			//gcxlint:allocok error construction terminates the run
 			return false, fmt.Errorf("proj: internal error: %d frames open at EOF", len(p.stack)-1)
 		}
 		p.buf.Finish(p.buf.Root())
@@ -255,6 +298,8 @@ func (p *Projector) Step() (bool, error) {
 // (e.g. //*//*) one element's frame can anchor instances of two
 // different variables, and suppressing the fresh binding would strand
 // its later signOff without an assigned role instance.
+//
+//gcxlint:noalloc
 func (p *Projector) cancelledCount(role xqast.Role, anchor *frame) int {
 	for _, c := range p.cancs {
 		if c.role == role && c.anchor == anchor {
@@ -266,6 +311,9 @@ func (p *Projector) cancelledCount(role xqast.Role, anchor *frame) int {
 
 // elementTestMatches reports whether an element with tag sym name matches a
 // step node test.
+//
+//gcxlint:borrowed
+//gcxlint:noalloc
 func elementTestMatches(t xqast.NodeTest, name string) bool {
 	switch t.Kind {
 	case xqast.TestName:
@@ -279,6 +327,9 @@ func elementTestMatches(t xqast.NodeTest, name string) bool {
 
 // tokenMatches evaluates a step node test against the current token: a
 // text token if isText, an element with the given tag name otherwise.
+//
+//gcxlint:borrowed
+//gcxlint:noalloc
 func tokenMatches(t xqast.NodeTest, isText bool, name string) bool {
 	if isText {
 		return t.Kind == xqast.TestText
@@ -288,6 +339,8 @@ func tokenMatches(t xqast.NodeTest, isText bool, name string) bool {
 
 // addCand merges one derivation into the candidate scratch, keyed by
 // (projection node, owner-to-be, anchor).
+//
+//gcxlint:noalloc
 func (p *Projector) addCand(pn *projtree.Node, owner, anchor *frame, mult int) {
 	for i := range p.cands {
 		c := &p.cands[i]
@@ -302,6 +355,11 @@ func (p *Projector) addCand(pn *projtree.Node, owner, anchor *frame, mult int) {
 // collectCands gathers candidate matches for a child of top against the
 // current token, merging derivations. The returned slice is the reused
 // candidate scratch, valid until the next collectCands.
+// collectCands only compares name against projection-tree tests; no
+// bytes are retained.
+//
+//gcxlint:borrowed
+//gcxlint:noalloc
 func (p *Projector) collectCands(top *frame, isText bool, name string) []entry {
 	p.cands = p.cands[:0]
 	// Child-axis steps from nodes matched at the parent.
@@ -344,6 +402,8 @@ func (p *Projector) collectCands(top *frame, isText bool, name string) []entry {
 // filterFirst applies first-witness suppression: a [1] candidate whose
 // context instance already consumed its witness is dropped; otherwise the
 // witness is consumed now.
+//
+//gcxlint:noalloc
 func filterFirst(cands []entry) []entry {
 	out := cands[:0]
 	for _, c := range cands {
@@ -354,7 +414,7 @@ func filterFirst(cands []entry) []entry {
 				continue
 			}
 			if ctx.firstUsed == nil {
-				ctx.firstUsed = make(map[firstKey]bool, 2)
+				ctx.firstUsed = make(map[firstKey]bool, 2) //gcxlint:allocok allocated at most once per pooled frame, then cleared and reused
 			}
 			ctx.firstUsed[key] = true
 		}
@@ -364,6 +424,8 @@ func filterFirst(cands []entry) []entry {
 }
 
 // covered reports whether any live capture is active at or above f.
+//
+//gcxlint:noalloc
 func covered(f *frame) bool {
 	for ; f != nil; f = f.parent {
 		if f.liveCaps > 0 {
@@ -377,6 +439,8 @@ func covered(f *frame) bool {
 // the current element must be kept when its parent's configuration pairs a
 // child-axis step with an overlapping descendant-axis step — discarding it
 // could later promote a descendant into a false child-axis match.
+//
+//gcxlint:noalloc
 func (p *Projector) guard(top *frame) bool {
 	for _, e := range top.matches {
 		for _, c := range e.pn.Children {
@@ -396,6 +460,8 @@ func (p *Projector) guard(top *frame) bool {
 }
 
 // testsOverlap reports whether two node tests can match the same token.
+//
+//gcxlint:noalloc
 func testsOverlap(a, b xqast.NodeTest) bool {
 	if a.Kind == xqast.TestText || b.Kind == xqast.TestText {
 		return a.Kind == b.Kind
@@ -412,6 +478,8 @@ func testsOverlap(a, b xqast.NodeTest) bool {
 // the subtree root only); otherwise every preserved node inherits each
 // covering capture's role, as in the paper's base technique where e.g.
 // every node below a bib child carries r5 (Figure 2).
+//
+//gcxlint:noalloc
 func (p *Projector) applyCaptureRoles(n *buffer.Node, from *frame) {
 	if p.opts.AggregateRoles {
 		return
@@ -428,6 +496,8 @@ func (p *Projector) applyCaptureRoles(n *buffer.Node, from *frame) {
 // startCaptures creates captures for dos::node() children of a matched
 // projection node and assigns the dos role to the matched element itself
 // (descendant-or-self includes self).
+//
+//gcxlint:noalloc
 func (p *Projector) startCaptures(f *frame, e *entry) {
 	for _, c := range e.pn.Children {
 		if !c.IsDosLeaf() {
@@ -464,7 +534,12 @@ func (p *Projector) startCaptures(f *frame, e *entry) {
 	}
 }
 
-// openElement processes a start tag.
+// openElement processes a start tag. name may borrow the tokenizer's
+// window; everything stored (symbols, schema facts) goes through the
+// symbol table's interning.
+//
+//gcxlint:borrowed
+//gcxlint:noalloc
 func (p *Projector) openElement(name string) {
 	top := p.stack[len(p.stack)-1]
 	cands := p.collectCands(top, false, name)
@@ -530,13 +605,17 @@ func (p *Projector) openElement(name string) {
 // appendScope appends without aliasing the parent's backing array tail
 // (frames share scope slices copy-on-append; two siblings must not clobber
 // each other's extension).
+//
+//gcxlint:noalloc
 func appendScope(s []*entry, e *entry) []*entry {
-	out := make([]*entry, len(s), len(s)+1)
+	out := make([]*entry, len(s), len(s)+1) //gcxlint:allocok copy-on-append keeps sibling frames from clobbering a shared scope tail
 	copy(out, s)
-	return append(out, e)
+	return append(out, e) //gcxlint:allocok capacity was reserved by the make above; this append never grows
 }
 
 // closeElement processes an end tag.
+//
+//gcxlint:noalloc
 func (p *Projector) closeElement() {
 	f := p.stack[len(p.stack)-1]
 	p.stack = p.stack[:len(p.stack)-1]
@@ -557,7 +636,12 @@ func (p *Projector) closeElement() {
 	p.releaseFrame(f)
 }
 
-// text processes a character-data token.
+// text processes a character-data token. data may borrow the tokenizer's
+// window; it is cloned before buffering (and never cloned for discarded
+// regions, which is where projection spends its time).
+//
+//gcxlint:borrowed
+//gcxlint:noalloc
 func (p *Projector) text(data string) {
 	top := p.stack[len(p.stack)-1]
 	cands := p.collectCands(top, true, "")
@@ -569,7 +653,7 @@ func (p *Projector) text(data string) {
 	if p.opts.BorrowedText {
 		// The token borrows the tokenizer's scratch; copy only now that
 		// the text is known to be buffered.
-		data = strings.Clone(data)
+		data = strings.Clone(data) //gcxlint:allocok kept text must outlive the borrowed window; discarded regions never reach this line
 	}
 	n := p.buf.AppendText(top.attach, data)
 	p.applyCaptureRoles(n, top)
@@ -590,6 +674,8 @@ func (p *Projector) text(data string) {
 // a signOff's binding subtree is still unfinished; each signOff statement
 // retires exactly one derivation instance, so instances signed off later
 // keep projecting until their own signOff arrives.
+//
+//gcxlint:noalloc
 func (p *Projector) CancelRole(binding *buffer.Node, role xqast.Role) {
 	var bf *frame
 	for i := len(p.stack) - 1; i >= 0; i-- {
@@ -631,6 +717,8 @@ func (p *Projector) CancelRole(binding *buffer.Node, role xqast.Role) {
 // retaining the matches/captures backing arrays and the firstUsed map of
 // its previous life. The scopes slice is not retained: its backing may be
 // shared with (and owned by) an ancestor frame.
+//
+//gcxlint:noalloc
 func (p *Projector) takeFrame() *frame {
 	if n := len(p.pool); n > 0 {
 		f := p.pool[n-1]
@@ -645,9 +733,10 @@ func (p *Projector) takeFrame() *frame {
 		}
 		return f
 	}
-	return &frame{}
+	return &frame{} //gcxlint:allocok pool growth to document depth, amortized across runs
 }
 
+//gcxlint:noalloc
 func (p *Projector) newFrame(parent *frame) *frame {
 	f := p.takeFrame()
 	f.parent = parent
@@ -655,6 +744,7 @@ func (p *Projector) newFrame(parent *frame) *frame {
 	return f
 }
 
+//gcxlint:noalloc
 func (p *Projector) releaseFrame(f *frame) {
 	p.pool = append(p.pool, f)
 }

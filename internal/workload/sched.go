@@ -89,6 +89,11 @@ func newScheduler(p *proj.Projector, n, batch int) *scheduler {
 
 // reset prepares the scheduler for another pooled run. The projector must
 // have been reset first.
+//
+//gcxlint:keep proj wired at construction; the owner resets the projector separately
+//gcxlint:keep tasks the task handles are persistent; their per-run fields are cleared in the loop below
+//gcxlint:keep batch configuration fixed at construction
+//gcxlint:keep yield the baton channel is the scheduler's identity and is empty whenever the scheduler is parked
 func (s *scheduler) reset() {
 	s.eof = false
 	s.streamErr = nil

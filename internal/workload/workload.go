@@ -203,30 +203,41 @@ func (c *Compiled) newRunState() *runState {
 }
 
 // acquire takes a runState from the pool and points it at this run's input
-// and outputs. Reset order matches the solo engine: the projector rebuilds
-// its root frame around the buffer's fresh root.
+// and outputs.
 func (c *Compiled) acquire(in io.Reader, outs []io.Writer) *runState {
 	rs, _ := c.pool.Get().(*runState)
 	if rs == nil {
 		rs = c.newRunState()
 	}
+	rs.reset(c, in, outs)
+	return rs
+}
+
+// reset points the runState at a new run's input and outputs. Reset order
+// matches the solo engine: the projector rebuilds its root frame around
+// the buffer's fresh root.
+//
+//gcxlint:keep onSign the per-member counting hooks are built once in newRunState and re-wired into each evaluator below
+func (rs *runState) reset(c *Compiled, in io.Reader, outs []io.Writer) {
 	rs.tok.Reset(in)
 	rs.buf.Reset()
+	// The symbol table survives runs (tag vocabularies repeat) but is
+	// bounded. Safe only after buf.Reset — no buffered node carries a
+	// Sym anymore.
 	if rs.syms.Len() > maxRetainedSyms {
 		rs.syms.Reset()
 	}
 	rs.proj.Reset()
 	rs.sched.reset()
-	for i, ev := range rs.evs {
+	for i := range rs.evs {
 		rs.ws[i].Reset(outs[i])
-		ev.Reset(eval.Options{
+		rs.evs[i].Reset(eval.Options{
 			ExecuteSignOffs: c.Mode == engine.ModeGCX,
 			Schema:          c.schema,
 			RoleOffset:      c.Offsets[i],
 			OnSignOff:       rs.onSign[i],
 		})
 	}
-	return rs
 }
 
 // release returns a runState to the pool, dropping caller references and

@@ -59,6 +59,8 @@ func NewReference(r io.Reader, opts Options) *Reference {
 
 // Reset rewinds the reference tokenizer to read a fresh document from r,
 // mirroring Tokenizer.Reset.
+//
+//gcxlint:keep opts the mode is part of the tokenizer's identity; Reset swaps documents, not configuration
 func (t *Reference) Reset(r io.Reader) {
 	if len(t.names) > maxRetainedNames {
 		t.names = make(map[string]string, 64)
@@ -73,6 +75,11 @@ func (t *Reference) Reset(r io.Reader) {
 	t.pending = t.pending[:0]
 	t.stack = t.stack[:0]
 	t.rootSeen = false
+	t.nameBuf = resetScratch(t.nameBuf)
+	t.textBuf = resetScratch(t.textBuf)
+	t.attrBuf = resetScratch(t.attrBuf)
+	clear(t.attrs[:cap(t.attrs)])
+	t.attrs = t.attrs[:0]
 }
 
 // Depth returns the number of currently open elements.

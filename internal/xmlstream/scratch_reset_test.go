@@ -1,0 +1,88 @@
+package xmlstream
+
+import (
+	"strings"
+	"testing"
+)
+
+// drainTokens runs a tokenizer to EOF, failing the test on syntax errors.
+func drainTokens(t *testing.T, next func() (Token, error)) {
+	t.Helper()
+	for {
+		tok, err := next()
+		if err != nil {
+			t.Fatalf("unexpected tokenizer error: %v", err)
+		}
+		if tok.Kind == EOF {
+			return
+		}
+	}
+}
+
+// A pooled tokenizer must not keep any bytes of the previous document
+// reachable after Reset, and a single pathological document must not pin
+// oversized scratch buffers for the life of the pool entry.
+func TestTokenizerResetScratchHygiene(t *testing.T) {
+	big := `<r a="` + strings.Repeat("v", maxRetainedScratch+1) + `">` +
+		strings.Repeat("x", 2*maxRetainedScratch) + `</r>`
+	tok := NewTokenizer(strings.NewReader(big))
+	drainTokens(t, tok.Next)
+
+	tok.Reset(strings.NewReader("<r/>"))
+	if tok.textBuf != nil {
+		t.Errorf("textBuf retained %d bytes past maxRetainedScratch after Reset", cap(tok.textBuf))
+	}
+	if tok.attrBuf != nil {
+		t.Errorf("attrBuf retained %d bytes past maxRetainedScratch after Reset", cap(tok.attrBuf))
+	}
+	if len(tok.nameBuf) != 0 {
+		t.Errorf("nameBuf not truncated after Reset: len=%d", len(tok.nameBuf))
+	}
+	for i, a := range tok.attrs[:cap(tok.attrs)] {
+		if a.name != "" || a.value != "" {
+			t.Errorf("attrs[%d] still references previous document: %+v", i, a)
+		}
+	}
+	drainTokens(t, tok.Next)
+}
+
+func TestReferenceResetScratchHygiene(t *testing.T) {
+	big := `<r a="` + strings.Repeat("v", maxRetainedScratch+1) + `">` +
+		strings.Repeat("x", 2*maxRetainedScratch) + `</r>`
+	tok := NewReference(strings.NewReader(big), DefaultOptions())
+	drainTokens(t, tok.Next)
+
+	tok.Reset(strings.NewReader("<r/>"))
+	if tok.textBuf != nil {
+		t.Errorf("textBuf retained %d bytes past maxRetainedScratch after Reset", cap(tok.textBuf))
+	}
+	if tok.attrBuf != nil {
+		t.Errorf("attrBuf retained %d bytes past maxRetainedScratch after Reset", cap(tok.attrBuf))
+	}
+	for i, a := range tok.attrs[:cap(tok.attrs)] {
+		if a.name != "" || a.value != "" {
+			t.Errorf("attrs[%d] still references previous document: %+v", i, a)
+		}
+	}
+	drainTokens(t, tok.Next)
+}
+
+// Small documents keep their (bounded) scratch so a warmed-up pooled
+// tokenizer stays allocation-free across Resets.
+func TestTokenizerResetRetainsBoundedScratch(t *testing.T) {
+	// The entity forces the text through textBuf; entity-free runs borrow
+	// the window and never touch the scratch.
+	tok := NewTokenizer(strings.NewReader(`<r a="b">he&amp;llo</r>`))
+	drainTokens(t, tok.Next)
+	textCap := cap(tok.textBuf)
+	if textCap == 0 {
+		t.Fatal("expected text scratch to have grown")
+	}
+	tok.Reset(strings.NewReader("<r/>"))
+	if cap(tok.textBuf) != textCap {
+		t.Errorf("bounded text scratch not retained: cap %d -> %d", textCap, cap(tok.textBuf))
+	}
+	if len(tok.textBuf) != 0 {
+		t.Errorf("text scratch not truncated: len=%d", len(tok.textBuf))
+	}
+}

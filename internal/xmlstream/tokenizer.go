@@ -5,8 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 	"unsafe"
 )
 
@@ -118,12 +116,20 @@ func NewTokenizerOptions(r io.Reader, opts Options) *Tokenizer {
 // ever seen.
 const maxRetainedNames = 4096
 
+// maxRetainedScratch bounds the per-token scratch buffers across Resets:
+// one pathological document with a multi-megabyte text run or attribute
+// value must not pin that much memory inside every pooled tokenizer for
+// the rest of the process lifetime.
+const maxRetainedScratch = 64 << 10
+
 // Reset rewinds the tokenizer to read a fresh document from r, retaining
-// all internal buffers and (up to a bound) the interned-name table. A
-// reset tokenizer behaves exactly like a newly constructed one (with the
-// same Options), which makes it a pooled, allocation-free serving
-// artifact: after warm-up, tokenizing a document allocates only for
-// retained text.
+// internal buffers up to a bound and truncating the scratch buffers so no
+// bytes of the previous document remain reachable. A reset tokenizer
+// behaves exactly like a newly constructed one (with the same Options),
+// which makes it a pooled, allocation-free serving artifact: after
+// warm-up, tokenizing a document allocates only for retained text.
+//
+//gcxlint:keep opts the mode is part of the tokenizer's identity; Reset swaps documents, not configuration
 func (t *Tokenizer) Reset(r io.Reader) {
 	if len(t.names) > maxRetainedNames {
 		t.names = make(map[string]string, 64)
@@ -138,6 +144,22 @@ func (t *Tokenizer) Reset(r io.Reader) {
 	t.pending = t.pending[:0]
 	t.stack = t.stack[:0]
 	t.rootSeen = false
+	t.nameBuf = resetScratch(t.nameBuf)
+	t.textBuf = resetScratch(t.textBuf)
+	t.attrBuf = resetScratch(t.attrBuf)
+	// attr entries hold name and value strings of the previous document;
+	// clear the backing array so they can be collected.
+	clear(t.attrs[:cap(t.attrs)])
+	t.attrs = t.attrs[:0]
+}
+
+// resetScratch truncates a scratch buffer for reuse, releasing it
+// entirely if a previous document grew it past maxRetainedScratch.
+func resetScratch(b []byte) []byte {
+	if cap(b) > maxRetainedScratch {
+		return nil
+	}
+	return b[:0]
 }
 
 // Depth returns the number of currently open elements.
@@ -145,12 +167,15 @@ func (t *Tokenizer) Depth() int { return len(t.stack) }
 
 var errUnexpectedEOF = errors.New("unexpected end of input")
 
+//gcxlint:allocok error construction terminates the scan
 func (t *Tokenizer) syntaxErr(msg string) error {
 	return &SyntaxError{Offset: t.off + int64(t.pos), Msg: msg}
 }
 
 // fill ensures at least one unread byte is available, reading more input if
 // necessary. It returns false at end of input or on error.
+//
+//gcxlint:noalloc
 func (t *Tokenizer) fill() bool {
 	if t.pos < t.n {
 		return true
@@ -163,7 +188,7 @@ func (t *Tokenizer) fill() bool {
 	t.pos = 0
 	t.n = 0
 	if cap(t.buf) == 0 {
-		t.buf = make([]byte, 64<<10)
+		t.buf = make([]byte, 64<<10) //gcxlint:allocok one-time window growth for a tokenizer constructed bufferless
 	}
 	t.buf = t.buf[:cap(t.buf)]
 	for {
@@ -182,6 +207,7 @@ func (t *Tokenizer) fill() bool {
 	}
 }
 
+//gcxlint:noalloc
 func (t *Tokenizer) peek() (byte, bool) {
 	if !t.fill() {
 		return 0, false
@@ -189,6 +215,7 @@ func (t *Tokenizer) peek() (byte, bool) {
 	return t.buf[t.pos], true
 }
 
+//gcxlint:noalloc
 func (t *Tokenizer) next() (byte, bool) {
 	if !t.fill() {
 		return 0, false
@@ -271,14 +298,17 @@ func (t *Tokenizer) skipUntil(seq string) bool {
 	}
 }
 
+//gcxlint:noalloc
 func isNameStart(c byte) bool {
 	return c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
 }
 
+//gcxlint:noalloc
 func isNameByte(c byte) bool {
 	return isNameStart(c) || c == '-' || c == '.' || (c >= '0' && c <= '9')
 }
 
+//gcxlint:noalloc
 func isSpace(c byte) bool {
 	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
 }
@@ -287,13 +317,15 @@ func isSpace(c byte) bool {
 // fast path scans the name inside the current window and interns straight
 // from the window subslice (the map lookup on string(b) does not
 // allocate); only a name that straddles a refill goes through nameBuf.
+//
+//gcxlint:noalloc
 func (t *Tokenizer) readName() (string, error) {
 	c, ok := t.peek()
 	if !ok {
 		return "", errUnexpectedEOF
 	}
 	if !isNameStart(c) {
-		return "", t.syntaxErr(fmt.Sprintf("expected name, found %q", c))
+		return "", t.syntaxErr(fmt.Sprintf("expected name, found %q", c)) //gcxlint:allocok error construction terminates the scan
 	}
 	win := t.buf[t.pos:t.n]
 	i := 1
@@ -307,7 +339,7 @@ func (t *Tokenizer) readName() (string, error) {
 		if interned, ok := t.names[string(name)]; ok {
 			return interned, nil
 		}
-		owned := string(name)
+		owned := string(name) //gcxlint:allocok interning copies each distinct name exactly once
 		t.names[owned] = owned
 		return owned, nil
 	}
@@ -325,11 +357,12 @@ func (t *Tokenizer) readName() (string, error) {
 	if interned, ok := t.names[string(t.nameBuf)]; ok {
 		return interned, nil
 	}
-	name := string(t.nameBuf)
+	name := string(t.nameBuf) //gcxlint:allocok interning copies each distinct name exactly once
 	t.names[name] = name
 	return name, nil
 }
 
+//gcxlint:noalloc
 func (t *Tokenizer) skipSpace() {
 	for {
 		if t.pos >= t.n && !t.fill() {
@@ -349,6 +382,8 @@ func (t *Tokenizer) skipSpace() {
 
 // resolveEntity appends the expansion of the entity starting after '&' to
 // dst. It consumes through the terminating ';'.
+//
+//gcxlint:noalloc
 func (t *Tokenizer) resolveEntity(dst []byte) ([]byte, error) {
 	t.nameBuf = t.nameBuf[:0]
 	for {
@@ -364,8 +399,10 @@ func (t *Tokenizer) resolveEntity(dst []byte) ([]byte, error) {
 		}
 		t.nameBuf = append(t.nameBuf, c)
 	}
-	ent := string(t.nameBuf)
-	switch ent {
+	// The conversion in switch-tag position is elided by the compiler, so
+	// named entities resolve without allocating; only the error paths
+	// build a string from the scratch.
+	switch string(t.nameBuf) {
 	case "amp":
 		return append(dst, '&'), nil
 	case "lt":
@@ -377,25 +414,60 @@ func (t *Tokenizer) resolveEntity(dst []byte) ([]byte, error) {
 	case "quot":
 		return append(dst, '"'), nil
 	}
-	if strings.HasPrefix(ent, "#") {
-		numeric := ent[1:]
-		base := 10
-		if strings.HasPrefix(numeric, "x") || strings.HasPrefix(numeric, "X") {
+	if len(t.nameBuf) > 0 && t.nameBuf[0] == '#' {
+		numeric := t.nameBuf[1:]
+		base := uint32(10)
+		if len(numeric) > 0 && (numeric[0] == 'x' || numeric[0] == 'X') {
 			numeric, base = numeric[1:], 16
 		}
-		n, err := strconv.ParseUint(numeric, base, 32)
-		if err != nil || !isXMLChar(rune(n)) {
-			return dst, t.syntaxErr("bad character reference &" + ent + ";")
+		n, ok := parseCharRef(numeric, base)
+		if !ok || !isXMLChar(rune(n)) {
+			return dst, t.syntaxErr("bad character reference &" + string(t.nameBuf) + ";") //gcxlint:allocok error construction terminates the scan
 		}
 		return appendRune(dst, rune(n)), nil
 	}
-	return dst, t.syntaxErr("unknown entity &" + ent + ";")
+	return dst, t.syntaxErr("unknown entity &" + string(t.nameBuf) + ";") //gcxlint:allocok error construction terminates the scan
+}
+
+// parseCharRef parses the digits of a numeric character reference without
+// a string conversion (entity resolution sits on the text path). Values
+// above the XML character space saturate to an out-of-range code point,
+// which the caller rejects through isXMLChar.
+//
+//gcxlint:noalloc
+func parseCharRef(digits []byte, base uint32) (uint32, bool) {
+	if len(digits) == 0 {
+		return 0, false
+	}
+	var n uint32
+	for _, c := range digits {
+		var d uint32
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint32(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint32(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint32(c-'A') + 10
+		default:
+			return 0, false
+		}
+		if d >= base {
+			return 0, false
+		}
+		if n = n*base + d; n > 0x10FFFF {
+			n = 0x110000
+		}
+	}
+	return n, true
 }
 
 // isXMLChar reports whether r is in the XML 1.0 Char production:
 // #x9 | #xA | #xD | [#x20-#xD7FF] | [#xE000-#xFFFD] | [#x10000-#x10FFFF].
 // Character references outside it (NUL, surrogates, #xFFFE/#xFFFF, values
 // above #x10FFFF) are not XML characters and must be rejected.
+//
+//gcxlint:noalloc
 func isXMLChar(r rune) bool {
 	switch {
 	case r == 0x9 || r == 0xA || r == 0xD:
@@ -413,6 +485,8 @@ func isXMLChar(r rune) bool {
 // borrowString returns b's bytes as a string without copying. Callers must
 // not read the string after the backing scratch buffer is rewound — this is
 // the BorrowText contract documented on Options.
+//
+//gcxlint:noalloc
 func borrowString(b []byte) string {
 	if len(b) == 0 {
 		return ""
@@ -429,6 +503,7 @@ func (t *Tokenizer) textString() string {
 	return string(t.textBuf)
 }
 
+//gcxlint:noalloc
 func appendRune(dst []byte, r rune) []byte {
 	var tmp [4]byte
 	n := encodeRune(tmp[:], r)
@@ -437,6 +512,8 @@ func appendRune(dst []byte, r rune) []byte {
 
 // encodeRune is a minimal UTF-8 encoder (avoids importing unicode/utf8 in
 // the hot path file; behaviour matches utf8.EncodeRune for valid runes).
+//
+//gcxlint:noalloc
 func encodeRune(p []byte, r rune) int {
 	switch {
 	case r < 0x80:
@@ -524,6 +601,8 @@ func (t *Tokenizer) nextToken() (Token, error) {
 // under BorrowText — zero copies, zero allocations. A run that straddles a
 // refill (or contains '&') is accumulated in textBuf, because the refill
 // overwrites the window.
+//
+//gcxlint:noalloc
 func (t *Tokenizer) readText() (Token, bool, error) {
 	win := t.buf[t.pos:t.n] // nonempty: the caller peeked a non-'<' byte
 	if lt := bytes.IndexByte(win, '<'); lt >= 0 {
@@ -576,6 +655,8 @@ func (t *Tokenizer) readText() (Token, bool, error) {
 // under BorrowText (of the window on the fast path, of textBuf on the
 // slow path — both live until the next Next call), an owned copy
 // otherwise.
+//
+//gcxlint:noalloc
 func (t *Tokenizer) emitText(data []byte, whitespaceOnly bool) (Token, bool, error) {
 	if len(data) == 0 {
 		return Token{}, false, nil
@@ -592,10 +673,12 @@ func (t *Tokenizer) emitText(data []byte, whitespaceOnly bool) (Token, bool, err
 	if t.opts.BorrowText {
 		return Token{Kind: Text, Data: borrowString(data)}, true, nil
 	}
-	return Token{Kind: Text, Data: string(data)}, true, nil
+	return Token{Kind: Text, Data: string(data)}, true, nil //gcxlint:allocok owned-copy mode is for callers that retain text
 }
 
 // isAllSpace reports whether every byte of b is XML whitespace.
+//
+//gcxlint:noalloc
 func isAllSpace(b []byte) bool {
 	for _, c := range b {
 		if !isSpace(c) {
