@@ -175,7 +175,11 @@ type BulkStats struct {
 	// Aggregate folds the per-document stats: total fields (tokens,
 	// buffered, purged, signOffs, output bytes) are summed, while the
 	// Peak fields report the largest SINGLE-document peak — the run's
-	// memory bound is Workers × that peak, not the sum.
+	// memory bound is Workers × that peak, not the sum. Of the timing
+	// fields, EvalWallNanos sums per-document evaluation time (BusyNanos
+	// measured at the engine, below the pool's dispatch overhead) and
+	// TimeToFirstResultNanos reports the WORST single-document
+	// time-to-first-result.
 	Aggregate Stats `json:"aggregate"`
 }
 
@@ -207,6 +211,8 @@ func (b *BulkStats) addDoc(st Stats) {
 	b.Aggregate.OutputBytes += st.OutputBytes
 	b.Aggregate.PeakBufferNodes = max(b.Aggregate.PeakBufferNodes, st.PeakBufferNodes)
 	b.Aggregate.PeakBufferBytes = max(b.Aggregate.PeakBufferBytes, st.PeakBufferBytes)
+	b.Aggregate.EvalWallNanos += st.EvalWallNanos
+	b.Aggregate.TimeToFirstResultNanos = max(b.Aggregate.TimeToFirstResultNanos, st.TimeToFirstResultNanos)
 }
 
 // errCorpusUsed reports reuse of a consumed corpus.

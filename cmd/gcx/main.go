@@ -38,6 +38,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"gcx"
 	"gcx/internal/corpus"
@@ -451,6 +452,10 @@ func printStats(w io.Writer, st gcx.Stats) {
 	fmt.Fprintf(w, "signOffs executed:  %d\n", st.SignOffs)
 	fmt.Fprintf(w, "peak buffer:        %d nodes / %d bytes\n", st.PeakBufferNodes, st.PeakBufferBytes)
 	fmt.Fprintf(w, "output:             %d bytes\n", st.OutputBytes)
+	if st.EvalWallNanos > 0 {
+		fmt.Fprintf(w, "first result after: %s\n", time.Duration(st.TimeToFirstResultNanos))
+		fmt.Fprintf(w, "evaluation took:    %s\n", time.Duration(st.EvalWallNanos))
+	}
 }
 
 func emitJSON(v jsonStats) error {

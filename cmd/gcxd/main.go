@@ -17,6 +17,12 @@
 //	cat *.xml | curl -X POST --data-binary @- 'localhost:8080/bulk?id=q1'
 //	curl 'localhost:8080/metrics'
 //
+// Operational endpoints: GET /healthz (liveness), GET /readyz
+// (readiness: registry loaded and the server not saturated), GET
+// /buildinfo (build metadata), GET /metrics (Prometheus text with
+// latency/TTFR histograms; ?format=json), and — behind -pprof — the
+// net/http/pprof suite under /debug/pprof/.
+//
 // The registry file holds one query, or several separated by "=== <id>"
 // lines; a directory registers every *.xq file under its basename.
 package main
@@ -26,6 +32,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -39,74 +46,114 @@ import (
 
 func main() {
 	var (
-		listen    = flag.String("listen", ":8080", "address to listen on")
-		queries   = flag.String("queries", "", "query registry: a file (queries separated by '=== <id>' lines) or a directory of *.xq files")
-		mode      = flag.String("mode", "gcx", "buffering strategy: gcx, static, full")
-		cacheCap  = flag.Int("cache", gcx.DefaultCompileCacheCapacity, "compile cache capacity (entries)")
-		maxBody   = flag.String("max-body", "256MB", "maximum request body size (0 = unlimited)")
-		maxDoc    = flag.String("max-doc", "64MB", "maximum size of a single /bulk corpus document (0 = unlimited)")
-		bulkJobs  = flag.Int("bulk-workers", 0, "per-request /bulk worker cap and default (0 = GOMAXPROCS)")
-		timeout   = flag.Duration("timeout", 2*time.Minute, "per-request evaluation timeout (0 = none)")
-		readBatch = flag.Int("read-batch", 0, "workload scheduler token batch (0 = default)")
-		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown drain period")
+		listen      = flag.String("listen", ":8080", "address to listen on (use :0 for an ephemeral port; the resolved address is logged)")
+		queries     = flag.String("queries", "", "query registry: a file (queries separated by '=== <id>' lines) or a directory of *.xq files")
+		mode        = flag.String("mode", "gcx", "buffering strategy: gcx, static, full")
+		cacheCap    = flag.Int("cache", gcx.DefaultCompileCacheCapacity, "compile cache capacity (entries)")
+		maxBody     = flag.String("max-body", "256MB", "maximum request body size (0 = unlimited)")
+		maxDoc      = flag.String("max-doc", "64MB", "maximum size of a single /bulk corpus document (0 = unlimited)")
+		bulkJobs    = flag.Int("bulk-workers", 0, "per-request /bulk worker cap and default (0 = GOMAXPROCS)")
+		timeout     = flag.Duration("timeout", 2*time.Minute, "per-request evaluation timeout (0 = none)")
+		readBatch   = flag.Int("read-batch", 0, "workload scheduler token batch (0 = default)")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful shutdown drain period")
+		maxInflight = flag.Int("max-inflight", 0, "in-flight request count at which /readyz reports 503 (0 = readiness ignores load)")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
-	if err := run(*listen, *queries, *mode, *cacheCap, *maxBody, *maxDoc, *bulkJobs, *timeout, *readBatch, *drain); err != nil {
+	if err := run(config{
+		listen:      *listen,
+		queriesPath: *queries,
+		mode:        *mode,
+		cacheCap:    *cacheCap,
+		maxBody:     *maxBody,
+		maxDoc:      *maxDoc,
+		bulkJobs:    *bulkJobs,
+		timeout:     *timeout,
+		readBatch:   *readBatch,
+		drain:       *drain,
+		maxInflight: *maxInflight,
+		pprof:       *pprofOn,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "gcxd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, queriesPath, mode string, cacheCap int, maxBody, maxDoc string, bulkJobs int, timeout time.Duration, readBatch int, drain time.Duration) error {
+type config struct {
+	listen      string
+	queriesPath string
+	mode        string
+	cacheCap    int
+	maxBody     string
+	maxDoc      string
+	bulkJobs    int
+	timeout     time.Duration
+	readBatch   int
+	drain       time.Duration
+	maxInflight int
+	pprof       bool
+}
+
+func run(c config) error {
 	var opts []gcx.Option
-	switch mode {
+	switch c.mode {
 	case "gcx":
 	case "static":
 		opts = append(opts, gcx.WithStrategy(gcx.StaticOnly))
 	case "full":
 		opts = append(opts, gcx.WithStrategy(gcx.FullBuffer))
 	default:
-		return fmt.Errorf("unknown mode %q (want gcx, static, or full)", mode)
+		return fmt.Errorf("unknown mode %q (want gcx, static, or full)", c.mode)
 	}
-	if readBatch > 0 {
-		opts = append(opts, gcx.WithReadBatch(readBatch))
+	if c.readBatch > 0 {
+		opts = append(opts, gcx.WithReadBatch(c.readBatch))
 	}
 
-	maxBodyBytes, err := bench.ParseSize(maxBody)
+	maxBodyBytes, err := bench.ParseSize(c.maxBody)
 	if err != nil {
 		return fmt.Errorf("-max-body: %w", err)
 	}
-	maxDocBytes, err := bench.ParseSize(maxDoc)
+	maxDocBytes, err := bench.ParseSize(c.maxDoc)
 	if err != nil {
 		return fmt.Errorf("-max-doc: %w", err)
 	}
 
+	// A registry that fails to load boots the server DEGRADED rather than
+	// not at all: inline queries, liveness, and metrics keep working, and
+	// /readyz reports 503 with the reason so orchestrators hold traffic
+	// while the operator fixes the registry.
 	var reg *server.Registry
-	if queriesPath != "" {
-		reg, err = server.LoadRegistry(queriesPath)
-		if err != nil {
-			return err
+	var regErr error
+	if c.queriesPath != "" {
+		reg, regErr = server.LoadRegistry(c.queriesPath)
+		if regErr != nil {
+			reg = nil
+			fmt.Fprintf(os.Stderr, "gcxd: registry %s unavailable, booting not-ready: %v\n", c.queriesPath, regErr)
 		}
 	}
 
 	srv, err := server.New(server.Config{
 		Registry:     reg,
-		Cache:        gcx.NewCompileCache(cacheCap),
+		Cache:        gcx.NewCompileCache(c.cacheCap),
 		Options:      opts,
 		MaxBodyBytes: maxBodyBytes,
 		MaxDocBytes:  maxDocBytes,
-		BulkWorkers:  bulkJobs,
-		Timeout:      timeout,
+		BulkWorkers:  c.bulkJobs,
+		Timeout:      c.timeout,
+		MaxInflight:  c.maxInflight,
+		EnablePprof:  c.pprof,
 	})
 	if err != nil {
 		return err
 	}
+	if regErr != nil {
+		srv.SetNotReady(fmt.Sprintf("registry %s: %v", c.queriesPath, regErr))
+	}
 	if reg != nil {
-		fmt.Fprintf(os.Stderr, "gcxd: registered %d queries from %s\n", reg.Len(), queriesPath)
+		fmt.Fprintf(os.Stderr, "gcxd: registered %d queries from %s\n", reg.Len(), c.queriesPath)
 	}
 
 	hs := &http.Server{
-		Addr:    listen,
 		Handler: srv,
 		// Connection-level backstops: the per-request evaluation timeout
 		// is enforced inside the handler (input reads and output writes
@@ -117,16 +164,24 @@ func run(listen, queriesPath, mode string, cacheCap int, maxBody, maxDoc string,
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	if timeout > 0 {
-		hs.WriteTimeout = 2 * timeout
+	if c.timeout > 0 {
+		hs.WriteTimeout = 2 * c.timeout
+	}
+
+	// Listen before serving so the RESOLVED address (meaningful with
+	// -listen :0) is logged on one parseable line; the ops smoke test and
+	// local tooling scrape it.
+	ln, err := net.Listen("tcp", c.listen)
+	if err != nil {
+		return err
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "gcxd: listening on %s (mode %s)\n", listen, mode)
-		errc <- hs.ListenAndServe()
+		fmt.Fprintf(os.Stderr, "gcxd: listening on %s (mode %s)\n", ln.Addr(), c.mode)
+		errc <- hs.Serve(ln)
 	}()
 
 	select {
@@ -136,7 +191,7 @@ func run(listen, queriesPath, mode string, cacheCap int, maxBody, maxDoc string,
 	}
 	stop()
 	fmt.Fprintln(os.Stderr, "gcxd: shutting down, draining in-flight requests")
-	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	dctx, cancel := context.WithTimeout(context.Background(), c.drain)
 	defer cancel()
 	if err := hs.Shutdown(dctx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)

@@ -187,6 +187,29 @@ type Stats struct {
 	TokensRead int64 `json:"tokens_read"`
 	// OutputBytes is the number of serialized result bytes.
 	OutputBytes int64 `json:"output_bytes"`
+	// TimeToFirstResultNanos is the time from run start to the first
+	// result byte entering the output writer — the serving-tier latency
+	// metric: how long buffering held results back before they started
+	// to flow. 0 when the run produced no output.
+	TimeToFirstResultNanos int64 `json:"time_to_first_result_nanos"`
+	// EvalWallNanos is the run's evaluation wall time.
+	EvalWallNanos int64 `json:"eval_wall_nanos"`
+}
+
+// clearTiming zeroes the wall-clock fields, leaving only the
+// deterministic measurements. Tests and tools that compare run stats for
+// exact equality (pooled-run determinism, bulk-vs-solo equivalence) use
+// it: timing is legitimately different on every run.
+func (s *Stats) clearTiming() {
+	s.TimeToFirstResultNanos = 0
+	s.EvalWallNanos = 0
+}
+
+// Deterministic returns a copy of the stats with the wall-clock fields
+// zeroed, for exact-equality comparison across runs.
+func (s Stats) Deterministic() Stats {
+	s.clearTiming()
+	return s
 }
 
 // Engine is a compiled query, safe for concurrent use by multiple
@@ -261,33 +284,45 @@ func (e *Engine) Explain() string { return e.c.Explain() }
 // after every consumed token and executed signOff — the step-by-step view
 // of the paper's Figure 2.
 func (e *Engine) Trace(in io.Reader, out io.Writer) ([]TraceStep, Stats, error) {
-	tr := &engine.Tracer{}
-	st, err := e.c.RunWith(in, out, engine.RunOptions{Trace: tr})
-	steps := make([]TraceStep, len(tr.Steps))
+	steps, _, st, err := e.TraceN(in, out, 0)
+	return steps, st, err
+}
+
+// TraceN is Trace with a bound on recorded steps: after maxSteps events
+// the evaluation continues but further steps are dropped, and truncated
+// reports that the bound was hit. maxSteps <= 0 means unbounded. This is
+// the variant services expose — a deep trace of an arbitrarily large
+// document then holds at most maxSteps buffer snapshots.
+func (e *Engine) TraceN(in io.Reader, out io.Writer, maxSteps int) (steps []TraceStep, truncated bool, st Stats, err error) {
+	tr := &engine.Tracer{Limit: maxSteps}
+	est, err := e.c.RunWith(in, out, engine.RunOptions{Trace: tr})
+	steps = make([]TraceStep, len(tr.Steps))
 	for i, s := range tr.Steps {
 		steps[i] = TraceStep{Event: s.Event, Buffer: s.Buffer}
 	}
-	return steps, convertStats(st), err
+	return steps, tr.Truncated, convertStats(est), err
 }
 
 // TraceStep is one event of a traced run.
 type TraceStep struct {
 	// Event describes the trigger: `read <tag>` or `signOff($x, rN)`.
-	Event string
+	Event string `json:"event"`
 	// Buffer is the buffer tree with role annotations after the event,
 	// in the notation of the paper's Figure 2.
-	Buffer string
+	Buffer string `json:"buffer"`
 }
 
 func convertStats(st engine.Stats) Stats {
 	return Stats{
-		PeakBufferNodes: st.Buffer.PeakNodes,
-		PeakBufferBytes: st.Buffer.PeakBytes,
-		BufferedTotal:   st.Buffer.NodesAppended,
-		PurgedTotal:     st.Buffer.NodesDeleted,
-		SignOffs:        st.Buffer.SignOffs,
-		TokensRead:      st.TokensRead,
-		OutputBytes:     st.OutputBytes,
+		PeakBufferNodes:        st.Buffer.PeakNodes,
+		PeakBufferBytes:        st.Buffer.PeakBytes,
+		BufferedTotal:          st.Buffer.NodesAppended,
+		PurgedTotal:            st.Buffer.NodesDeleted,
+		SignOffs:               st.Buffer.SignOffs,
+		TokensRead:             st.TokensRead,
+		OutputBytes:            st.OutputBytes,
+		TimeToFirstResultNanos: st.TTFRNanos,
+		EvalWallNanos:          st.WallNanos,
 	}
 }
 
@@ -354,6 +389,14 @@ type QueryStats struct {
 	// TokensAtDone is the shared stream position when this member's
 	// evaluation completed — how much of the input it needed.
 	TokensAtDone int64 `json:"tokens_at_done"`
+	// TimeToFirstResultNanos is the time from pass start to this
+	// member's first result byte (0 if it produced no output). Members
+	// emit progressively along the shared pass, so each reports its own
+	// first-result latency.
+	TimeToFirstResultNanos int64 `json:"time_to_first_result_nanos"`
+	// EvalWallNanos is the time from pass start to this member's
+	// evaluation completing.
+	EvalWallNanos int64 `json:"eval_wall_nanos"`
 	// Err is the member's evaluation error, if any (also joined into the
 	// error returned by Run).
 	Err error `json:"-"`
@@ -403,24 +446,28 @@ func (w *Workload) Explain() string { return w.c.Explain() }
 func convertWorkloadStats(st workload.Stats, qs []workload.QueryStats) WorkloadStats {
 	out := WorkloadStats{
 		Aggregate: Stats{
-			PeakBufferNodes: st.Buffer.PeakNodes,
-			PeakBufferBytes: st.Buffer.PeakBytes,
-			BufferedTotal:   st.Buffer.NodesAppended,
-			PurgedTotal:     st.Buffer.NodesDeleted,
-			SignOffs:        st.Buffer.SignOffs,
-			TokensRead:      st.TokensRead,
-			OutputBytes:     st.OutputBytes,
+			PeakBufferNodes:        st.Buffer.PeakNodes,
+			PeakBufferBytes:        st.Buffer.PeakBytes,
+			BufferedTotal:          st.Buffer.NodesAppended,
+			PurgedTotal:            st.Buffer.NodesDeleted,
+			SignOffs:               st.Buffer.SignOffs,
+			TokensRead:             st.TokensRead,
+			OutputBytes:            st.OutputBytes,
+			TimeToFirstResultNanos: st.TTFRNanos,
+			EvalWallNanos:          st.WallNanos,
 		},
 		Queries: make([]QueryStats, len(qs)),
 	}
 	for i, q := range qs {
 		out.Queries[i] = QueryStats{
-			OutputBytes:     q.OutputBytes,
-			SignOffs:        q.SignOffs,
-			RoleAssignments: q.RoleAssignments,
-			RoleRemovals:    q.RoleRemovals,
-			TokensAtDone:    q.TokensAtDone,
-			Err:             q.Err,
+			OutputBytes:            q.OutputBytes,
+			SignOffs:               q.SignOffs,
+			RoleAssignments:        q.RoleAssignments,
+			RoleRemovals:           q.RoleRemovals,
+			TokensAtDone:           q.TokensAtDone,
+			TimeToFirstResultNanos: q.TTFRNanos,
+			EvalWallNanos:          q.WallNanos,
+			Err:                    q.Err,
 		}
 	}
 	return out

@@ -53,6 +53,17 @@ type Tolerances struct {
 	// gate. Peaks are deterministic for a fixed (query, corpus), so
 	// this mostly guards against projection/GC regressions.
 	PeakGrowth float64
+	// TTFRGrowth is the fractional time-to-first-result growth that
+	// fails the gate, with TTFRSlackMs absolute headroom: first-byte
+	// latencies sit in the microsecond-to-millisecond range where
+	// scheduler noise dominates, so the relative budget is wide and the
+	// slack absorbs the floor. A change that starts buffering results
+	// before emission (the regression this guards) shifts TTFR by the
+	// document's whole parse time and blows through both. TTFR floors
+	// are hardware-relative: like throughput, they are skipped on a
+	// GOMAXPROCS mismatch.
+	TTFRGrowth  float64
+	TTFRSlackMs float64
 	// MinTextSpeedup is the absolute floor on the tokenizer's
 	// chunked-vs-reference MB/s ratio for the text-heavy document —
 	// the chunked rework's acceptance bar, held machine-portably.
@@ -67,6 +78,8 @@ func DefaultTolerances() Tolerances {
 		AllocGrowth:    0.10,
 		AllocSlack:     64,
 		PeakGrowth:     0.15,
+		TTFRGrowth:     0.75,
+		TTFRSlackMs:    1.0,
 		MinTextSpeedup: 1.8,
 	}
 }
@@ -78,6 +91,7 @@ func (tol Tolerances) Scale(factor float64) Tolerances {
 		tol.ThroughputDrop *= factor
 		tol.AllocGrowth *= factor
 		tol.PeakGrowth *= factor
+		tol.TTFRGrowth *= factor
 	}
 	return tol
 }
@@ -169,6 +183,21 @@ func compareServe(base, cur *ServeReport, tol Tolerances) (v, w []string) {
 			if ceil := allocCeiling(br.AllocsPerOp, tol); cr.AllocsPerOp > ceil {
 				v = append(v, fmt.Sprintf("serve/%s: allocs/op grew %d -> %d (ceiling %d)",
 					br.Path, br.AllocsPerOp, cr.AllocsPerOp, ceil))
+			}
+			for _, q := range []struct {
+				name      string
+				base, cur float64
+			}{
+				{"ttfr p50", br.TTFRP50Ms, cr.TTFRP50Ms},
+				{"ttfr p99", br.TTFRP99Ms, cr.TTFRP99Ms},
+			} {
+				if q.base <= 0 {
+					continue // baseline predates TTFR tracking or path had no output
+				}
+				if ceil := q.base*(1+tol.TTFRGrowth) + tol.TTFRSlackMs; q.cur > ceil {
+					v = append(v, fmt.Sprintf("serve/%s: %s regressed %.2fms -> %.2fms (ceiling %.2fms) — output is reaching the client later; check for new buffering ahead of the first result byte",
+						br.Path, q.name, q.base, q.cur, ceil))
+				}
 			}
 		}
 		if br.PeakBufferBytes > 0 {

@@ -46,11 +46,19 @@ type ServeConfig struct {
 // ServePathResult is one path's measurements in BENCH_serve.json. Field
 // names are scrape-stable for CI trend tooling.
 type ServePathResult struct {
-	Path            string  `json:"path"` // solo | workload | server
-	Requests        int     `json:"requests"`
-	DocsPerSec      float64 `json:"docs_per_sec"`
-	P50Ms           float64 `json:"p50_ms"`
-	P99Ms           float64 `json:"p99_ms"`
+	Path       string  `json:"path"` // solo | workload | server
+	Requests   int     `json:"requests"`
+	DocsPerSec float64 `json:"docs_per_sec"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	// TTFR is the per-iteration time to the FIRST result byte — the
+	// latency a streaming consumer experiences before output begins, as
+	// opposed to P50Ms/P99Ms which time the whole iteration. Library
+	// paths take it from the engine's own stamp (gcx.Stats); the server
+	// path measures it client-side as time-to-first-response-byte, so it
+	// additionally covers the HTTP stack.
+	TTFRP50Ms       float64 `json:"ttfr_p50_ms"`
+	TTFRP99Ms       float64 `json:"ttfr_p99_ms"`
 	PeakBufferNodes int64   `json:"peak_buffer_nodes"`
 	PeakBufferBytes int64   `json:"peak_buffer_bytes"`
 	AllocsPerOp     uint64  `json:"allocs_per_op"`
@@ -115,14 +123,15 @@ func RunServe(cfg ServeConfig) (*ServeReport, error) {
 // measure wraps one path's iteration loop with warm-up, timing, and
 // alloc accounting — shared by all three paths so their rows report the
 // same quantities the same way. op runs one iteration and returns
-// (peakNodes, peakBytes, outputBytes); concurrency > 1 drains the
+// (peakNodes, peakBytes, outputBytes, ttfrNanos); a zero ttfr (no
+// output) is skipped in the TTFR percentiles. concurrency > 1 drains the
 // iterations with that many workers (alloc figures stay process-wide
 // deltas, i.e. approximate under concurrency).
-func measure(path string, requests, concurrency int, op func() (int64, int64, int64, error)) (ServePathResult, error) {
+func measure(path string, requests, concurrency int, op func() (int64, int64, int64, int64, error)) (ServePathResult, error) {
 	res := ServePathResult{Path: path, Requests: requests}
 	// Warm-up: populate run-state pools and HTTP keep-alives so the
 	// measurement reflects the steady serving state.
-	if _, _, _, err := op(); err != nil {
+	if _, _, _, _, err := op(); err != nil {
 		return res, fmt.Errorf("%s warm-up: %w", path, err)
 	}
 	if concurrency < 1 {
@@ -134,6 +143,7 @@ func measure(path string, requests, concurrency int, op func() (int64, int64, in
 
 	var mu sync.Mutex
 	lat := make([]time.Duration, 0, requests)
+	ttfrs := make([]time.Duration, 0, requests)
 	var opErr error
 	work := make(chan struct{}, requests)
 	for i := 0; i < requests; i++ {
@@ -148,7 +158,7 @@ func measure(path string, requests, concurrency int, op func() (int64, int64, in
 			defer wg.Done()
 			for range work {
 				t0 := time.Now()
-				pn, pb, out, err := op()
+				pn, pb, out, ttfr, err := op()
 				d := time.Since(t0)
 				mu.Lock()
 				if err != nil {
@@ -159,6 +169,9 @@ func measure(path string, requests, concurrency int, op func() (int64, int64, in
 					return
 				}
 				lat = append(lat, d)
+				if ttfr > 0 {
+					ttfrs = append(ttfrs, time.Duration(ttfr))
+				}
 				res.PeakBufferNodes = max(res.PeakBufferNodes, pn)
 				res.PeakBufferBytes = max(res.PeakBufferBytes, pb)
 				res.OutputBytes = out
@@ -176,6 +189,8 @@ func measure(path string, requests, concurrency int, op func() (int64, int64, in
 	res.DocsPerSec = float64(requests) / total.Seconds()
 	res.P50Ms = ms(percentile(lat, 0.50))
 	res.P99Ms = ms(percentile(lat, 0.99))
+	res.TTFRP50Ms = ms(percentile(ttfrs, 0.50))
+	res.TTFRP99Ms = ms(percentile(ttfrs, 0.99))
 	res.AllocsPerOp = (after.Mallocs - before.Mallocs) / uint64(requests)
 	res.AllocBytesPerOp = (after.TotalAlloc - before.TotalAlloc) / uint64(requests)
 	return res, nil
@@ -192,18 +207,25 @@ func serveSolo(cfg ServeConfig, doc []byte) (ServePathResult, error) {
 		}
 		engines[i] = e
 	}
-	return measure("solo", cfg.Requests, 1, func() (int64, int64, int64, error) {
-		var pn, pb, out int64
+	return measure("solo", cfg.Requests, 1, func() (int64, int64, int64, int64, error) {
+		var pn, pb, out, ttfr int64
+		iterStart := time.Now()
 		for _, e := range engines {
+			pre := time.Since(iterStart)
 			st, err := e.Run(bytes.NewReader(doc), io.Discard)
 			if err != nil {
-				return 0, 0, 0, err
+				return 0, 0, 0, 0, err
+			}
+			// Iteration TTFR: first result byte of the first query that
+			// produced any, offset by the queries already run before it.
+			if ttfr == 0 && st.TimeToFirstResultNanos > 0 {
+				ttfr = int64(pre) + st.TimeToFirstResultNanos
 			}
 			pn = max(pn, st.PeakBufferNodes)
 			pb = max(pb, st.PeakBufferBytes)
 			out += st.OutputBytes
 		}
-		return pn, pb, out, nil
+		return pn, pb, out, ttfr, nil
 	})
 }
 
@@ -221,12 +243,13 @@ func serveWorkload(cfg ServeConfig, doc []byte) (ServePathResult, error) {
 	for i := range outs {
 		outs[i] = io.Discard
 	}
-	return measure("workload", cfg.Requests, 1, func() (int64, int64, int64, error) {
+	return measure("workload", cfg.Requests, 1, func() (int64, int64, int64, int64, error) {
 		st, err := wl.Run(bytes.NewReader(doc), outs)
 		if err != nil {
-			return 0, 0, 0, err
+			return 0, 0, 0, 0, err
 		}
-		return st.Aggregate.PeakBufferNodes, st.Aggregate.PeakBufferBytes, st.Aggregate.OutputBytes, nil
+		return st.Aggregate.PeakBufferNodes, st.Aggregate.PeakBufferBytes,
+			st.Aggregate.OutputBytes, st.Aggregate.TimeToFirstResultNanos, nil
 	})
 }
 
@@ -254,28 +277,37 @@ func serveHTTP(cfg ServeConfig, doc []byte) (ServePathResult, error) {
 	url := "http://" + ln.Addr().String() + "/workload"
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.Concurrency}}
 
-	post := func() error {
+	// post returns the client-observed time to the first response body
+	// byte — the server path's TTFR covers the whole stack (engine first
+	// byte + multipart framing + HTTP write + loopback).
+	post := func() (int64, error) {
+		t0 := time.Now()
 		resp, err := client.Post(url, "application/xml", bytes.NewReader(doc))
 		if err != nil {
-			return err
+			return 0, err
 		}
-		_, err = io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			return err
+		defer resp.Body.Close()
+		var one [1]byte
+		var ttfr int64
+		if _, err := io.ReadFull(resp.Body, one[:]); err == nil {
+			ttfr = int64(time.Since(t0))
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return 0, err
 		}
 		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("status %d", resp.StatusCode)
+			return 0, fmt.Errorf("status %d", resp.StatusCode)
 		}
-		return nil
+		return ttfr, nil
 	}
 
 	// Peaks and engine output bytes come from the server's own metrics
 	// afterwards (the in-handler counting wraps the engine writers, so
 	// OutputBytes stays comparable to the library paths rather than
 	// counting multipart framing); per-op values in the loop are zero.
-	res, err := measure("server", cfg.Requests, cfg.Concurrency, func() (int64, int64, int64, error) {
-		return 0, 0, 0, post()
+	res, err := measure("server", cfg.Requests, cfg.Concurrency, func() (int64, int64, int64, int64, error) {
+		ttfr, err := post()
+		return 0, 0, 0, ttfr, err
 	})
 	if err != nil {
 		return res, err
@@ -291,8 +323,8 @@ func serveHTTP(cfg ServeConfig, doc []byte) (ServePathResult, error) {
 
 // FormatServeResult renders one path result as a single line.
 func FormatServeResult(r ServePathResult) string {
-	return fmt.Sprintf("%-9s %6.1f docs/s   p50 %7.1fms   p99 %7.1fms   peak %9s (%d nodes)   %d allocs/op",
-		r.Path, r.DocsPerSec, r.P50Ms, r.P99Ms, humanBytes(r.PeakBufferBytes), r.PeakBufferNodes, r.AllocsPerOp)
+	return fmt.Sprintf("%-9s %6.1f docs/s   p50 %7.1fms   p99 %7.1fms   ttfr p50 %7.2fms p99 %7.2fms   peak %9s (%d nodes)   %d allocs/op",
+		r.Path, r.DocsPerSec, r.P50Ms, r.P99Ms, r.TTFRP50Ms, r.TTFRP99Ms, humanBytes(r.PeakBufferBytes), r.PeakBufferNodes, r.AllocsPerOp)
 }
 
 // FormatServeTable renders the full report for humans.

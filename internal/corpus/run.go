@@ -9,7 +9,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
+
+	"gcx/internal/obs"
 )
 
 // Options parameterizes a bulk run.
@@ -165,7 +166,7 @@ func Run[T any](src Source, opts Options, eval EvalFunc[T], emit func(*Result[T]
 	defer cancel()
 
 	totals := Totals{Workers: workers, Window: window}
-	start := time.Now()
+	start := obs.Now()
 
 	type task struct {
 		idx int
@@ -248,7 +249,7 @@ func Run[T any](src Source, opts Options, eval EvalFunc[T], emit func(*Result[T]
 							break
 						}
 					}
-					t0 := time.Now()
+					t0 := obs.Now()
 					res.Outs = make([]*bytes.Buffer, outputs)
 					for i := range res.Outs {
 						res.Outs[i] = outBufs.Get().(*bytes.Buffer)
@@ -277,7 +278,7 @@ func Run[T any](src Source, opts Options, eval EvalFunc[T], emit func(*Result[T]
 						res.Value, res.Err = eval(reader, writers)
 						in.Close()
 					}
-					busy.Add(int64(time.Since(t0)))
+					busy.Add(obs.Now() - t0)
 					inFlight.Add(-1)
 				}
 				results <- res
@@ -357,7 +358,7 @@ func Run[T any](src Source, opts Options, eval EvalFunc[T], emit func(*Result[T]
 drained:
 	totals.PeakInFlight = int(peakInFlight.Load())
 	totals.BusyNanos = busy.Load()
-	totals.WallNanos = int64(time.Since(start))
+	totals.WallNanos = obs.Now() - start
 	srcFailure := srcErr.Load()
 	switch {
 	case emitErr != nil:

@@ -24,6 +24,7 @@ import (
 	"gcx/internal/eval"
 	"gcx/internal/ifpush"
 	"gcx/internal/normalize"
+	"gcx/internal/obs"
 	"gcx/internal/proj"
 	"gcx/internal/projtree"
 	"gcx/internal/static"
@@ -157,6 +158,13 @@ type Stats struct {
 	TokensRead int64
 	// OutputBytes counts serialized output.
 	OutputBytes int64
+	// TTFRNanos is the time from run start to the first result byte
+	// entering the output writer (0 when the run produced no output) —
+	// the serving-tier latency metric: how long the projection/buffering
+	// pipeline holds output back before results start to flow.
+	TTFRNanos int64
+	// WallNanos is the run's evaluation wall time.
+	WallNanos int64
 }
 
 // RunOptions carries per-run hooks (tracing).
@@ -285,12 +293,19 @@ func (c *Compiled) RunChecked(in io.Reader, out io.Writer) (Stats, error) {
 }
 
 func (c *Compiled) run(in io.Reader, out io.Writer, ro RunOptions) (Stats, *runState, error) {
+	start := obs.Now()
 	rs := c.acquire(in, out, ro)
 	err := rs.ev.Run(c.Analysis.Query)
 	st := Stats{
 		Buffer:      rs.buf.Stats(),
 		TokensRead:  rs.proj.TokensRead(),
 		OutputBytes: rs.w.BytesWritten(),
+		WallNanos:   obs.Now() - start,
+	}
+	// The writer stamped the first result byte as it was produced; a run
+	// with no output keeps TTFR 0 (there was never a first result).
+	if fb := rs.w.FirstByteAt(); fb > 0 {
+		st.TTFRNanos = max(fb-start, 1)
 	}
 	return st, rs, err
 }

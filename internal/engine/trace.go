@@ -16,6 +16,25 @@ import (
 // garbage collection") for arbitrary queries and inputs.
 type Tracer struct {
 	Steps []TraceStep
+	// Limit bounds the number of recorded steps (0 = unbounded).
+	// Evaluation continues past the bound — tracing is an observer, never
+	// a governor — but further events are dropped and Truncated is set.
+	// Servers use this so a deep trace over an arbitrarily large document
+	// holds a bounded number of buffer snapshots.
+	Limit int
+	// Truncated reports whether the Limit dropped at least one event.
+	Truncated bool
+}
+
+// full reports (and records) that the step bound is exhausted. Checked
+// before building a step: buffer dumps are expensive, and past the limit
+// they would be thrown away.
+func (t *Tracer) full() bool {
+	if t.Limit > 0 && len(t.Steps) >= t.Limit {
+		t.Truncated = true
+		return true
+	}
+	return false
 }
 
 // TraceStep is one recorded event.
@@ -32,12 +51,18 @@ func (t *Tracer) install(opts *eval.Options, buf *buffer.Buffer, p *proj.Project
 	// data only while a tracer is watching.
 	p.TrackLastToken(true)
 	opts.OnToken = func() {
+		if t.full() {
+			return
+		}
 		t.Steps = append(t.Steps, TraceStep{
 			Event:  "read " + p.LastToken().String(),
 			Buffer: buf.Dump(),
 		})
 	}
 	opts.OnSignOff = func(s xqast.SignOff) {
+		if t.full() {
+			return
+		}
 		t.Steps = append(t.Steps, TraceStep{
 			Event:  fmt.Sprintf("signOff(%s, r%d)", s.Path, s.Role),
 			Buffer: buf.Dump(),

@@ -72,3 +72,20 @@ func bareSuppression() {
 
 //gcxlint:allocok
 func bareDeclSuppression() {} // want `declaration-level //gcxlint:allocok on bareDeclSuppression requires a reason`
+
+// histo models the observability latency histogram: its recording path
+// is annotated allocation-free, and the violations below are exactly the
+// regressions internal/obs.Histogram.Observe must never reintroduce —
+// lazy bucket allocation and per-sample label formatting.
+type histo struct {
+	counts map[string]int64
+}
+
+//gcxlint:noalloc
+func (h *histo) observe(label string, nanos int64) {
+	if h.counts == nil {
+		h.counts = make(map[string]int64) // want `make allocates`
+	}
+	key := fmt.Sprintf("%s_seconds", label) // want `call to fmt\.Sprintf allocates`
+	h.counts[key] += nanos
+}

@@ -108,6 +108,9 @@ func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		s.m.record(d.Stats)
+		// Per-document TTFR: a bulk run is many small solo runs, and each
+		// document's first-result latency lands in the query's histogram.
+		s.m.observeTTFR(queryLabel(r), d.Stats.TimeToFirstResultNanos)
 		ensureEnvelope()
 		h := textproto.MIMEHeader{}
 		h.Set("Content-Type", "application/xml; charset=utf-8")

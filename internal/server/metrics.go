@@ -4,14 +4,24 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
+	"sort"
 	"sync/atomic"
 
 	"gcx"
+	"gcx/internal/obs"
 )
+
+// inlineLabel buckets inline (non-registered) queries in the per-query
+// TTFR histograms.
+const inlineLabel = "inline"
 
 // metrics holds the scrape-stable service counters. Everything is an
 // atomic so the hot request path never takes a lock; /metrics reads a
-// consistent-enough snapshot (counters are monotonic).
+// consistent-enough snapshot (counters are monotonic). The histograms
+// follow the same discipline (see internal/obs): recording is atomics
+// only, and the per-query map is built once at New and never mutated, so
+// lookups are lock-free reads of an immutable map.
 type metrics struct {
 	queryRequests    atomic.Int64
 	workloadRequests atomic.Int64
@@ -21,8 +31,12 @@ type metrics struct {
 	bulkDocs      atomic.Int64 // documents served through /bulk
 	bulkDocErrors atomic.Int64 // of which failed (isolated per document)
 	// Worker utilization of the /bulk pools: busy sums per-document
-	// evaluation time, worker sums wall × workers. busy/worker is the
-	// fleet-wide pool utilization since the last counter reset.
+	// evaluation time, worker sums wall × workers. Both counters are
+	// MONOTONIC (they only ever grow, surviving any single request), so
+	// busy/worker is the fleet-wide pool utilization since process start,
+	// and rate(busy)/rate(worker) is the utilization over any window.
+	// The raw nanos stay exposed alongside the derived ratio gauge so
+	// dashboards can window them.
 	bulkBusyNanos   atomic.Int64
 	bulkWorkerNanos atomic.Int64
 
@@ -38,6 +52,47 @@ type metrics struct {
 	peakBytesMax atomic.Int64
 	peakNodesSum atomic.Int64 // summed per-run peaks (aggregate buffer pressure)
 	peakBytesSum atomic.Int64
+
+	// Request-latency histograms, one per serving endpoint (whole-handler
+	// wall time, streaming included).
+	latQuery    obs.Histogram
+	latWorkload obs.Histogram
+	latBulk     obs.Histogram
+
+	// ttfr maps a registered query id — plus the "inline" bucket — to its
+	// time-to-first-result histogram. Immutable after initTTFR.
+	ttfr map[string]*obs.Histogram
+	// ttfrIDs is the stable exposition order of the ttfr keys.
+	ttfrIDs []string
+}
+
+// initTTFR builds the immutable per-query TTFR histogram map: one
+// histogram per registered query id plus the inline bucket.
+func (m *metrics) initTTFR(ids []string) {
+	m.ttfr = make(map[string]*obs.Histogram, len(ids)+1)
+	m.ttfrIDs = append([]string{}, ids...)
+	sort.Strings(m.ttfrIDs)
+	m.ttfrIDs = append(m.ttfrIDs, inlineLabel)
+	for _, id := range m.ttfrIDs {
+		m.ttfr[id] = &obs.Histogram{}
+	}
+}
+
+// observeTTFR records one run's time-to-first-result under the query's
+// histogram; unknown labels (inline-N workload members, ad-hoc queries)
+// fold into the inline bucket. Runs with no output (nanos 0) are skipped:
+// they have no first result. Lock-free and allocation-free.
+//
+//gcxlint:noalloc
+func (m *metrics) observeTTFR(label string, nanos int64) {
+	if nanos <= 0 {
+		return
+	}
+	h := m.ttfr[label]
+	if h == nil {
+		h = m.ttfr[inlineLabel]
+	}
+	h.Observe(nanos)
 }
 
 // record folds one run's stats into the service totals.
@@ -61,37 +116,97 @@ func atomicMax(a *atomic.Int64, v int64) {
 	}
 }
 
+// HistSummary is the JSON view of one latency histogram: quantiles are
+// nearest-rank over the log₂ buckets (upper-bound answers, ≤2× off).
+type HistSummary struct {
+	Count int64   `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+func summarize(s obs.HistSnapshot) HistSummary {
+	return HistSummary{
+		Count: s.Count,
+		P50Ms: float64(s.Quantile(0.50)) / 1e6,
+		P99Ms: float64(s.Quantile(0.99)) / 1e6,
+	}
+}
+
+// promHist carries one labeled histogram snapshot into the exposition.
+type promHist struct {
+	label string
+	snap  obs.HistSnapshot
+}
+
+// RuntimeStats are the Go runtime gauges exposed on /metrics.
+type RuntimeStats struct {
+	Goroutines        int    `json:"goroutines"`
+	HeapAllocBytes    uint64 `json:"heap_alloc_bytes"`
+	HeapObjects       uint64 `json:"heap_objects"`
+	GCPauseTotalNanos uint64 `json:"gc_pause_total_nanos"`
+	GCCycles          uint32 `json:"gc_cycles"`
+}
+
+func readRuntime() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeStats{
+		Goroutines:        runtime.NumGoroutine(),
+		HeapAllocBytes:    ms.HeapAlloc,
+		HeapObjects:       ms.HeapObjects,
+		GCPauseTotalNanos: ms.PauseTotalNs,
+		GCCycles:          ms.NumGC,
+	}
+}
+
 // Snapshot is the JSON view of /metrics. It builds on the cmd/gcx
 // -stats-json shape: Aggregate is a gcx.Stats whose total fields
 // (tokens, buffered, purged, signOffs, output bytes) are summed across
 // all runs the service performed, while its Peak fields report the
-// largest single-run peak observed.
+// largest single-run peak observed. BulkBusyNanos/BulkWorkerNanos are
+// the raw MONOTONIC counters behind BulkUtilization — the JSON keeps
+// both so scrapers can window the counters themselves.
 type Snapshot struct {
-	RequestsQuery    int64          `json:"requests_query"`
-	RequestsWorkload int64          `json:"requests_workload"`
-	RequestsBulk     int64          `json:"requests_bulk"`
-	RequestsErrored  int64          `json:"requests_errored"`
-	BulkDocs         int64          `json:"bulk_docs"`
-	BulkDocErrors    int64          `json:"bulk_doc_errors"`
-	BulkBusyNanos    int64          `json:"bulk_busy_nanos"`
-	BulkWorkerNanos  int64          `json:"bulk_worker_nanos"`
-	BytesIn          int64          `json:"bytes_in"`
-	Cache            gcx.CacheStats `json:"cache"`
-	Aggregate        gcx.Stats      `json:"aggregate"`
-	PeakNodesSum     int64          `json:"peak_buffer_nodes_sum"`
-	PeakBytesSum     int64          `json:"peak_buffer_bytes_sum"`
+	RequestsQuery    int64                  `json:"requests_query"`
+	RequestsWorkload int64                  `json:"requests_workload"`
+	RequestsBulk     int64                  `json:"requests_bulk"`
+	RequestsErrored  int64                  `json:"requests_errored"`
+	BulkDocs         int64                  `json:"bulk_docs"`
+	BulkDocErrors    int64                  `json:"bulk_doc_errors"`
+	BulkBusyNanos    int64                  `json:"bulk_busy_nanos"`
+	BulkWorkerNanos  int64                  `json:"bulk_worker_nanos"`
+	BulkUtilization  float64                `json:"bulk_utilization_ratio"`
+	BytesIn          int64                  `json:"bytes_in"`
+	Cache            gcx.CacheStats         `json:"cache"`
+	Aggregate        gcx.Stats              `json:"aggregate"`
+	PeakNodesSum     int64                  `json:"peak_buffer_nodes_sum"`
+	PeakBytesSum     int64                  `json:"peak_buffer_bytes_sum"`
+	RequestLatency   map[string]HistSummary `json:"request_latency"`
+	TTFR             map[string]HistSummary `json:"ttfr"`
+	Runtime          RuntimeStats           `json:"runtime"`
+
+	// Raw histogram snapshots for the Prometheus exposition (not part of
+	// the JSON shape — the summaries above are).
+	latHists  []promHist
+	ttfrHists []promHist
 }
 
 func (m *metrics) snapshot(cache gcx.CacheStats) Snapshot {
-	return Snapshot{
+	busy, worker := m.bulkBusyNanos.Load(), m.bulkWorkerNanos.Load()
+	var util float64
+	if worker > 0 {
+		util = float64(busy) / float64(worker)
+	}
+	s := Snapshot{
 		RequestsQuery:    m.queryRequests.Load(),
 		RequestsWorkload: m.workloadRequests.Load(),
 		RequestsBulk:     m.bulkRequests.Load(),
 		RequestsErrored:  m.erroredRequests.Load(),
 		BulkDocs:         m.bulkDocs.Load(),
 		BulkDocErrors:    m.bulkDocErrors.Load(),
-		BulkBusyNanos:    m.bulkBusyNanos.Load(),
-		BulkWorkerNanos:  m.bulkWorkerNanos.Load(),
+		BulkBusyNanos:    busy,
+		BulkWorkerNanos:  worker,
+		BulkUtilization:  util,
 		BytesIn:          m.bytesIn.Load(),
 		Cache:            cache,
 		Aggregate: gcx.Stats{
@@ -103,9 +218,26 @@ func (m *metrics) snapshot(cache gcx.CacheStats) Snapshot {
 			TokensRead:      m.tokensRead.Load(),
 			OutputBytes:     m.bytesOut.Load(),
 		},
-		PeakNodesSum: m.peakNodesSum.Load(),
-		PeakBytesSum: m.peakBytesSum.Load(),
+		PeakNodesSum:   m.peakNodesSum.Load(),
+		PeakBytesSum:   m.peakBytesSum.Load(),
+		RequestLatency: map[string]HistSummary{},
+		TTFR:           map[string]HistSummary{},
+		Runtime:        readRuntime(),
 	}
+	s.latHists = []promHist{
+		{label: "query", snap: m.latQuery.Snapshot()},
+		{label: "workload", snap: m.latWorkload.Snapshot()},
+		{label: "bulk", snap: m.latBulk.Snapshot()},
+	}
+	for _, h := range s.latHists {
+		s.RequestLatency[h.label] = summarize(h.snap)
+	}
+	for _, id := range m.ttfrIDs {
+		snap := m.ttfr[id].Snapshot()
+		s.ttfrHists = append(s.ttfrHists, promHist{label: id, snap: snap})
+		s.TTFR[id] = summarize(snap)
+	}
+	return s
 }
 
 // writeJSON emits the snapshot as one JSON object.
@@ -114,8 +246,12 @@ func (s Snapshot) writeJSON(w io.Writer) error {
 	return enc.Encode(s)
 }
 
-// writeProm emits the snapshot in the Prometheus text exposition format.
-// Names are scrape-stable: CI and dashboards key on them.
+// writeProm emits the snapshot in the Prometheus text exposition format
+// (version 0.0.4): every family carries # HELP and # TYPE lines,
+// histograms expose cumulative _bucket series with an le label plus
+// _sum/_count, and the output ends with a newline. Names are
+// scrape-stable: CI and dashboards key on them, and the strict parser in
+// internal/obs validates this exact output in tests.
 func (s Snapshot) writeProm(w io.Writer) error {
 	var err error
 	p := func(format string, args ...any) {
@@ -123,49 +259,95 @@ func (s Snapshot) writeProm(w io.Writer) error {
 			_, err = fmt.Fprintf(w, format, args...)
 		}
 	}
-	p("# TYPE gcxd_requests_total counter\n")
+	family := func(name, help, typ string) {
+		p("# HELP %s %s\n", name, help)
+		p("# TYPE %s %s\n", name, typ)
+	}
+
+	family("gcxd_requests_total", "Requests served, by endpoint.", "counter")
 	p("gcxd_requests_total{endpoint=\"query\"} %d\n", s.RequestsQuery)
 	p("gcxd_requests_total{endpoint=\"workload\"} %d\n", s.RequestsWorkload)
 	p("gcxd_requests_total{endpoint=\"bulk\"} %d\n", s.RequestsBulk)
-	p("# TYPE gcxd_errors_total counter\n")
+	family("gcxd_errors_total", "Requests that failed (rejected or errored during evaluation).", "counter")
 	p("gcxd_errors_total %d\n", s.RequestsErrored)
-	p("# TYPE gcxd_bulk_docs_total counter\n")
+	family("gcxd_bulk_docs_total", "Documents evaluated through /bulk.", "counter")
 	p("gcxd_bulk_docs_total %d\n", s.BulkDocs)
-	p("# TYPE gcxd_bulk_doc_errors_total counter\n")
+	family("gcxd_bulk_doc_errors_total", "Bulk documents that failed (isolated per document).", "counter")
 	p("gcxd_bulk_doc_errors_total %d\n", s.BulkDocErrors)
-	p("# TYPE gcxd_bulk_busy_seconds_total counter\n")
+	family("gcxd_bulk_busy_seconds_total", "Monotonic: summed per-document evaluation time across bulk workers.", "counter")
 	p("gcxd_bulk_busy_seconds_total %g\n", float64(s.BulkBusyNanos)/1e9)
-	p("# TYPE gcxd_bulk_worker_seconds_total counter\n")
+	family("gcxd_bulk_worker_seconds_total", "Monotonic: summed bulk wall time times pool workers (capacity).", "counter")
 	p("gcxd_bulk_worker_seconds_total %g\n", float64(s.BulkWorkerNanos)/1e9)
-	p("# TYPE gcxd_cache_hits_total counter\n")
+	family("gcx_bulk_utilization_ratio", "Bulk pool utilization since process start: busy seconds over worker-capacity seconds.", "gauge")
+	p("gcx_bulk_utilization_ratio %g\n", s.BulkUtilization)
+	family("gcxd_cache_hits_total", "Compile cache hits.", "counter")
 	p("gcxd_cache_hits_total %d\n", s.Cache.Hits)
-	p("# TYPE gcxd_cache_misses_total counter\n")
+	family("gcxd_cache_misses_total", "Compile cache misses.", "counter")
 	p("gcxd_cache_misses_total %d\n", s.Cache.Misses)
-	p("# TYPE gcxd_cache_evictions_total counter\n")
+	family("gcxd_cache_evictions_total", "Compile cache evictions.", "counter")
 	p("gcxd_cache_evictions_total %d\n", s.Cache.Evictions)
-	p("# TYPE gcxd_cache_compiles_total counter\n")
+	family("gcxd_cache_compiles_total", "Query compilations performed.", "counter")
 	p("gcxd_cache_compiles_total %d\n", s.Cache.Compiles)
-	p("# TYPE gcxd_cache_entries gauge\n")
+	family("gcxd_cache_entries", "Compile cache resident entries.", "gauge")
 	p("gcxd_cache_entries %d\n", s.Cache.Entries)
-	p("# TYPE gcxd_bytes_in_total counter\n")
+	family("gcxd_bytes_in_total", "Request-body bytes streamed into engines.", "counter")
 	p("gcxd_bytes_in_total %d\n", s.BytesIn)
-	p("# TYPE gcxd_bytes_out_total counter\n")
+	family("gcxd_bytes_out_total", "Result bytes streamed to clients.", "counter")
 	p("gcxd_bytes_out_total %d\n", s.Aggregate.OutputBytes)
-	p("# TYPE gcxd_tokens_read_total counter\n")
+	family("gcxd_tokens_read_total", "Stream tokens consumed.", "counter")
 	p("gcxd_tokens_read_total %d\n", s.Aggregate.TokensRead)
-	p("# TYPE gcxd_nodes_buffered_total counter\n")
+	family("gcxd_nodes_buffered_total", "Nodes copied into buffers.", "counter")
 	p("gcxd_nodes_buffered_total %d\n", s.Aggregate.BufferedTotal)
-	p("# TYPE gcxd_nodes_purged_total counter\n")
+	family("gcxd_nodes_purged_total", "Nodes reclaimed by active garbage collection.", "counter")
 	p("gcxd_nodes_purged_total %d\n", s.Aggregate.PurgedTotal)
-	p("# TYPE gcxd_signoffs_total counter\n")
+	family("gcxd_signoffs_total", "Executed signOff statements.", "counter")
 	p("gcxd_signoffs_total %d\n", s.Aggregate.SignOffs)
-	p("# TYPE gcxd_buffer_peak_nodes_max gauge\n")
+	family("gcxd_buffer_peak_nodes_max", "Largest single-run buffer peak, in nodes.", "gauge")
 	p("gcxd_buffer_peak_nodes_max %d\n", s.Aggregate.PeakBufferNodes)
-	p("# TYPE gcxd_buffer_peak_bytes_max gauge\n")
+	family("gcxd_buffer_peak_bytes_max", "Largest single-run buffer peak, in bytes.", "gauge")
 	p("gcxd_buffer_peak_bytes_max %d\n", s.Aggregate.PeakBufferBytes)
-	p("# TYPE gcxd_buffer_peak_nodes_sum counter\n")
+	family("gcxd_buffer_peak_nodes_sum", "Summed per-run buffer peaks, in nodes.", "counter")
 	p("gcxd_buffer_peak_nodes_sum %d\n", s.PeakNodesSum)
-	p("# TYPE gcxd_buffer_peak_bytes_sum counter\n")
+	family("gcxd_buffer_peak_bytes_sum", "Summed per-run buffer peaks, in bytes.", "counter")
 	p("gcxd_buffer_peak_bytes_sum %d\n", s.PeakBytesSum)
+
+	writePromHist(p, "gcxd_request_duration_seconds",
+		"Whole-request handler latency, streaming included.", "endpoint", s.latHists)
+	writePromHist(p, "gcxd_ttfr_seconds",
+		"Time from run start to the first result byte, by registered query id.", "query", s.ttfrHists)
+
+	family("gcxd_go_goroutines", "Live goroutines.", "gauge")
+	p("gcxd_go_goroutines %d\n", s.Runtime.Goroutines)
+	family("gcxd_go_heap_alloc_bytes", "Heap bytes allocated and in use.", "gauge")
+	p("gcxd_go_heap_alloc_bytes %d\n", s.Runtime.HeapAllocBytes)
+	family("gcxd_go_heap_objects", "Live heap objects.", "gauge")
+	p("gcxd_go_heap_objects %d\n", s.Runtime.HeapObjects)
+	family("gcxd_go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", "counter")
+	p("gcxd_go_gc_pause_seconds_total %g\n", float64(s.Runtime.GCPauseTotalNanos)/1e9)
+	family("gcxd_go_gc_cycles_total", "Completed GC cycles.", "counter")
+	p("gcxd_go_gc_cycles_total %d\n", s.Runtime.GCCycles)
 	return err
+}
+
+// writePromHist emits one histogram family: for every labeled snapshot, a
+// cumulative _bucket series per log₂ bound (le in seconds, final +Inf)
+// plus _sum and _count. _count is the bucket total, keeping the
+// +Inf-equals-count invariant even if a concurrent Observe lands between
+// the bucket loads and the count load.
+func writePromHist(p func(string, ...any), name, help, labelName string, hists []promHist) {
+	p("# HELP %s %s\n", name, help)
+	p("# TYPE %s histogram\n", name)
+	for _, h := range hists {
+		var cum int64
+		for i := 0; i < obs.NumBuckets; i++ {
+			cum += h.snap.Counts[i]
+			le := "+Inf"
+			if i < obs.NumBuckets-1 {
+				le = fmt.Sprintf("%g", float64(obs.UpperBound(i))/1e9)
+			}
+			p("%s_bucket{%s=%q,le=%q} %d\n", name, labelName, h.label, le, cum)
+		}
+		p("%s_sum{%s=%q} %g\n", name, labelName, h.label, float64(h.snap.Sum)/1e9)
+		p("%s_count{%s=%q} %d\n", name, labelName, h.label, cum)
+	}
 }

@@ -23,13 +23,16 @@ import (
 	"io"
 	"mime/multipart"
 	"net/http"
+	"net/http/pprof"
 	"net/textproto"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"gcx"
+	"gcx/internal/obs"
 )
 
 // Config parameterizes a Server.
@@ -60,6 +63,16 @@ type Config struct {
 	// evaluation unwinds; this reuses the engine's error propagation
 	// rather than abandoning a goroutine.
 	Timeout time.Duration
+	// MaxInflight is the admission threshold for /readyz: when at least
+	// this many serving requests are in flight the server reports 503 so
+	// load balancers stop routing new work here (0 = readiness never
+	// considers load). In-flight requests still complete — this is
+	// backpressure signaling, not rejection.
+	MaxInflight int
+	// EnablePprof mounts net/http/pprof under GET /debug/pprof/. Off by
+	// default: profiling endpoints leak heap contents and belong behind a
+	// deliberate flag.
+	EnablePprof bool
 }
 
 // Server handles the gcxd HTTP API:
@@ -83,6 +96,14 @@ type Server struct {
 	reg   *Registry
 	mux   *http.ServeMux
 	m     metrics
+
+	// inflight counts serving requests (/query, /workload, /bulk)
+	// currently being handled; /readyz compares it to Config.MaxInflight.
+	inflight atomic.Int64
+	// notReady, when non-nil, is the reason /readyz reports 503 — set by
+	// SetNotReady when the process boots degraded (e.g. the registry
+	// failed to load) and cleared by SetReady.
+	notReady atomic.Pointer[string]
 }
 
 // New builds a Server and precompiles every registered query, so a
@@ -102,17 +123,94 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: registered query %q: %w", id, err)
 		}
 	}
+	s.m.initTTFR(s.reg.IDs())
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /query", s.handleQuery)
-	mux.HandleFunc("POST /workload", s.handleWorkload)
-	mux.HandleFunc("POST /bulk", s.handleBulk)
+	mux.HandleFunc("POST /query", s.timed(&s.m.latQuery, s.handleQuery))
+	mux.HandleFunc("POST /workload", s.timed(&s.m.latWorkload, s.handleWorkload))
+	mux.HandleFunc("POST /bulk", s.timed(&s.m.latBulk, s.handleBulk))
 	mux.HandleFunc("GET /queries", s.handleQueries)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.HandleFunc("GET /buildinfo", s.handleBuildInfo)
+	if cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
 	return s, nil
+}
+
+// timed wraps a serving handler with the in-flight gauge and its
+// endpoint's request-latency histogram (whole-handler wall time, so
+// streaming the response to a slow client counts — that is the latency a
+// caller of this endpoint experiences).
+func (s *Server) timed(h *obs.Histogram, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Add(1)
+		start := obs.Now()
+		defer func() {
+			h.Observe(obs.Now() - start)
+			s.inflight.Add(-1)
+		}()
+		fn(w, r)
+	}
+}
+
+// SetNotReady makes /readyz report 503 with the given reason. Used by
+// cmd/gcxd to boot degraded (serving inline queries, liveness, and
+// metrics) when the registry cannot be loaded, instead of exiting.
+func (s *Server) SetNotReady(reason string) { s.notReady.Store(&reason) }
+
+// SetReady clears a SetNotReady condition.
+func (s *Server) SetReady() { s.notReady.Store(nil) }
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if reason := s.notReady.Load(); reason != nil {
+		http.Error(w, "not ready: "+*reason, http.StatusServiceUnavailable)
+		return
+	}
+	if lim := s.cfg.MaxInflight; lim > 0 {
+		if n := s.inflight.Load(); n >= int64(lim) {
+			http.Error(w, fmt.Sprintf("not ready: %d requests in flight (admission threshold %d)", n, lim),
+				http.StatusServiceUnavailable)
+			return
+		}
+	}
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleBuildInfo(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		writeJSONBody(w, struct {
+			Error string `json:"error"`
+		}{Error: "build info unavailable (binary built without module support)"})
+		return
+	}
+	settings := make(map[string]string, len(bi.Settings))
+	for _, kv := range bi.Settings {
+		settings[kv.Key] = kv.Value
+	}
+	writeJSONBody(w, struct {
+		GoVersion string            `json:"go_version"`
+		Path      string            `json:"path"`
+		Module    string            `json:"module"`
+		Version   string            `json:"version"`
+		Settings  map[string]string `json:"settings"`
+	}{
+		GoVersion: bi.GoVersion,
+		Path:      bi.Path,
+		Module:    bi.Main.Path,
+		Version:   bi.Main.Version,
+		Settings:  settings,
+	})
 }
 
 // Cache returns the server's compile cache (metrics, tests).
@@ -188,6 +286,15 @@ func (c *ctxReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// queryLabel is the TTFR-histogram label of a /query request: the
+// registered id, or the inline bucket for q= queries.
+func queryLabel(r *http.Request) string {
+	if id := r.URL.Query().Get("id"); id != "" {
+		return id
+	}
+	return inlineLabel
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.m.queryRequests.Add(1)
 	text, err := s.resolveQuery(r)
@@ -200,6 +307,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("compile: %w", err))
 		return
 	}
+	if r.Header.Get("Gcx-Trace") != "" {
+		s.handleQueryTraced(w, r, eng)
+		return
+	}
 	in, ctx, cancel := s.body(w, r)
 	defer cancel()
 
@@ -210,6 +321,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	out := &countingWriter{w: w, n: &s.m.bytesOut, ctx: ctx}
 	stats, runErr := eng.Run(in, out)
 	s.m.record(stats)
+	s.m.observeTTFR(queryLabel(r), stats.TimeToFirstResultNanos)
 	if runErr != nil {
 		s.m.erroredRequests.Add(1)
 		if out.written == 0 {
@@ -225,6 +337,65 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if b, err := json.Marshal(stats); err == nil {
 		w.Header().Set("Gcx-Stats", string(b))
 	}
+}
+
+// Deep-trace bounds: a Gcx-Trace header value ≥ 2 requests that many
+// steps (capped), any other non-empty value gets the default. Each step
+// holds a full buffer dump, so the bound is what keeps a trace of an
+// arbitrarily large document from buffering the world — the one thing
+// this server otherwise never does.
+const (
+	defaultTraceSteps = 1024
+	maxTraceSteps     = 4096
+)
+
+// traceResponse is the JSON sidecar part of a traced /query run.
+type traceResponse struct {
+	Steps     []gcx.TraceStep `json:"steps"`
+	Truncated bool            `json:"truncated"`
+	Stats     gcx.Stats       `json:"stats"`
+}
+
+// handleQueryTraced serves POST /query with a Gcx-Trace header: a
+// multipart/mixed response whose first part streams the query result
+// (progressively, like the untraced path) and whose second part is a JSON
+// sidecar carrying the bounded buffer-lifecycle trace plus run stats.
+func (s *Server) handleQueryTraced(w http.ResponseWriter, r *http.Request, eng *gcx.Engine) {
+	limit := defaultTraceSteps
+	if n, err := strconv.Atoi(r.Header.Get("Gcx-Trace")); err == nil && n >= 2 {
+		limit = min(n, maxTraceSteps)
+	}
+	in, ctx, cancel := s.body(w, r)
+	defer cancel()
+
+	mw := multipart.NewWriter(w)
+	w.Header().Set("Content-Type", "multipart/mixed; boundary="+mw.Boundary())
+	rh := textproto.MIMEHeader{}
+	rh.Set("Content-Type", "application/xml; charset=utf-8")
+	rh.Set("Gcx-Part", "result")
+	part0, err := mw.CreatePart(rh)
+	if err != nil {
+		return
+	}
+	out := &countingWriter{w: part0, n: &s.m.bytesOut, ctx: ctx}
+	steps, truncated, stats, runErr := eng.TraceN(in, out, limit)
+	s.m.record(stats)
+	s.m.observeTTFR(queryLabel(r), stats.TimeToFirstResultNanos)
+	if runErr != nil {
+		s.m.erroredRequests.Add(1)
+	}
+	th := textproto.MIMEHeader{}
+	th.Set("Content-Type", "application/json")
+	th.Set("Gcx-Part", "trace")
+	if runErr != nil {
+		th.Set("Gcx-Error", runErr.Error())
+	}
+	tp, err := mw.CreatePart(th)
+	if err != nil {
+		return
+	}
+	writeJSONBody(tp, traceResponse{Steps: steps, Truncated: truncated, Stats: stats})
+	mw.Close()
 }
 
 // workloadResponse is the JSON shape of POST /workload under
@@ -287,6 +458,7 @@ func (s *Server) workloadJSON(w http.ResponseWriter, wl *gcx.Workload, in io.Rea
 	}
 	stats, runErr := wl.Run(in, outs)
 	s.m.record(stats.Aggregate)
+	s.observeWorkloadTTFR(labels, stats)
 	resp := workloadResponse{IDs: labels, Stats: stats}
 	for i := range bufs {
 		resp.Results = append(resp.Results, bufs[i].String())
@@ -339,6 +511,7 @@ func (s *Server) workloadMultipart(w http.ResponseWriter, ctx context.Context, w
 	}
 	stats, runErr := wl.Run(in, outs)
 	s.m.record(stats.Aggregate)
+	s.observeWorkloadTTFR(labels, stats)
 	if runErr != nil {
 		s.m.erroredRequests.Add(1)
 	}
@@ -371,6 +544,18 @@ func (s *Server) workloadMultipart(w http.ResponseWriter, ctx context.Context, w
 	}
 	writeJSONBody(sp, resp)
 	mw.Close()
+}
+
+// observeWorkloadTTFR records each member's time-to-first-result under
+// its own label — every member of the shared pass has its own writer, so
+// per-member TTFR is measured, not apportioned. Members registered by id
+// land in their query's histogram; inline-N labels fold into "inline".
+func (s *Server) observeWorkloadTTFR(labels []string, stats gcx.WorkloadStats) {
+	for i, q := range stats.Queries {
+		if i < len(labels) {
+			s.m.observeTTFR(labels[i], q.TimeToFirstResultNanos)
+		}
+	}
 }
 
 func partHeader(index int, label, contentType string) textproto.MIMEHeader {

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"gcx/internal/obs"
 	"gcx/internal/proj"
 )
 
@@ -63,6 +64,9 @@ type task struct {
 	// tokensAtDone is the shared stream position when this query's
 	// evaluator completed.
 	tokensAtDone int64
+	// doneAt is the obs.Now timestamp when this query's evaluator
+	// completed (its last result byte was available).
+	doneAt int64
 }
 
 // defaultBatch is the number of tokens fed per scheduling round once every
@@ -104,6 +108,7 @@ func (s *scheduler) reset() {
 		t.hasPanic = false
 		t.signOffs = 0
 		t.tokensAtDone = 0
+		t.doneAt = 0
 	}
 }
 
@@ -141,6 +146,7 @@ func (t *task) main() {
 		}
 		t.state = taskDone
 		t.tokensAtDone = t.s.proj.TokensRead()
+		t.doneAt = obs.Now()
 		t.s.yield <- struct{}{}
 	}()
 	t.err = t.exec()

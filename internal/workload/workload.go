@@ -28,6 +28,7 @@ import (
 	"gcx/internal/dtd"
 	"gcx/internal/engine"
 	"gcx/internal/eval"
+	"gcx/internal/obs"
 	"gcx/internal/proj"
 	"gcx/internal/projtree"
 	"gcx/internal/static"
@@ -128,6 +129,11 @@ type Stats struct {
 	Buffer      buffer.Stats
 	TokensRead  int64
 	OutputBytes int64
+	// TTFRNanos is the time from pass start to the FIRST result byte any
+	// member produced (0 when no member emitted output).
+	TTFRNanos int64
+	// WallNanos is the shared pass's wall time.
+	WallNanos int64
 }
 
 // QueryStats reports one member's share of a run.
@@ -143,6 +149,14 @@ type QueryStats struct {
 	// TokensAtDone is the shared stream position when the member's
 	// evaluator completed — how much of the input this query needed.
 	TokensAtDone int64
+	// TTFRNanos is the time from pass start to this member's first
+	// result byte (0 if the member produced no output): members emit
+	// progressively along the shared pass, so each has its own
+	// time-to-first-result.
+	TTFRNanos int64
+	// WallNanos is the time from pass start to this member's evaluator
+	// completing — when the member's LAST result byte was available.
+	WallNanos int64
 	// Err is the member's evaluation error, if any.
 	Err error
 }
@@ -283,12 +297,14 @@ func (c *Compiled) run(in io.Reader, outs []io.Writer) (Stats, []QueryStats, *ru
 	if len(outs) != len(c.Members) {
 		panic(fmt.Sprintf("workload: %d queries but %d output writers", len(c.Members), len(outs)))
 	}
+	start := obs.Now()
 	rs := c.acquire(in, outs)
 	rs.sched.run()
 
 	st := Stats{
 		Buffer:     rs.buf.Stats(),
 		TokensRead: rs.proj.TokensRead(),
+		WallNanos:  obs.Now() - start,
 	}
 	qs := make([]QueryStats, len(c.Members))
 	var errs []error
@@ -299,6 +315,17 @@ func (c *Compiled) run(in io.Reader, outs []io.Writer) (Stats, []QueryStats, *ru
 			SignOffs:     t.signOffs,
 			TokensAtDone: t.tokensAtDone,
 			Err:          t.err,
+		}
+		// Each member writer stamped its own first result byte along the
+		// shared pass; the aggregate TTFR is the earliest of them.
+		if fb := rs.ws[i].FirstByteAt(); fb > 0 {
+			q.TTFRNanos = max(fb-start, 1)
+			if st.TTFRNanos == 0 || q.TTFRNanos < st.TTFRNanos {
+				st.TTFRNanos = q.TTFRNanos
+			}
+		}
+		if t.doneAt > 0 {
+			q.WallNanos = max(t.doneAt-start, 1)
 		}
 		for r := c.Offsets[i] + 1; r <= c.Offsets[i]+xqast.Role(c.roleCounts[i]); r++ {
 			q.RoleAssignments += rs.buf.AssignedCount(r)

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+
+	"gcx/internal/obs"
 )
 
 // Writer serializes a token stream back to XML text. It performs minimal
@@ -15,6 +17,11 @@ type Writer struct {
 	w     *bufio.Writer
 	stack []string
 	n     int64
+	// first is the obs.Now timestamp of the first output byte (0 until
+	// one is produced) — the time-to-first-result stamp. It marks when
+	// the byte enters the writer, not when bufio flushes it: flushing is
+	// I/O batching, producing the byte is what evaluation latency means.
+	first int64
 	err   error
 }
 
@@ -34,11 +41,27 @@ func (w *Writer) Reset(out io.Writer) {
 	w.w.Reset(out)
 	w.stack = w.stack[:0]
 	w.n = 0
+	w.first = 0
 	w.err = nil
 }
 
 // BytesWritten returns the number of bytes emitted so far (pre-buffering).
 func (w *Writer) BytesWritten() int64 { return w.n }
+
+// FirstByteAt returns the obs.Now timestamp at which the first output
+// byte was produced, or 0 if nothing has been written since the last
+// Reset.
+func (w *Writer) FirstByteAt() int64 { return w.first }
+
+// stampFirst records the first-result-byte timestamp. Runs on the output
+// hot path for every emitted string/byte, so it must not allocate.
+//
+//gcxlint:noalloc
+func (w *Writer) stampFirst() {
+	if w.first == 0 {
+		w.first = obs.Now()
+	}
+}
 
 // Depth returns the number of currently open elements.
 func (w *Writer) Depth() int { return len(w.stack) }
@@ -47,9 +70,10 @@ func (w *Writer) Depth() int { return len(w.stack) }
 func (w *Writer) Err() error { return w.err }
 
 func (w *Writer) writeString(s string) {
-	if w.err != nil {
+	if w.err != nil || len(s) == 0 {
 		return
 	}
+	w.stampFirst()
 	n, err := w.w.WriteString(s)
 	w.n += int64(n)
 	if err != nil {
@@ -61,6 +85,7 @@ func (w *Writer) writeByte(c byte) {
 	if w.err != nil {
 		return
 	}
+	w.stampFirst()
 	if err := w.w.WriteByte(c); err != nil {
 		w.err = err
 		return
