@@ -68,24 +68,32 @@ type Tolerances struct {
 	// chunked-vs-reference MB/s ratio for the text-heavy document —
 	// the chunked rework's acceptance bar, held machine-portably.
 	MinTextSpeedup float64
+	// MinMarkupSpeedup is the same floor for the markup-heavy document —
+	// the structural-index rework's acceptance bar. Like
+	// MinTextSpeedup it is a ratio of two numbers measured on the same
+	// runner in the same process, so it gates hard even when a
+	// GOMAXPROCS mismatch suspends the absolute MB/s floors.
+	MinMarkupSpeedup float64
 }
 
 // DefaultTolerances returns the gate's defaults (the values the CI step
 // runs with).
 func DefaultTolerances() Tolerances {
 	return Tolerances{
-		ThroughputDrop: 0.15,
-		AllocGrowth:    0.10,
-		AllocSlack:     64,
-		PeakGrowth:     0.15,
-		TTFRGrowth:     0.75,
-		TTFRSlackMs:    1.0,
-		MinTextSpeedup: 1.8,
+		ThroughputDrop:   0.15,
+		AllocGrowth:      0.10,
+		AllocSlack:       64,
+		PeakGrowth:       0.15,
+		TTFRGrowth:       0.75,
+		TTFRSlackMs:      1.0,
+		MinTextSpeedup:   1.8,
+		MinMarkupSpeedup: 2.0,
 	}
 }
 
 // Scale widens (factor > 1) or tightens every relative budget; the
-// absolute floors (AllocSlack, MinTextSpeedup) are left alone.
+// absolute floors (AllocSlack, MinTextSpeedup, MinMarkupSpeedup) are
+// left alone.
 func (tol Tolerances) Scale(factor float64) Tolerances {
 	if factor > 0 {
 		tol.ThroughputDrop *= factor
@@ -302,6 +310,10 @@ func compareTokenizer(base, cur *TokenizerReport, tol Tolerances) (v, w []string
 	if tol.MinTextSpeedup > 0 && cur.SpeedupTextHeavy < tol.MinTextSpeedup {
 		v = append(v, fmt.Sprintf("tokenizer: chunked/reference speedup on text-heavy fell to %.2fx (floor %.2fx)",
 			cur.SpeedupTextHeavy, tol.MinTextSpeedup))
+	}
+	if tol.MinMarkupSpeedup > 0 && cur.SpeedupMarkupHeavy < tol.MinMarkupSpeedup {
+		v = append(v, fmt.Sprintf("tokenizer: chunked/reference speedup on markup-heavy fell to %.2fx (floor %.2fx) — the structural-index fast paths are no longer engaging on dense markup",
+			cur.SpeedupMarkupHeavy, tol.MinMarkupSpeedup))
 	}
 	return v, w
 }

@@ -29,7 +29,7 @@ func sampleBaseline() *Baseline {
 				{Doc: "text-heavy", Path: "reference", MBPerSec: 280, Tokens: 40000, AllocsPerOp: 0},
 			},
 			SpeedupTextHeavy:   4.3,
-			SpeedupMarkupHeavy: 1.2,
+			SpeedupMarkupHeavy: 2.4,
 		},
 	}
 }
@@ -116,6 +116,10 @@ func TestCompareCatchesSpeedupFloor(t *testing.T) {
 	base, cur := cloneBaseline()
 	cur.Tokenizer.SpeedupTextHeavy = 1.5
 	wantViolation(t, violationsOf(base, cur, DefaultTolerances()), "speedup on text-heavy fell")
+
+	base, cur = cloneBaseline()
+	cur.Tokenizer.SpeedupMarkupHeavy = 1.3
+	wantViolation(t, violationsOf(base, cur, DefaultTolerances()), "speedup on markup-heavy fell")
 }
 
 func TestCompareCatchesMissingSection(t *testing.T) {
@@ -156,10 +160,12 @@ func TestCompareHardwareClassChangeWarnsAndSkipsFloors(t *testing.T) {
 	cur.Serve.Results[1].PeakBufferBytes = 4 << 20
 	cur.Tokenizer.Results[1].Tokens = 39999
 	cur.Tokenizer.SpeedupTextHeavy = 1.2
+	cur.Tokenizer.SpeedupMarkupHeavy = 1.1
 	v, _ = base.Compare(cur, DefaultTolerances())
 	wantViolation(t, v, "serve/workload: peak buffer grew")
 	wantViolation(t, v, "token count changed")
 	wantViolation(t, v, "speedup on text-heavy fell")
+	wantViolation(t, v, "speedup on markup-heavy fell")
 }
 
 func TestCompareCatchesParameterMismatch(t *testing.T) {

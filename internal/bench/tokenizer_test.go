@@ -36,6 +36,16 @@ func BenchmarkTokenizerThroughput(b *testing.B) {
 		data []byte
 	}{{"text-heavy", textHeavy}, {"markup-heavy", markupHeavy}} {
 		r := bytes.NewReader(doc.data)
+		b.Run(doc.name+"/index", func(b *testing.B) {
+			var ix xmlstream.StructIndex
+			b.SetBytes(int64(len(doc.data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := drainIndex(&ix, doc.data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 		b.Run(doc.name+"/chunked", func(b *testing.B) {
 			tok := xmlstream.NewTokenizerOptions(nil, opts)
 			b.SetBytes(int64(len(doc.data)))
@@ -43,7 +53,7 @@ func BenchmarkTokenizerThroughput(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				r.Reset(doc.data)
 				tok.Reset(r)
-				if _, err := drainTokenizer(tok.Next); err != nil {
+				if _, err := drainChunked(tok); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -55,7 +65,7 @@ func BenchmarkTokenizerThroughput(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				r.Reset(doc.data)
 				tok.Reset(r)
-				if _, err := drainTokenizer(tok.Next); err != nil {
+				if _, err := drainReference(tok); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -90,24 +100,24 @@ func TestChunkedTokenizerAllocsNotAboveReference(t *testing.T) {
 
 	for _, doc := range [][]byte{textHeavy, markupHeavy} {
 		r := bytes.NewReader(doc)
-		drainChunked := func() {
+		chunkedPass := func() {
 			r.Reset(doc)
 			chunked.Reset(r)
-			if _, err := drainTokenizer(chunked.Next); err != nil {
+			if _, err := drainChunked(chunked); err != nil {
 				t.Fatal(err)
 			}
 		}
-		drainReference := func() {
+		referencePass := func() {
 			r.Reset(doc)
 			reference.Reset(r)
-			if _, err := drainTokenizer(reference.Next); err != nil {
+			if _, err := drainReference(reference); err != nil {
 				t.Fatal(err)
 			}
 		}
-		drainChunked() // warm up scratch buffers and name tables
-		drainReference()
-		ca := testing.AllocsPerRun(5, drainChunked)
-		ra := testing.AllocsPerRun(5, drainReference)
+		chunkedPass() // warm up scratch buffers and name tables
+		referencePass()
+		ca := testing.AllocsPerRun(5, chunkedPass)
+		ra := testing.AllocsPerRun(5, referencePass)
 		if ca > ra {
 			t.Fatalf("chunked tokenizer allocates more than reference: %.1f > %.1f allocs/pass", ca, ra)
 		}
@@ -117,7 +127,7 @@ func TestChunkedTokenizerAllocsNotAboveReference(t *testing.T) {
 	}
 }
 
-// TestRunTokenizer smoke-tests the report: all six cells present, sane
+// TestRunTokenizer smoke-tests the report: all eight cells present, sane
 // throughput numbers, and both scanners agree on the token count per
 // document (the in-benchmark differential check).
 func TestRunTokenizer(t *testing.T) {
@@ -125,15 +135,18 @@ func TestRunTokenizer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Results) != 6 {
-		t.Fatalf("got %d cells, want 6", len(rep.Results))
+	if len(rep.Results) != 8 {
+		t.Fatalf("got %d cells, want 8", len(rep.Results))
 	}
 	tokens := map[string]int64{}
 	for _, r := range rep.Results {
 		if r.MBPerSec <= 0 {
 			t.Errorf("%s/%s: non-positive MB/s", r.Doc, r.Path)
 		}
-		if r.Path != "projected" {
+		if r.Path == "index" && r.Tokens == 0 {
+			t.Errorf("%s/index: zero structural bytes counted", r.Doc)
+		}
+		if r.Path == "chunked" || r.Path == "reference" {
 			tokens[r.Doc+"/"+r.Path] = r.Tokens
 		}
 	}
@@ -145,5 +158,28 @@ func TestRunTokenizer(t *testing.T) {
 	}
 	if rep.SpeedupTextHeavy <= 0 || rep.SpeedupMarkupHeavy <= 0 {
 		t.Fatalf("speedups not computed: %+v", rep)
+	}
+}
+
+// BenchmarkStructuralIndex isolates the classification pass: Build over
+// the whole document plus a full candidate walk, no tokenization. Its
+// MB/s is the ceiling the index-driven scanner approaches as markup
+// density grows; a regression here slows every window slide.
+func BenchmarkStructuralIndex(b *testing.B) {
+	textHeavy, markupHeavy := tokenizerDocs(4<<20, 1)
+	for _, doc := range []struct {
+		name string
+		data []byte
+	}{{"text-heavy", textHeavy}, {"markup-heavy", markupHeavy}} {
+		b.Run(doc.name, func(b *testing.B) {
+			var ix xmlstream.StructIndex
+			b.SetBytes(int64(len(doc.data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := drainIndex(&ix, doc.data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

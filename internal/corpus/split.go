@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+
+	"gcx/internal/xmlstream"
 )
 
 // Splitter scans a concatenated stream of top-level XML documents and
@@ -41,6 +43,15 @@ type Splitter struct {
 	n   int
 	err error // sticky read error (io.EOF included)
 	max int64 // per-document byte cap (0 = unlimited)
+
+	// idx is the structural-byte index over buf[:n] (see
+	// xmlstream.StructIndex), rebuilt whenever the window refills or is
+	// compacted. Interior runs of text, tags, quoted values, and
+	// declarations hop its candidates instead of probing with
+	// IndexByte/IndexAny per run; opaque interiors (comments, PIs,
+	// CDATA) keep IndexByte because their sentinels ('-', '?', ']') are
+	// not structural bytes.
+	idx xmlstream.StructIndex
 }
 
 // NewSplitter returns a splitter reading the concatenated stream from r.
@@ -131,12 +142,12 @@ func (s *Splitter) Next(dst []byte) ([]byte, error) {
 		dst = append(dst, run...)
 	}
 
-	// skipTo / skipToAny bulk-consume the run of bytes strictly before
-	// the next sentinel, mirroring the tokenizer's chunked fast paths:
-	// interior bytes of comments, PIs, CDATA, quoted values, and
-	// declarations cannot change the scanner state, so whole runs move
-	// with one IndexByte/IndexAny call instead of per-byte stepping
-	// (no sentinel in the window = the whole window is interior).
+	// skipTo bulk-consumes the run of bytes strictly before the next
+	// sentinel, mirroring the tokenizer's opaque-region scanning:
+	// interior bytes of comments, PIs, and CDATA cannot change the
+	// scanner state, and their sentinels ('-', '?', ']') are not
+	// structural bytes, so whole runs move with one IndexByte call (no
+	// sentinel in the window = the whole window is interior).
 	skipTo := func(stop byte) {
 		if i := bytes.IndexByte(s.buf[s.pos:s.n], stop); i != 0 {
 			run := s.buf[s.pos:s.n]
@@ -147,17 +158,76 @@ func (s *Splitter) Next(dst []byte) ([]byte, error) {
 			keep(run)
 		}
 	}
-	skipToAny := func(stops string) bool {
-		if i := bytes.IndexAny(s.buf[s.pos:s.n], stops); i != 0 {
-			run := s.buf[s.pos:s.n]
-			if i > 0 {
-				run = run[:i]
+
+	// hopTo consumes the run strictly before the next occurrence of stop
+	// by hopping the structural index, mirroring the tokenizer's
+	// index-driven fast paths. Candidates for other structural bytes en
+	// route are interior content in the calling state (a '>' in
+	// character data, a '<' or the other quote inside a value) and cost
+	// one dispatch each. No stop in the window = the whole window is
+	// interior.
+	hopTo := func(stop byte) {
+		start := s.pos
+		for p := start; ; {
+			i := s.idx.Next(p)
+			if i < 0 {
+				s.pos = s.n
+				keep(s.buf[start:s.n])
+				return
 			}
-			s.pos += len(run)
-			keep(run)
-			return len(run) > 0
+			if s.buf[i] == stop {
+				s.pos = i
+				keep(s.buf[start:i])
+				return
+			}
+			p = i + 1
 		}
-		return false
+	}
+
+	// hopTag consumes the in-tag run up to the next quote or '>'
+	// (structural candidates; '<' and '&' inside a tag are content for
+	// the splitter) and recovers the '/' tracking the per-byte stepper
+	// kept: '/' only matters as the byte immediately before '>', so the
+	// run's last byte determines prevSlash, and an empty run carries the
+	// previous value (e.g. the '/' consumed per-byte just before).
+	hopTag := func() {
+		start := s.pos
+		for p := start; ; {
+			i := s.idx.Next(p)
+			if i < 0 {
+				i = s.n
+			} else if c := s.buf[i]; c != '"' && c != '\'' && c != '>' {
+				p = i + 1
+				continue
+			}
+			if i > start {
+				s.pos = i
+				keep(s.buf[start:i])
+				prevSlash = s.buf[i-1] == '/'
+			}
+			return
+		}
+	}
+
+	// hopDecl consumes the declaration-interior run up to the next
+	// bracket or quote opener — all four stops are structural, so this
+	// is a pure index hop ('&' is the only dispatch-skipped candidate).
+	hopDecl := func() {
+		start := s.pos
+		for p := start; ; {
+			i := s.idx.Next(p)
+			if i < 0 {
+				i = s.n
+			} else if s.buf[i] == '&' {
+				p = i + 1
+				continue
+			}
+			if i > start {
+				s.pos = i
+				keep(s.buf[start:i])
+			}
+			return
+		}
 	}
 
 	for {
@@ -214,7 +284,7 @@ func (s *Splitter) Next(dst []byte) ([]byte, error) {
 			}
 			// Inside the document, only '<' changes the state: bulk-copy
 			// the rest of the character-data run.
-			skipTo('<')
+			hopTo('<')
 		case spLT:
 			switch {
 			case c == '!':
@@ -330,14 +400,14 @@ func (s *Splitter) Next(dst []byte) ([]byte, error) {
 			}
 			if state == spDecl && declPfx == 0 {
 				// Outside any "<!--"/"<?" prefix, only brackets and quote
-				// openers matter: skip the run to the next one.
-				skipToAny(`<>"'`)
+				// openers matter: hop the run to the next one.
+				hopDecl()
 			}
 		case spDeclQuote:
 			if c == quote {
 				state = spDecl
 			} else {
-				skipTo(quote)
+				hopTo(quote)
 			}
 		case spDeclComment:
 			switch {
@@ -362,7 +432,7 @@ func (s *Splitter) Next(dst []byte) ([]byte, error) {
 			if c == quote {
 				state = spTag
 			} else {
-				skipTo(quote)
+				hopTo(quote)
 			}
 		case spTag:
 			switch {
@@ -393,12 +463,10 @@ func (s *Splitter) Next(dst []byte) ([]byte, error) {
 				prevSlash = false
 			}
 			if state == spTag {
-				// Names, attribute names, '=' and spaces: skip to the next
-				// byte that can end the tag or open a quote. A nonempty
-				// run separates any earlier '/' from the closing '>'.
-				if skipToAny(`"'/>`) {
-					prevSlash = false
-				}
+				// Names, attribute names, '=' and spaces: hop to the next
+				// byte that can end the tag or open a quote, recovering
+				// the self-closing '/' from the run's tail.
+				hopTag()
 			}
 		}
 	}
@@ -436,6 +504,7 @@ func (s *Splitter) fill() bool {
 			if err != nil {
 				s.err = err
 			}
+			s.idx.Build(s.buf[:s.n])
 			return true
 		}
 		if err != nil {
@@ -467,6 +536,9 @@ func (s *Splitter) fillMore() bool {
 			s.err = err
 		}
 		if n > 0 {
+			// The compaction above shifted the window, so absolute index
+			// positions are stale either way: rebuild.
+			s.idx.Build(s.buf[:s.n])
 			return true
 		}
 		if err != nil {

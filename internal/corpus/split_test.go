@@ -217,7 +217,8 @@ func (c capReader) Read(p []byte) (int, error) {
 // TestSplitterBoundarySizeSweep: the run-scanning fast paths (comment,
 // PI, CDATA, quoted-value, declaration, and tag interiors) must frame
 // identically whether a run arrives whole or split at any refill
-// boundary. The same stream is framed at read sizes 1, 2, 7, 4096, and
+// boundary. The same stream is framed at read sizes 1, 2, 7, the
+// structural index's 64-byte block edges (63/64/65/127/128), 4096, and
 // unbounded, and every framing must match.
 func TestSplitterBoundarySizeSweep(t *testing.T) {
 	input := strings.Join([]string{
@@ -248,7 +249,7 @@ func TestSplitterBoundarySizeSweep(t *testing.T) {
 	if len(want) != 4 {
 		t.Fatalf("unbounded framing found %d docs, want 4: %q", len(want), want)
 	}
-	for _, k := range []int{1, 2, 7, 4096} {
+	for _, k := range []int{1, 2, 7, 63, 64, 65, 127, 128, 4096} {
 		got := frame(k)
 		if len(got) != len(want) {
 			t.Fatalf("read size %d: %d docs, want %d", k, len(got), len(want))

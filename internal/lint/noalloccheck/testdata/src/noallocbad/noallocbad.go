@@ -89,3 +89,23 @@ func (h *histo) observe(label string, nanos int64) {
 	key := fmt.Sprintf("%s_seconds", label) // want `call to fmt\.Sprintf allocates`
 	h.counts[key] += nanos
 }
+
+// structIdx models the tokenizer's structural-index classification
+// chain (internal/xmlstream.StructIndex): Build runs inside fill() on
+// every window slide, so it must reuse its words slice rather than
+// re-making the bitmap per pass — the violation below is exactly the
+// regression that would put one allocation on every refill.
+type structIdx struct {
+	words []uint64
+}
+
+//gcxlint:noalloc
+func (ix *structIdx) build(window []byte) {
+	bm := make([]uint64, (len(window)+63)/64) // want `make allocates`
+	for i, c := range window {
+		if c == '<' || c == '>' || c == '&' || c == '"' || c == '\'' {
+			bm[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	ix.words = bm
+}

@@ -22,7 +22,10 @@ import (
 
 // diffWindows are the refill boundary sizes under test; 0 means "let the
 // reader hand over everything it has" (strings.Reader semantics).
-var diffWindows = []int{1, 2, 7, 4096, 0}
+// 63/64/65 straddle the structural index's 64-byte block edges, so every
+// construct is also exercised with its structural bytes landing on the
+// last bit of one bitmap word and the first bit of the next.
+var diffWindows = []int{1, 2, 7, 63, 64, 65, 127, 128, 4096, 0}
 
 // chunkReader yields at most k bytes per Read, bounding the tokenizer's
 // lookahead window to k bytes so runs straddle refills.
@@ -194,10 +197,71 @@ var differentialCorpus = []string{
 	`   `,
 }
 
+// blockEdgeCorpus places structural bytes and straddle-prone constructs
+// exactly on the structural index's 64-byte block edges (offsets 63, 64,
+// 65): tags, quoted attribute values, and entity references split across
+// blocks, plus '<'/'>' inside opaque regions (CDATA, comments, DOCTYPE)
+// at the edge. pad(n) emits n bytes of inert text so the construct under
+// test starts at a chosen absolute offset.
+func blockEdgeCorpus() []string {
+	pad := func(n int) string { return strings.Repeat("x", n) }
+	var out []string
+	// A start tag whose '<', name, '=', quotes, '/' and '>' each land at
+	// offsets 63, 64, and 65 in turn. "<r>" occupies offsets 0-2, so the
+	// construct starts at 3+len(pad).
+	for _, at := range []int{63, 64, 65} {
+		p := pad(at - 3)
+		out = append(out,
+			`<r>`+p+`<b k="v" j='w'>t</b></r>`,   // '<' at the edge
+			`<r>`+pad(at-4)+`<b k="v">t</b></r>`, // name at the edge
+			`<r>`+p+`</r>`,                       // closing tag at the edge
+			`<r><b>`+pad(at-6)+`</b></r>`,
+			`<r>`+p+`&amp;&#65;</r>`,                   // entity '&' at the edge
+			`<r>`+pad(at-8)+`&amp;tail</r>`,            // entity ';' near the edge
+			`<r><b k="`+pad(at-9)+`" j='v'/></r>`,      // closing quote near the edge
+			`<r><b k="`+pad(at-9)+`>" j='<raw>'/></r>`, // '>' '<' inside values at the edge
+			`<r><b `+pad(0)+`k`+strings.Repeat(" ", at%7+1)+`= "v"/></r>`,
+			`<r><![CDATA[`+pad(at-12)+`<in>]]>]]></r>`, // '<'/'>' in CDATA at the edge
+			`<r><!--`+pad(at-7)+`<c> -- x--></r>`,      // '<'/'>' in a comment at the edge
+			`<r><?pi `+pad(at-8)+`<p> ??></r>`,         // '<'/'>' in a PI at the edge
+		)
+		// DOCTYPE internal subset with quoted '<'/'>' hitting the edge.
+		out = append(out,
+			`<!DOCTYPE r [<!ENTITY e "`+pad(at-26)+`<v>">]><r/>`,
+			`<!DOCTYPE r [`+pad(at-14)+`<!-- < > -->]><r/>`,
+		)
+	}
+	// Structural bytes at exactly 63/64/65 with nothing else around them,
+	// in one document: text runs sized so consecutive '<' bytes land on
+	// 63, 64, and 65 across self-closing tags.
+	out = append(out,
+		`<r>`+pad(60)+`<b/>`+`<c/>`+pad(61)+`<d/></r>`,
+		`<r>`+pad(61)+`<b x="`+pad(63)+`"/></r>`,
+		// A tag spanning a whole block: attributes from offset 63 to 130.
+		`<r>`+pad(60)+`<b aaaaaaaaaaaaaaaa="bbbbbbbbbbbbbbbb" cccccccccccccccc='dddddddddddddddd'/></r>`,
+	)
+	return out
+}
+
 // TestDifferentialCorpus sweeps the hand-built corpus across all window
 // sizes and option sets.
 func TestDifferentialCorpus(t *testing.T) {
 	for i, src := range differentialCorpus {
+		t.Run(fmt.Sprintf("case%02d", i), func(t *testing.T) {
+			for _, w := range diffWindows {
+				for _, opts := range diffOptionSets {
+					diffOne(t, []byte(src), w, opts)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialBlockEdges sweeps the generated block-boundary
+// adversarial corpus: every construct with its structural bytes pinned to
+// the index's 64-byte block edges, across all windows and option sets.
+func TestDifferentialBlockEdges(t *testing.T) {
+	for i, src := range blockEdgeCorpus() {
 		t.Run(fmt.Sprintf("case%02d", i), func(t *testing.T) {
 			for _, w := range diffWindows {
 				for _, opts := range diffOptionSets {

@@ -15,9 +15,10 @@ import (
 //
 // It also differentially cross-checks the chunked Tokenizer against the
 // retained per-byte Reference scanner at refill boundary sizes 1, 2, 7,
-// and 4096 (every run-scanning fast path must behave identically whether
-// or not the run straddles a refill), in both owning and BorrowText
-// modes.
+// 63/64/65 (the structural index's 64-byte block edges), and 4096 (every
+// run-scanning fast path must behave identically whether or not the run
+// straddles a refill or a bitmap block boundary), in both owning and
+// BorrowText modes.
 func FuzzTokenizer(f *testing.F) {
 	seeds := []string{
 		`<a/>`,
@@ -34,7 +35,7 @@ func FuzzTokenizer(f *testing.F) {
 	f.Fuzz(func(t *testing.T, src string) {
 		// Differential: chunked vs reference at every boundary size, on
 		// malformed inputs too (errors must agree, not just successes).
-		for _, w := range []int{1, 2, 7, 4096} {
+		for _, w := range []int{1, 2, 7, 63, 64, 65, 4096} {
 			diffOne(t, []byte(src), w, DefaultOptions())
 			engineMode := DefaultOptions()
 			engineMode.BorrowText = true

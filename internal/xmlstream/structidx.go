@@ -1,0 +1,165 @@
+package xmlstream
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// Structural index: the simdjson move, ported to streaming XML. Instead
+// of byte-stepping (branch per byte) or sentinel IndexByte probes (call
+// per run — a loss when markup is dense and runs are short), a single
+// branchless classification pass runs over the whole lookahead window
+// every refill and records, one bit per byte, where the five structural
+// characters sit:
+//
+//	'<' 0x3C   '>' 0x3E   '&' 0x26   '"' 0x22   '\'' 0x27
+//
+// Tag, attribute, and text scanning then HOP between candidate
+// positions with TrailingZeros64 instead of inspecting bytes. Quotes
+// must be classified even though they only matter inside tags: finding
+// a tag's closing '>' from the index requires masking '>' and '<' that
+// sit inside quoted attribute values ("a > b" is value content, not a
+// tag end).
+//
+// The bitmap is COMBINED: one bit marks "some structural byte here",
+// and the consumer dispatches on the actual buffer byte. Candidates
+// that turn out to be irrelevant in context (an apostrophe in character
+// data, a '>' in a text run) cost one dispatch and are skipped. That
+// keeps classification at three SWAR zero-tests per word instead of
+// five, exploiting shared structure in the code points:
+//
+//	(x | 0x02) ^ 0x3E == 0  ⇔  x ∈ {0x3C, 0x3E}   ('<' or '>')
+//	(x | 0x01) ^ 0x27 == 0  ⇔  x ∈ {0x26, 0x27}   ('&' or '\'')
+//	 x         ^ 0x22 == 0  ⇔  x == 0x22          ('"')
+//
+// Block format: one uint64 per 64-byte block, bit i of words[b] set iff
+// buf[b*64+i] is structural. The tail block is classified from a
+// zero-padded copy (0x00 is never structural), so no bit is ever set at
+// or beyond len(buf) — queries need no end-of-buffer re-check.
+
+// StructIndex is a per-window structural-byte index. Build classifies a
+// buffer; Next answers "first structural byte at or after p" in O(1)
+// amortized. The words slice is reused across Builds, so a warm index
+// performs zero allocations per pass.
+type StructIndex struct {
+	words []uint64 // one bit per byte, 64 bytes per word
+	n     int      // classified length (len of the last Build's buffer)
+}
+
+const (
+	swarEach = 0x0101010101010101 // one in every byte lane
+	swar7F   = 0x7f7f7f7f7f7f7f7f
+)
+
+// swarZero returns 0x80 in every byte lane of v that is zero, and 0x00
+// in every other lane. Exact per-lane detection: the cheaper
+// (v-lo)&^v&hi idiom false-positives on lanes following a zero lane
+// (borrow propagation), which would corrupt the bitmap.
+//
+//gcxlint:noalloc
+func swarZero(v uint64) uint64 {
+	return ^(((v & swar7F) + swar7F) | v | swar7F)
+}
+
+// classifyWord maps 8 input bytes (little-endian packed) to an 8-bit
+// mask, bit j set iff byte j is one of the five structural characters.
+// The lane masks (0x80 per match) are compressed to positional bits with
+// a multiply-movemask: lane j's high bit, shifted to bit 8j, lands at
+// bit 56+j under ×0x0102040810204080 with no carry collisions.
+//
+//gcxlint:noalloc
+func classifyWord(x uint64) uint64 {
+	angle := swarZero((x | 0x0202020202020202) ^ 0x3e3e3e3e3e3e3e3e) // '<' '>'
+	ampos := swarZero((x | swarEach) ^ 0x2727272727272727)           // '&' '\''
+	quot := swarZero(x ^ 0x2222222222222222)                         // '"'
+	m := angle | ampos | quot
+	return ((m >> 7) * 0x0102040810204080) >> 56
+}
+
+// Build classifies buf and replaces the index contents. It must be
+// re-run whenever the window slides or is compacted: positions are
+// absolute offsets into buf.
+//
+//gcxlint:noalloc
+func (ix *StructIndex) Build(buf []byte) {
+	n := len(buf)
+	ix.n = n
+	nw := (n + 63) >> 6
+	if cap(ix.words) < nw {
+		ix.words = make([]uint64, nw) //gcxlint:allocok sized to the window once; reused across Builds
+	}
+	ix.words = ix.words[:nw]
+	i, w := 0, 0
+	for ; i+64 <= n; i, w = i+64, w+1 {
+		b := buf[i : i+64 : i+64]
+		bm := classifyWord(binary.LittleEndian.Uint64(b[0:8]))
+		bm |= classifyWord(binary.LittleEndian.Uint64(b[8:16])) << 8
+		bm |= classifyWord(binary.LittleEndian.Uint64(b[16:24])) << 16
+		bm |= classifyWord(binary.LittleEndian.Uint64(b[24:32])) << 24
+		bm |= classifyWord(binary.LittleEndian.Uint64(b[32:40])) << 32
+		bm |= classifyWord(binary.LittleEndian.Uint64(b[40:48])) << 40
+		bm |= classifyWord(binary.LittleEndian.Uint64(b[48:56])) << 48
+		bm |= classifyWord(binary.LittleEndian.Uint64(b[56:64])) << 56
+		ix.words[w] = bm
+	}
+	if i < n {
+		// Tail block: classify a zero-padded copy so no bit lands at or
+		// past n (0x00 matches no structural class).
+		var tail [64]byte
+		copy(tail[:], buf[i:n])
+		bm := classifyWord(binary.LittleEndian.Uint64(tail[0:8]))
+		bm |= classifyWord(binary.LittleEndian.Uint64(tail[8:16])) << 8
+		bm |= classifyWord(binary.LittleEndian.Uint64(tail[16:24])) << 16
+		bm |= classifyWord(binary.LittleEndian.Uint64(tail[24:32])) << 24
+		bm |= classifyWord(binary.LittleEndian.Uint64(tail[32:40])) << 32
+		bm |= classifyWord(binary.LittleEndian.Uint64(tail[40:48])) << 40
+		bm |= classifyWord(binary.LittleEndian.Uint64(tail[48:56])) << 48
+		bm |= classifyWord(binary.LittleEndian.Uint64(tail[56:64])) << 56
+		ix.words[w] = bm
+	}
+}
+
+// Next returns the position of the first structural byte at or after
+// from, or -1 if none remains in the classified range. The caller
+// dispatches on the buffer byte at the returned position; a candidate
+// that is not relevant in context is skipped by querying from+1.
+//
+//gcxlint:noalloc
+func (ix *StructIndex) Next(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= ix.n {
+		return -1
+	}
+	w := from >> 6
+	b := ix.words[w] &^ (1<<(uint(from)&63) - 1)
+	for b == 0 {
+		w++
+		if w >= len(ix.words) {
+			return -1
+		}
+		b = ix.words[w]
+	}
+	return w<<6 + bits.TrailingZeros64(b)
+}
+
+// Reset drops the classified range (keeping the words capacity) so a
+// pooled owner starts its next document with an empty index.
+//
+//gcxlint:noalloc
+func (ix *StructIndex) Reset() {
+	ix.n = 0
+	ix.words = ix.words[:0]
+}
+
+// Count returns the number of structural bytes in the classified range —
+// a cheap, machine-portable digest used by the benchmark gate to pin the
+// classification output across runs.
+func (ix *StructIndex) Count() int {
+	c := 0
+	for _, w := range ix.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}

@@ -56,14 +56,19 @@ func DefaultOptions() Options {
 // Well-formedness of tag nesting is checked; the tokenizer returns a
 // *SyntaxError on mismatched or unclosed tags.
 //
-// The scanner is chunked: it maintains a lookahead window over the reader
-// and skips whole runs with bytes.IndexByte/IndexAny — text content (to
-// '<'/'&'), attribute values (to the quote), comment/PI/CDATA/DOCTYPE
-// interiors (to their '-'/'?'/']'/sentinel bytes), whitespace, and names —
-// falling back to the per-byte state machine only at structural
-// boundaries. The retained per-byte implementation (Reference) is the
+// The scanner is chunked and index-driven: every window slide runs the
+// branchless structural classification pass (see structidx.go), and text
+// runs, start tags, and end tags are parsed by hopping the precomputed
+// candidate positions — whole tags parse inside the window with no
+// refill checks. The per-byte state machine remains as the fallback for
+// anything the fast paths bail on (constructs straddling a refill,
+// entities in attribute values, malformed shapes) and for opaque
+// regions (comments, PIs, CDATA, DOCTYPE interiors), whose sentinel
+// bytes are not structural and still use bytes.IndexByte run-skipping.
+// The retained per-byte implementation (Reference) is the
 // differential-testing and benchmarking baseline; both must produce
-// byte-identical token streams (see DESIGN.md, "Chunked scanning").
+// byte-identical token streams (see DESIGN.md, "Chunked scanning" and
+// "Structural index").
 type Tokenizer struct {
 	r    io.Reader
 	opts Options
@@ -75,8 +80,15 @@ type Tokenizer struct {
 	err    error // sticky read error (io.EOF or real error)
 	closed bool
 
-	// pending tokens produced by attribute expansion or self-closing tags.
+	// idx is the structural-byte index over buf[:n], rebuilt on every
+	// window slide; queries return absolute buf offsets.
+	idx StructIndex
+
+	// pending tokens produced by attribute expansion or self-closing
+	// tags. pendHead is the read cursor: delivery advances the head
+	// instead of shifting the slice, so draining is copy-free.
 	pending  []Token
+	pendHead int
 	stack    []string // open element names for well-formedness checking
 	rootSeen bool     // a root element has been produced (rejects forests)
 
@@ -88,7 +100,10 @@ type Tokenizer struct {
 	// names interns tag and attribute names: documents use few distinct
 	// names, and the map lookup on string(nameBuf) does not allocate, so
 	// steady-state tokenizing allocates only for character data.
-	names map[string]string
+	// nameCache is a small direct-mapped front for it: hot vocabularies
+	// resolve with one string compare instead of a map probe.
+	names     map[string]string
+	nameCache [nameCacheSize]string
 }
 
 // attr is one parsed attribute of the current start tag.
@@ -133,6 +148,7 @@ const maxRetainedScratch = 64 << 10
 func (t *Tokenizer) Reset(r io.Reader) {
 	if len(t.names) > maxRetainedNames {
 		t.names = make(map[string]string, 64)
+		t.nameCache = [nameCacheSize]string{} // entries point into the dropped table
 	}
 	t.r = r
 	t.buf = t.buf[:0]
@@ -141,7 +157,9 @@ func (t *Tokenizer) Reset(r io.Reader) {
 	t.off = 0
 	t.err = nil
 	t.closed = false
+	t.idx.Reset()
 	t.pending = t.pending[:0]
+	t.pendHead = 0
 	t.stack = t.stack[:0]
 	t.rootSeen = false
 	t.nameBuf = resetScratch(t.nameBuf)
@@ -195,6 +213,9 @@ func (t *Tokenizer) fill() bool {
 		n, err := t.r.Read(t.buf)
 		if n > 0 {
 			t.n = n
+			// Classify the fresh window: one branchless pass funds every
+			// index-driven fast path until the next slide.
+			t.idx.Build(t.buf[:n])
 			if err != nil {
 				t.err = err
 			}
@@ -313,10 +334,36 @@ func isSpace(c byte) bool {
 	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
 }
 
+// nameCacheSize is the direct-mapped interning cache size. Real
+// vocabularies are a handful of names; 64 slots make collisions rare
+// while keeping the table one cache line of string headers per way.
+const nameCacheSize = 64
+
+// intern returns the canonical string for the name bytes b (len(b) > 0)
+// without allocating for names already seen: a direct-mapped cache
+// compare first, the interning map second. The string conversions in
+// comparison and map-key position are elided by the compiler.
+//
+//gcxlint:noalloc
+func (t *Tokenizer) intern(b []byte) string {
+	h := (uint32(b[0])*131 + uint32(b[len(b)-1])*31 + uint32(len(b))) % nameCacheSize
+	if c := t.nameCache[h]; len(c) == len(b) && c == string(b) {
+		return c
+	}
+	if interned, ok := t.names[string(b)]; ok {
+		t.nameCache[h] = interned
+		return interned
+	}
+	owned := string(b) //gcxlint:allocok interning copies each distinct name exactly once
+	t.names[owned] = owned
+	t.nameCache[h] = owned
+	return owned
+}
+
 // readName reads an XML name and returns it as an interned string. The
 // fast path scans the name inside the current window and interns straight
-// from the window subslice (the map lookup on string(b) does not
-// allocate); only a name that straddles a refill goes through nameBuf.
+// from the window subslice; only a name that straddles a refill goes
+// through nameBuf.
 //
 //gcxlint:noalloc
 func (t *Tokenizer) readName() (string, error) {
@@ -336,12 +383,7 @@ func (t *Tokenizer) readName() (string, error) {
 		// Whole name in the window: intern without copying.
 		name := win[:i]
 		t.pos += i
-		if interned, ok := t.names[string(name)]; ok {
-			return interned, nil
-		}
-		owned := string(name) //gcxlint:allocok interning copies each distinct name exactly once
-		t.names[owned] = owned
-		return owned, nil
+		return t.intern(name), nil
 	}
 	// The name may continue past the refill boundary: accumulate.
 	t.nameBuf = append(t.nameBuf[:0], win...)
@@ -354,12 +396,7 @@ func (t *Tokenizer) readName() (string, error) {
 		t.nameBuf = append(t.nameBuf, c)
 		t.pos++
 	}
-	if interned, ok := t.names[string(t.nameBuf)]; ok {
-		return interned, nil
-	}
-	name := string(t.nameBuf) //gcxlint:allocok interning copies each distinct name exactly once
-	t.names[name] = name
-	return name, nil
+	return t.intern(t.nameBuf), nil
 }
 
 //gcxlint:noalloc
@@ -542,20 +579,30 @@ func encodeRune(p []byte, r rune) int {
 // EOF. A non-nil error indicates malformed input or a read failure; read
 // failures take precedence over the syntax confusion they cause.
 func (t *Tokenizer) Next() (Token, error) {
-	tok, err := t.nextToken()
-	if err != nil && t.err != nil && t.err != io.EOF {
-		return Token{}, t.err
+	// Queued tokens (attribute expansion, self-closing end tags) drain by
+	// advancing the head cursor — no shifting and no truncation here:
+	// producers rewind the drained queue before appending, which keeps
+	// this function under the inlining budget so a pop is a few loads in
+	// the caller's frame.
+	if h := t.pendHead; h < len(t.pending) {
+		t.pendHead = h + 1
+		return t.pending[h], nil
 	}
-	return tok, err
+	return t.scan()
 }
 
-func (t *Tokenizer) nextToken() (Token, error) {
-	if len(t.pending) > 0 {
-		tok := t.pending[0]
-		copy(t.pending, t.pending[1:])
-		t.pending = t.pending[:len(t.pending)-1]
-		return tok, nil
+// errOr applies the read-error precedence rule at scan's error returns:
+// a read failure takes precedence over the syntax confusion it causes.
+//
+//gcxlint:noalloc
+func (t *Tokenizer) errOr(err error) error {
+	if t.err != nil && t.err != io.EOF {
+		return t.err
 	}
+	return err
+}
+
+func (t *Tokenizer) scan() (Token, error) {
 	if t.closed {
 		return Token{Kind: EOF}, nil
 	}
@@ -573,9 +620,36 @@ func (t *Tokenizer) nextToken() (Token, error) {
 		}
 		if c == '<' {
 			t.pos++
+			// Direct dispatch for the two hot tag kinds, skipping
+			// readMarkup's extra call layer; '?'/'!' and window-edge cases
+			// take the general path below.
+			if t.pos < t.n {
+				switch c2 := t.buf[t.pos]; c2 {
+				case '?', '!':
+					// comments/PIs/declarations: cold path
+				case '/':
+					t.pos++
+					tok, err := t.endTag()
+					if err != nil {
+						return Token{}, t.errOr(err)
+					}
+					return tok, nil
+				default:
+					// Whole-tag fast path straight from the dispatch; the
+					// slow readStartTag only runs on a bail.
+					if tok, ok := t.fastStartTag(); ok {
+						return tok, nil
+					}
+					tok, _, err := t.readStartTag()
+					if err != nil {
+						return Token{}, t.errOr(err)
+					}
+					return tok, nil
+				}
+			}
 			tok, produced, err := t.readMarkup()
 			if err != nil {
-				return Token{}, err
+				return Token{}, t.errOr(err)
 			}
 			if produced {
 				return tok, nil
@@ -584,7 +658,7 @@ func (t *Tokenizer) nextToken() (Token, error) {
 		}
 		tok, produced, err := t.readText()
 		if err != nil {
-			return Token{}, err
+			return Token{}, t.errOr(err)
 		}
 		if produced {
 			return tok, nil
@@ -596,21 +670,31 @@ func (t *Tokenizer) nextToken() (Token, error) {
 // Text token was produced (whitespace-only runs may be suppressed). One
 // maximal run yields at most one Text token, exactly like Reference.
 //
-// Fast path: when the whole run lies inside the current window and holds
-// no entity reference, the token borrows the window subslice directly
-// under BorrowText — zero copies, zero allocations. A run that straddles a
-// refill (or contains '&') is accumulated in textBuf, because the refill
-// overwrites the window.
+// Fast path: hop the structural-index candidates to the '<' that ends
+// the run. Quote and '>' candidates are plain character data and cost
+// one dispatch each; reaching '<' with no '&' en route means the whole
+// run lies inside the current window, so under BorrowText the token
+// borrows the window subslice directly — zero copies, zero allocations.
+// A run that straddles the refill (index exhausted) or contains '&' is
+// accumulated in textBuf, because the refill overwrites the window.
 //
 //gcxlint:noalloc
 func (t *Tokenizer) readText() (Token, bool, error) {
-	win := t.buf[t.pos:t.n] // nonempty: the caller peeked a non-'<' byte
-	if lt := bytes.IndexByte(win, '<'); lt >= 0 {
-		run := win[:lt]
-		if bytes.IndexByte(run, '&') < 0 {
-			t.pos += lt
+	for p := t.pos; ; {
+		i := t.idx.Next(p)
+		if i < 0 {
+			break // the run straddles the refill boundary
+		}
+		c := t.buf[i]
+		if c == '<' {
+			run := t.buf[t.pos:i]
+			t.pos = i
 			return t.emitText(run, isAllSpace(run))
 		}
+		if c == '&' {
+			break // entity: the slow path resolves into textBuf
+		}
+		p = i + 1 // '"', '\'', '>' are character data
 	}
 	// Slow path: the run straddles the window or contains entities.
 	// Consume it in sub-runs delimited by '<', '&', and refills.
@@ -707,26 +791,39 @@ func (t *Tokenizer) readMarkup() (Token, bool, error) {
 		return t.readBang()
 	case '/':
 		t.pos++
-		name, err := t.readName()
+		tok, err := t.endTag()
 		if err != nil {
 			return Token{}, false, err
 		}
-		t.skipSpace()
-		if c, ok := t.next(); !ok || c != '>' {
-			return Token{}, false, t.syntaxErr("malformed closing tag </" + name)
-		}
-		if len(t.stack) == 0 {
-			return Token{}, false, t.syntaxErr("closing tag </" + name + "> with no open element")
-		}
-		top := t.stack[len(t.stack)-1]
-		if top != name {
-			return Token{}, false, t.syntaxErr("mismatched closing tag </" + name + ">, expected </" + top + ">")
-		}
-		t.stack = t.stack[:len(t.stack)-1]
-		return Token{Kind: EndElement, Name: name}, true, nil
+		return tok, true, nil
 	default:
 		return t.readStartTag()
 	}
+}
+
+// endTag parses a closing tag (after "</"): the in-window fast path
+// first, the refilling state machine with its diagnostics on a bail.
+func (t *Tokenizer) endTag() (Token, error) {
+	if tok, ok := t.fastEndTag(); ok {
+		return tok, nil
+	}
+	name, err := t.readName()
+	if err != nil {
+		return Token{}, err
+	}
+	t.skipSpace()
+	if c, ok := t.next(); !ok || c != '>' {
+		return Token{}, t.syntaxErr("malformed closing tag </" + name)
+	}
+	if len(t.stack) == 0 {
+		return Token{}, t.syntaxErr("closing tag </" + name + "> with no open element")
+	}
+	top := t.stack[len(t.stack)-1]
+	if top != name {
+		return Token{}, t.syntaxErr("mismatched closing tag </" + name + ">, expected </" + top + ">")
+	}
+	t.stack = t.stack[:len(t.stack)-1]
+	return Token{Kind: EndElement, Name: name}, nil
 }
 
 // readBang handles "<!" constructs: comments, CDATA, DOCTYPE.
@@ -893,7 +990,205 @@ func (t *Tokenizer) readCDATA() (Token, bool, error) {
 	}
 }
 
-// readStartTag parses an opening tag (after '<'), including attributes.
+// fastEndTag parses a closing tag entirely inside the current window:
+// one index hop to the tag's first structural byte (its '>' when well
+// formed), one string compare of the interior against the top of stack,
+// and a pop. No per-byte name validation is needed on this path: the
+// stack top is a known-valid name, so interior == top implies the
+// interior is valid too (optional trailing spaces are trimmed first,
+// since `</name >` is legal). Anything else — the tag straddling the
+// window edge, a quote or '<'/'&' before the '>', a mismatched or
+// space-embedded name, an empty stack — leaves the tokenizer state
+// untouched and reports ok=false, so the state machine runs unchanged
+// and produces its exact errors and offsets. The matching top of stack
+// doubles as the interned name: no map probe at all.
+//
+//gcxlint:noalloc
+func (t *Tokenizer) fastEndTag() (Token, bool) {
+	i := t.pos
+	gt := t.idx.Next(i)
+	if gt < 0 || t.buf[gt] != '>' {
+		return Token{}, false // window edge or malformed: slow path decides
+	}
+	if len(t.stack) == 0 {
+		return Token{}, false
+	}
+	j := gt
+	for j > i && isSpace(t.buf[j-1]) {
+		j--
+	}
+	top := t.stack[len(t.stack)-1]
+	if top != string(t.buf[i:j]) {
+		return Token{}, false // mismatch: slow path builds the error
+	}
+	t.stack = t.stack[:len(t.stack)-1]
+	t.pos = gt + 1
+	return Token{Kind: EndElement, Name: top}, true
+}
+
+// fastStartTag parses a start tag entirely inside the current window,
+// driven by the structural index in a single pass: raw bounded loops
+// cover the non-structural stretches (names, spaces, '='), and every
+// structural byte of the tag — each attribute value's quotes, the
+// closing '>' — is reached by hopping the precomputed candidates, so
+// each candidate is visited exactly once and there are no refill checks
+// and no per-byte state machine. '<'/'>' inside quoted values are
+// skipped as content by the value hop (this is why quotes are
+// classified at all). Attribute tokens are appended to the pending
+// queue as they parse; the queue is empty on entry — a new tag is only
+// parsed once it drains — so a bail just truncates it back to empty.
+//
+// Any anomaly — the tag straddling the refill, an entity anywhere in
+// the tag, a bare '<'/'&', a malformed shape — bails with the scan
+// position untouched, so the original state machine reruns from the
+// same byte and produces byte-identical tokens, errors, and offsets.
+//
+//gcxlint:noalloc
+func (t *Tokenizer) fastStartTag() (Token, bool) {
+	var (
+		buf         = t.buf
+		n           = t.n
+		name        string
+		selfClosing bool
+		i, j        int
+	)
+	i = t.pos
+	if !isNameStart(buf[i]) {
+		goto bail
+	}
+	j = i + 1
+	for j < n && isNameByte(buf[j]) {
+		j++
+	}
+	if j >= n {
+		goto bail // the name may continue past the window
+	}
+	if len(t.stack) == 0 && t.rootSeen {
+		goto bail // multiple roots: slow path reports it
+	}
+	name = t.intern(buf[i:j])
+	// The pending queue is fully drained before a new tag is parsed
+	// (head == len); rewind it so the tag's tokens start at slot 0, and
+	// so a bail can discard partial appends by truncating again. A bail
+	// is harmless: the slow path rewinds its own scratch before use.
+	t.pending = t.pending[:0]
+	t.pendHead = 0
+	i = j
+	for {
+		// Hop to the next structural byte: the opening quote of the next
+		// attribute value, or the '>' that closes the tag.
+		cand := t.idx.Next(i)
+		if cand < 0 {
+			goto bail // tag end not in this window
+		}
+		switch c := buf[cand]; c {
+		case '>':
+			// [i, cand) must be spaces, optionally ending in the '/' of a
+			// self-closing tag.
+			end := cand
+			if end > i && buf[end-1] == '/' {
+				selfClosing = true
+				end--
+			}
+			for ; i < end; i++ {
+				if !isSpace(buf[i]) {
+					goto bail
+				}
+			}
+			// Commit: the parse is final and matches the slow path's tail.
+			t.pos = cand + 1
+			t.rootSeen = true
+			if selfClosing {
+				t.pending = append(t.pending, Token{Kind: EndElement, Name: name})
+			} else {
+				t.stack = append(t.stack, name)
+			}
+			return Token{Kind: StartElement, Name: name}, true
+		case '"', '\'':
+			// [i, cand) must be: spaces, attribute name, spaces, '=',
+			// spaces — ending exactly at the quote.
+			for i < cand && isSpace(buf[i]) {
+				i++
+			}
+			if i == cand || !isNameStart(buf[i]) {
+				goto bail
+			}
+			j = i + 1
+			for j < cand && isNameByte(buf[j]) {
+				j++
+			}
+			aname := t.intern(buf[i:j])
+			i = j
+			for i < cand && isSpace(buf[i]) {
+				i++
+			}
+			if i == cand || buf[i] != '=' {
+				goto bail
+			}
+			i++
+			for i < cand && isSpace(buf[i]) {
+				i++
+			}
+			if i != cand {
+				goto bail // non-space bytes between '=' and the quote
+			}
+			// The value: hop candidates to the matching quote. '<', '>',
+			// and the other quote inside are content; '&' means an entity
+			// the slow path must resolve.
+			vstart := cand + 1
+			vend := -1
+			for p := vstart; vend < 0; {
+				k := t.idx.Next(p)
+				if k < 0 {
+					goto bail // value continues past the window
+				}
+				switch buf[k] {
+				case c:
+					vend = k
+				case '&':
+					goto bail
+				}
+				p = k + 1
+			}
+			if t.opts.AttributesAsElements {
+				// Under BorrowText the value borrows the window directly —
+				// no scratch copy. This is within the contract: the window
+				// only slides inside fill, fill only runs from scan, and
+				// scan does not resume until the tag's pending tokens have
+				// fully drained, which is exactly the borrowed view's
+				// guaranteed lifetime.
+				var value string
+				if t.opts.BorrowText {
+					value = borrowString(buf[vstart:vend])
+				} else {
+					value = string(buf[vstart:vend]) //gcxlint:allocok owned-copy mode is for callers that retain text
+				}
+				if value == "" {
+					t.pending = append(t.pending,
+						Token{Kind: StartElement, Name: aname},
+						Token{Kind: EndElement, Name: aname})
+				} else {
+					t.pending = append(t.pending,
+						Token{Kind: StartElement, Name: aname},
+						Token{Kind: Text, Data: value},
+						Token{Kind: EndElement, Name: aname})
+				}
+			}
+			i = vend + 1
+		default:
+			goto bail // bare '<' or '&' inside a tag: slow path diagnoses
+		}
+	}
+
+bail:
+	t.pending = t.pending[:0]
+	return Token{}, false
+}
+
+// readStartTag parses an opening tag (after '<') with the per-byte
+// state machine, including attributes. The index-driven fast path
+// (fastStartTag) is attempted by scan's dispatch before this runs; a
+// bail reruns this machine from the same position.
 func (t *Tokenizer) readStartTag() (Token, bool, error) {
 	name, err := t.readName()
 	if err != nil {
@@ -992,7 +1287,10 @@ func (t *Tokenizer) readStartTag() (Token, bool, error) {
 		t.stack = append(t.stack, name)
 	}
 	// Queue attribute subelements (and the closing tag for self-closing
-	// elements) behind the start token.
+	// elements) behind the start token, rewinding the drained queue
+	// first (Next never truncates; producers do).
+	t.pending = t.pending[:0]
+	t.pendHead = 0
 	for _, a := range t.attrs {
 		t.pending = append(t.pending, Token{Kind: StartElement, Name: a.name})
 		if a.value != "" {
