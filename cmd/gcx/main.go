@@ -453,7 +453,9 @@ func printStats(w io.Writer, st gcx.Stats) {
 	fmt.Fprintf(w, "peak buffer:        %d nodes / %d bytes\n", st.PeakBufferNodes, st.PeakBufferBytes)
 	fmt.Fprintf(w, "output:             %d bytes\n", st.OutputBytes)
 	if st.EvalWallNanos > 0 {
-		fmt.Fprintf(w, "first result after: %s\n", time.Duration(st.TimeToFirstResultNanos))
+		if st.TimeToFirstResultNanos > 0 {
+			fmt.Fprintf(w, "first result after: %s\n", time.Duration(st.TimeToFirstResultNanos))
+		}
 		fmt.Fprintf(w, "evaluation took:    %s\n", time.Duration(st.EvalWallNanos))
 	}
 }

@@ -190,8 +190,10 @@ type Stats struct {
 	// TimeToFirstResultNanos is the time from run start to the first
 	// result byte entering the output writer — the serving-tier latency
 	// metric: how long buffering held results back before they started
-	// to flow. 0 when the run produced no output.
-	TimeToFirstResultNanos int64 `json:"time_to_first_result_nanos"`
+	// to flow. A run that produced no output has no first result: the
+	// field is 0 and absent from JSON, never a fake "0ns latency"
+	// observation.
+	TimeToFirstResultNanos int64 `json:"time_to_first_result_nanos,omitempty"`
 	// EvalWallNanos is the run's evaluation wall time.
 	EvalWallNanos int64 `json:"eval_wall_nanos"`
 }
@@ -390,10 +392,10 @@ type QueryStats struct {
 	// evaluation completed — how much of the input it needed.
 	TokensAtDone int64 `json:"tokens_at_done"`
 	// TimeToFirstResultNanos is the time from pass start to this
-	// member's first result byte (0 if it produced no output). Members
-	// emit progressively along the shared pass, so each reports its own
-	// first-result latency.
-	TimeToFirstResultNanos int64 `json:"time_to_first_result_nanos"`
+	// member's first result byte. Members emit progressively along the
+	// shared pass, so each reports its own first-result latency; a
+	// member that produced no output has none (0, absent from JSON).
+	TimeToFirstResultNanos int64 `json:"time_to_first_result_nanos,omitempty"`
 	// EvalWallNanos is the time from pass start to this member's
 	// evaluation completing.
 	EvalWallNanos int64 `json:"eval_wall_nanos"`

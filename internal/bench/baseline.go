@@ -64,6 +64,13 @@ type Tolerances struct {
 	// GOMAXPROCS mismatch.
 	TTFRGrowth  float64
 	TTFRSlackMs float64
+	// EarliestTTFRSlackMs is the tighter absolute headroom for the
+	// earliest-answering scenario's first-byte latencies. That scenario's
+	// whole point is that first-byte time is decoupled from document scan
+	// time, so its budget is sub-millisecond where the general TTFR slack
+	// is not: regressing the earliest path back into "first byte arrives
+	// with the last" territory must fail the gate loudly.
+	EarliestTTFRSlackMs float64
 	// MinTextSpeedup is the absolute floor on the tokenizer's
 	// chunked-vs-reference MB/s ratio for the text-heavy document —
 	// the chunked rework's acceptance bar, held machine-portably.
@@ -80,14 +87,15 @@ type Tolerances struct {
 // runs with).
 func DefaultTolerances() Tolerances {
 	return Tolerances{
-		ThroughputDrop:   0.15,
-		AllocGrowth:      0.10,
-		AllocSlack:       64,
-		PeakGrowth:       0.15,
-		TTFRGrowth:       0.75,
-		TTFRSlackMs:      1.0,
-		MinTextSpeedup:   1.8,
-		MinMarkupSpeedup: 2.0,
+		ThroughputDrop:      0.15,
+		AllocGrowth:         0.10,
+		AllocSlack:          64,
+		PeakGrowth:          0.15,
+		TTFRGrowth:          0.75,
+		TTFRSlackMs:         1.0,
+		EarliestTTFRSlackMs: 0.5,
+		MinTextSpeedup:      1.8,
+		MinMarkupSpeedup:    2.0,
 	}
 }
 
@@ -213,6 +221,49 @@ func compareServe(base, cur *ServeReport, tol Tolerances) (v, w []string) {
 				v = append(v, fmt.Sprintf("serve/%s: peak buffer grew %d -> %d bytes (ceiling %d)",
 					br.Path, br.PeakBufferBytes, cr.PeakBufferBytes, ceil))
 			}
+		}
+	}
+	v, w = compareEarliest(base.Earliest, cur.Earliest, sameClass, tol, v, w)
+	return v, w
+}
+
+// compareEarliest gates the earliest-answering scenario: the sink and
+// server first-byte latencies must stay within the (tight) earliest
+// slack of the baseline. Like the other latency floors it is
+// hardware-relative and suspended on a runner-class change; output
+// bytes are deterministic and always gate.
+func compareEarliest(base, cur *EarliestReport, sameClass bool, tol Tolerances, v, w []string) ([]string, []string) {
+	if base == nil {
+		return v, w
+	}
+	if cur == nil {
+		return append(v, "serve/earliest: baseline has an earliest-answering scenario but the current run is missing it — regenerate BENCH_serve.json with a gcxbench that knows the scenario"), w
+	}
+	if base.Query != cur.Query || base.DocBytes != cur.DocBytes {
+		return append(v, fmt.Sprintf("serve/earliest: parameter mismatch (query %q vs %q, doc %d vs %d bytes) — regenerate the baseline or fix the CI flags",
+			base.Query, cur.Query, base.DocBytes, cur.DocBytes)), w
+	}
+	if base.OutputBytes > 0 && cur.OutputBytes != base.OutputBytes {
+		v = append(v, fmt.Sprintf("serve/earliest: output bytes changed %d -> %d (deterministic corpus — evaluator behavior changed)",
+			base.OutputBytes, cur.OutputBytes))
+	}
+	if !sameClass {
+		return v, w
+	}
+	for _, q := range []struct {
+		name      string
+		base, cur float64
+	}{
+		{"engine ttfr p50", base.EngineTTFRP50Ms, cur.EngineTTFRP50Ms},
+		{"sink ttfr p50", base.SinkTTFRP50Ms, cur.SinkTTFRP50Ms},
+		{"server ttfb p50", base.ServerTTFBP50Ms, cur.ServerTTFBP50Ms},
+	} {
+		if q.base <= 0 {
+			continue
+		}
+		if ceil := q.base*(1+tol.TTFRGrowth) + tol.EarliestTTFRSlackMs; q.cur > ceil {
+			v = append(v, fmt.Sprintf("serve/earliest: %s regressed %.3fms -> %.3fms (ceiling %.3fms) — the first result byte is being held past certainty; check for new batching or a lost flush on the emit path",
+				q.name, q.base, q.cur, ceil))
 		}
 	}
 	return v, w

@@ -74,6 +74,39 @@ type ServeReport struct {
 	Concurrency int               `json:"concurrency"`
 	GoMaxProcs  int               `json:"gomaxprocs"`
 	Results     []ServePathResult `json:"results"`
+	// Earliest is the earliest-answering scenario: one query whose first
+	// match sits near the start of a large document with a long tail of
+	// irrelevant input behind it. It gates the property ROADMAP item 4
+	// asks for — the first result byte must LEAVE the engine (sink) and
+	// reach an HTTP client as soon as it is certain, not an input-scan
+	// later.
+	Earliest *EarliestReport `json:"earliest,omitempty"`
+}
+
+// EarliestQuery is the earliest-answering scenario query: XMark puts the
+// africa region first in the document, so the first <item> match arrives
+// within the first few KB while the remaining ~99% of the stream (other
+// regions, people, auctions) is pure tail the query never emits from.
+const EarliestQuery = `<earliest>{ for $i in /site/regions/africa/item return <n>{ $i/name }</n> }</earliest>`
+
+// EarliestReport measures where the first result byte of EarliestQuery
+// becomes observable at three boundaries of decreasing depth: the engine's
+// own stamp (byte enters the output writer), the destination writer (byte
+// leaves the engine's I/O batching), and an HTTP client of POST /query
+// (byte crosses the transport). An earliest-answering engine keeps all
+// three within noise of each other; output batching shows up as the sink
+// and server columns trailing the engine stamp by a whole document scan.
+type EarliestReport struct {
+	Query           string  `json:"query"`
+	DocBytes        int64   `json:"doc_bytes"`
+	Requests        int     `json:"requests"`
+	OutputBytes     int64   `json:"output_bytes"`
+	EngineTTFRP50Ms float64 `json:"engine_ttfr_p50_ms"`
+	SinkTTFRP50Ms   float64 `json:"sink_ttfr_p50_ms"`
+	SinkTTFRP99Ms   float64 `json:"sink_ttfr_p99_ms"`
+	ServerTTFBP50Ms float64 `json:"server_ttfb_p50_ms"`
+	ServerTTFBP99Ms float64 `json:"server_ttfb_p99_ms"`
+	WallP50Ms       float64 `json:"wall_p50_ms"`
 }
 
 // RunServe executes the three-path sweep.
@@ -117,7 +150,158 @@ func RunServe(cfg ServeConfig) (*ServeReport, error) {
 			fmt.Fprintf(cfg.Progress, "%s\n", FormatServeResult(r))
 		}
 	}
+	er, err := runEarliest(cfg, doc)
+	if err != nil {
+		return nil, err
+	}
+	report.Earliest = er
+	if cfg.Progress != nil {
+		fmt.Fprintf(cfg.Progress, "%s\n", FormatEarliest(er))
+	}
 	return report, nil
+}
+
+// firstByteSink is the earliest scenario's destination writer: it records
+// the wall offset of the first byte the ENGINE hands to the destination.
+// The gap between the engine's own TTFR stamp (writer entry) and this
+// observation is exactly the output-batching latency the scenario gates.
+type firstByteSink struct {
+	start time.Time
+	first time.Duration
+	n     int64
+}
+
+func (s *firstByteSink) Write(p []byte) (int, error) {
+	if s.first == 0 && len(p) > 0 {
+		s.first = time.Since(s.start)
+	}
+	s.n += int64(len(p))
+	return len(p), nil
+}
+
+// runEarliest runs EarliestQuery over the same document as the main sweep
+// and reports first-byte latency at the engine stamp, the destination
+// sink, and an HTTP client of POST /query.
+func runEarliest(cfg ServeConfig, doc []byte) (*EarliestReport, error) {
+	eng, err := gcx.Compile(EarliestQuery)
+	if err != nil {
+		return nil, fmt.Errorf("earliest compile: %w", err)
+	}
+	rep := &EarliestReport{Query: EarliestQuery, DocBytes: int64(len(doc)), Requests: cfg.Requests}
+
+	engTTFR := make([]time.Duration, 0, cfg.Requests)
+	sinkTTFR := make([]time.Duration, 0, cfg.Requests)
+	walls := make([]time.Duration, 0, cfg.Requests)
+	for i := 0; i < cfg.Requests+1; i++ { // first iteration is warm-up
+		fb := &firstByteSink{start: time.Now()}
+		st, err := eng.Run(bytes.NewReader(doc), fb)
+		if err != nil {
+			return nil, fmt.Errorf("earliest solo: %w", err)
+		}
+		if i == 0 {
+			rep.OutputBytes = fb.n
+			continue
+		}
+		walls = append(walls, time.Since(fb.start))
+		if st.TimeToFirstResultNanos > 0 {
+			engTTFR = append(engTTFR, time.Duration(st.TimeToFirstResultNanos))
+		}
+		if fb.first > 0 {
+			sinkTTFR = append(sinkTTFR, fb.first)
+		}
+	}
+	rep.EngineTTFRP50Ms = ms(percentile(engTTFR, 0.50))
+	rep.SinkTTFRP50Ms = ms(percentile(sinkTTFR, 0.50))
+	rep.SinkTTFRP99Ms = ms(percentile(sinkTTFR, 0.99))
+	rep.WallP50Ms = ms(percentile(walls, 0.50))
+
+	// Client-observed first byte of POST /query against an in-process
+	// gcxd over a real loopback socket — covers multipart-free streaming
+	// through countingWriter, the HTTP stack, and the kernel. The client
+	// is a raw TCP conn, not net/http: Go's HTTP/1 Transport holds an
+	// early response until the request body finishes writing, which would
+	// hide exactly the latency this scenario gates (the server answers
+	// while the body is still uploading).
+	reg := server.NewRegistry()
+	if err := reg.Add("earliest", EarliestQuery); err != nil {
+		return nil, err
+	}
+	srv, err := server.New(server.Config{Registry: reg, Cache: gcx.NewCompileCache(0)})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	ttfbs := make([]time.Duration, 0, cfg.Requests)
+	for i := 0; i < cfg.Requests+1; i++ {
+		ttfb, err := rawQueryTTFB(ln.Addr().String(), "/query?id=earliest", doc)
+		if err != nil {
+			return nil, fmt.Errorf("earliest server: %w", err)
+		}
+		if i > 0 && ttfb > 0 {
+			ttfbs = append(ttfbs, ttfb)
+		}
+	}
+	rep.ServerTTFBP50Ms = ms(percentile(ttfbs, 0.50))
+	rep.ServerTTFBP99Ms = ms(percentile(ttfbs, 0.99))
+	return rep, nil
+}
+
+// earliestPrefix is how much of the document the raw client uploads
+// before stalling — comfortably past XMark's leading africa items (the
+// first match sits in the first few KB) while ~85% of the body is still
+// outstanding when the first response byte is due.
+const earliestPrefix = 64 << 10
+
+// rawQueryTTFB POSTs doc over a raw HTTP/1 connection with a STALLED
+// TAIL: it uploads only the prefix holding the first match, then waits
+// for the first response byte before sending the rest. The returned
+// duration is upload-start to first-byte — an earliest-answering server
+// ships it from the prefix alone; one that sits on output until end of
+// input never answers while the tail is withheld and trips the read
+// deadline instead of deadlocking the benchmark.
+func rawQueryTTFB(addr, path string, doc []byte) (time.Duration, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	cut := earliestPrefix
+	if cut > len(doc) {
+		cut = len(doc)
+	}
+	t0 := time.Now()
+	if _, err := fmt.Fprintf(conn, "POST %s HTTP/1.1\r\nHost: gcxd\r\nContent-Type: application/xml\r\nContent-Length: %d\r\nConnection: close\r\n\r\n", path, len(doc)); err != nil {
+		return 0, err
+	}
+	if _, err := conn.Write(doc[:cut]); err != nil {
+		return 0, err
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	var one [1]byte
+	if _, err := conn.Read(one[:]); err != nil {
+		return 0, fmt.Errorf("no response byte while the body tail was stalled (output held past certainty?): %w", err)
+	}
+	ttfb := time.Since(t0)
+	if _, err := conn.Write(doc[cut:]); err != nil {
+		return 0, fmt.Errorf("uploading stalled tail: %w", err)
+	}
+	rest, err := io.ReadAll(conn)
+	if err != nil {
+		return 0, err
+	}
+	head := append(one[:], rest...)
+	if !bytes.HasPrefix(head, []byte("HTTP/1.1 200")) {
+		line, _, _ := bytes.Cut(head, []byte("\r\n"))
+		return 0, fmt.Errorf("unexpected response: %s", line)
+	}
+	return ttfb, nil
 }
 
 // measure wraps one path's iteration loop with warm-up, timing, and
@@ -327,6 +511,12 @@ func FormatServeResult(r ServePathResult) string {
 		r.Path, r.DocsPerSec, r.P50Ms, r.P99Ms, r.TTFRP50Ms, r.TTFRP99Ms, humanBytes(r.PeakBufferBytes), r.PeakBufferNodes, r.AllocsPerOp)
 }
 
+// FormatEarliest renders the earliest-answering scenario as one line.
+func FormatEarliest(e *EarliestReport) string {
+	return fmt.Sprintf("earliest  engine ttfr p50 %7.3fms   sink p50 %7.3fms   server ttfb p50 %7.3fms p99 %7.3fms   wall p50 %7.1fms",
+		e.EngineTTFRP50Ms, e.SinkTTFRP50Ms, e.ServerTTFBP50Ms, e.ServerTTFBP99Ms, e.WallP50Ms)
+}
+
 // FormatServeTable renders the full report for humans.
 func FormatServeTable(rep *ServeReport) string {
 	var b strings.Builder
@@ -334,6 +524,9 @@ func FormatServeTable(rep *ServeReport) string {
 		humanBytes(rep.DocBytes), strings.Join(rep.Queries, ","), rep.Requests, rep.Concurrency)
 	for _, r := range rep.Results {
 		b.WriteString(FormatServeResult(r) + "\n")
+	}
+	if rep.Earliest != nil {
+		b.WriteString(FormatEarliest(rep.Earliest) + "\n")
 	}
 	return b.String()
 }

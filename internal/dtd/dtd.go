@@ -43,6 +43,10 @@ type elementInfo struct {
 	// noMoreAfter maps a seen child tag to the child tags that can no
 	// longer occur afterwards.
 	noMoreAfter map[string][]string
+	// mandatory holds the child tags that occur in EVERY word of the
+	// content model — an existence check for such a child is true the
+	// moment the parent's start tag is read.
+	mandatory map[string]bool
 }
 
 // Parse reads a DTD (internal subset syntax: a sequence of <!ELEMENT ...>
@@ -104,6 +108,19 @@ func (s *Schema) CanContain(elem, child string) (can, known bool) {
 		return true, false
 	}
 	return info.tags[child], true
+}
+
+// MustContain reports whether every valid document places at least one
+// child with the given tag under every elem element. False for
+// undeclared elements and ANY content (no guarantee derivable) — the
+// fact is purely an optimization license, so "don't know" and "no" need
+// no distinction.
+func (s *Schema) MustContain(elem, child string) bool {
+	info := s.elements[elem]
+	if info == nil || info.any {
+		return false
+	}
+	return info.mandatory[child]
 }
 
 // NoMoreAfter returns the child tags of elem that cannot occur after a

@@ -162,6 +162,57 @@ func TestCanContain(t *testing.T) {
 	}
 }
 
+func TestMustContain(t *testing.T) {
+	s := parse(t, xmarkSiteDTD+`
+<!ELEMENT afterchoice (x, (y | z))>
+<!ELEMENT everybranch (x | (y, x))>
+`)
+	cases := []struct {
+		elem, child string
+		want        bool
+	}{
+		// A strict sequence of required children: every one is mandatory.
+		{"site", "regions", true},
+		{"site", "people", true},
+		{"site", "closed_auctions", true},
+		// Required vs optional members of the person sequence.
+		{"person", "name", true},
+		{"person", "profile", true},
+		{"person", "phone", false},
+		{"person", "watches", false},
+		// person* is nullable: an empty people is valid.
+		{"people", "person", false},
+		// Exclusive choice: either branch can be avoided.
+		{"description", "text", false},
+		{"description", "parlist", false},
+		// (a|b)+ guarantees a child but no PARTICULAR tag.
+		{"choiceplus", "a", false},
+		{"choiceplus", "b", false},
+		{"choiceplus", "c", false},
+		// Mixed content is nullable.
+		{"mixed", "em", false},
+		// ANY, EMPTY, and undeclared elements yield no guarantee.
+		{"anything", "whatever", false},
+		{"nothing", "x", false},
+		{"ghost", "x", false},
+		// Not a declared child at all.
+		{"site", "person", false},
+		// A required child ahead of a choice stays mandatory; the choice
+		// branches do not.
+		{"afterchoice", "x", true},
+		{"afterchoice", "y", false},
+		{"afterchoice", "z", false},
+		// Mandatory through EVERY branch of a choice counts.
+		{"everybranch", "x", true},
+		{"everybranch", "y", false},
+	}
+	for _, tc := range cases {
+		if got := s.MustContain(tc.elem, tc.child); got != tc.want {
+			t.Errorf("MustContain(%s, %s) = %v, want %v", tc.elem, tc.child, got, tc.want)
+		}
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	cases := []struct{ name, src string }{
 		{"garbage", `<!ELEMENT a (b,>`},

@@ -90,6 +90,7 @@ func analyze(name string, m model) *elementInfo {
 		name:        name,
 		tags:        map[string]bool{},
 		noMoreAfter: map[string][]string{},
+		mandatory:   map[string]bool{},
 	}
 	if _, isAny := m.(mAny); isAny {
 		info.any = true
@@ -97,13 +98,64 @@ func analyze(name string, m model) *elementInfo {
 	}
 
 	g := &glushkov{}
-	g.build(m)
+	r := g.build(m)
 	for _, tag := range g.tags {
 		info.tags[tag] = true
 	}
 	n := len(g.tags)
 	if n == 0 {
 		return info
+	}
+
+	// Mandatory children: tag t occurs in EVERY word of the model iff the
+	// t-free sublanguage is empty — no accepting path of the position
+	// automaton avoids all positions labeled t. Checked per tag with a
+	// BFS from the (non-t) first positions over follow edges restricted to
+	// non-t positions; reaching a non-t last position exhibits a t-free
+	// word. A nullable model accepts ε, so nothing is mandatory.
+	if !r.nullable {
+		lastSet := make([]bool, n)
+		for _, p := range r.last {
+			lastSet[p] = true
+		}
+		seen := make([]bool, n)
+		queue := make([]position, 0, n)
+		for t := range info.tags {
+			for i := range seen {
+				seen[i] = false
+			}
+			queue = queue[:0]
+			avoidable := false
+			for _, p := range r.first {
+				if g.tags[p] == t || seen[p] {
+					continue
+				}
+				if lastSet[p] {
+					avoidable = true
+					break
+				}
+				seen[p] = true
+				queue = append(queue, p)
+			}
+			for !avoidable && len(queue) > 0 {
+				p := queue[0]
+				queue = queue[1:]
+				for q := range g.follow[p] {
+					if g.tags[q] == t || seen[q] {
+						continue
+					}
+					if lastSet[q] {
+						avoidable = true
+						break
+					}
+					seen[q] = true
+					queue = append(queue, q)
+				}
+			}
+			if !avoidable {
+				info.mandatory[t] = true
+			}
+		}
 	}
 
 	// Transitive closure of follow ("can come strictly after").

@@ -116,6 +116,14 @@ func Compile(src string, cfg Config) (*Compiled, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Schema != nil {
+		// Schema facts resolve conditions the DTD decides for every valid
+		// document at compile time (earliest answering: the evaluator then
+		// never waits for a witness event the schema already guarantees or
+		// forbids). Projection and roles are untouched, so runtime behavior
+		// changes only in WHEN conditions resolve.
+		static.ApplySchemaFacts(a, cfg.Schema)
+	}
 
 	c := &Compiled{
 		Source:    src,
@@ -303,8 +311,10 @@ func (c *Compiled) run(in io.Reader, out io.Writer, ro RunOptions) (Stats, *runS
 		WallNanos:   obs.Now() - start,
 	}
 	// The writer stamped the first result byte as it was produced; a run
-	// with no output keeps TTFR 0 (there was never a first result).
-	if fb := rs.w.FirstByteAt(); fb > 0 {
+	// with no output keeps TTFR 0 (there was never a first result), and
+	// so does a failed run whose buffered bytes never reached the
+	// destination — nothing was answered, so there is no answer latency.
+	if fb := rs.w.FirstByteAt(); fb > 0 && rs.w.Delivered() > 0 {
 		st.TTFRNanos = max(fb-start, 1)
 	}
 	return st, rs, err

@@ -101,6 +101,139 @@ func TestSchemaCanContainShortcut(t *testing.T) {
 	}
 }
 
+// TestSchemaProvenExistsStopsPulling: when the DTD proves an existence
+// chain (every link mandatory), the condition is answered the moment its
+// context binding opens — the run neither pulls toward a witness deep in
+// the document nor scans past what the loops still need.
+func TestSchemaProvenExistsStopsPulling(t *testing.T) {
+	schema, err := dtd.Parse(`
+<!ELEMENT root (a)>
+<!ELEMENT a (pad*, x)>
+<!ELEMENT pad (#PCDATA)>
+<!ELEMENT x (#PCDATA)>
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString("<root><a>")
+	for i := 0; i < 2000; i++ {
+		b.WriteString("<pad>zzzzzzzz</pad>")
+	}
+	b.WriteString("<x>t</x></a></root>")
+	doc := b.String()
+	src := `<q>{ for $r in /root return if (exists($r/a/x)) then <y/> else <n/> }</q>`
+
+	plain := compile(t, src, Config{Mode: ModeGCX})
+	var out1 strings.Builder
+	stPlain, err := plain.RunChecked(strings.NewReader(doc), &out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withSchema := compile(t, src, Config{Mode: ModeGCX, Schema: schema})
+	var out2 strings.Builder
+	stSchema, err := withSchema.RunChecked(strings.NewReader(doc), &out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1.String() != out2.String() {
+		t.Fatalf("schema must not change results:\nplain:  %s\nschema: %s", out1.String(), out2.String())
+	}
+	if !strings.Contains(out1.String(), "<y>") {
+		t.Fatalf("x exists, want the then-branch: %s", out1.String())
+	}
+	// Plain evaluation hunts the witness through the pad region; the
+	// proven condition needs no witness at all.
+	if stPlain.TokensRead < 4000 {
+		t.Fatalf("plain run read %d tokens; expected a witness hunt", stPlain.TokensRead)
+	}
+	if stSchema.TokensRead*10 > stPlain.TokensRead {
+		t.Fatalf("schema run read %d of %d tokens; expected no witness hunt",
+			stSchema.TokensRead, stPlain.TokensRead)
+	}
+}
+
+// TestSchemaRefutedExistsStopsPulling: when the content model excludes
+// the checked child, the else-branch is emitted immediately and the run
+// stops pulling — plain evaluation must scan to the region's end to prove
+// the negative.
+func TestSchemaRefutedExistsStopsPulling(t *testing.T) {
+	schema, err := dtd.Parse(siteDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `<q>{ for $s in /site return if (exists($s/ghost)) then <y/> else <n/> }</q>`
+	doc := schemaDoc(5, 2000)
+
+	plain := compile(t, src, Config{Mode: ModeGCX})
+	var out1 strings.Builder
+	stPlain, err := plain.RunChecked(strings.NewReader(doc), &out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withSchema := compile(t, src, Config{Mode: ModeGCX, Schema: schema})
+	var out2 strings.Builder
+	stSchema, err := withSchema.RunChecked(strings.NewReader(doc), &out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1.String() != out2.String() {
+		t.Fatalf("schema must not change results:\nplain:  %s\nschema: %s", out1.String(), out2.String())
+	}
+	if !strings.Contains(out1.String(), "<n>") {
+		t.Fatalf("no ghost exists, want the else-branch: %s", out1.String())
+	}
+	if stPlain.TokensRead < 4000 {
+		t.Fatalf("plain run read %d tokens; expected a scan to prove absence", stPlain.TokensRead)
+	}
+	if stSchema.TokensRead*10 > stPlain.TokensRead {
+		t.Fatalf("schema run read %d of %d tokens; expected an immediate answer",
+			stSchema.TokensRead, stPlain.TokensRead)
+	}
+}
+
+// TestSchemaDynamicBinderAgrees: a star binder has no statically known
+// tag, so the compile-time rewrite cannot fire; the evaluator's runtime
+// MustContain check answers per binding instead. Output must match the
+// schemaless run exactly.
+func TestSchemaDynamicBinderAgrees(t *testing.T) {
+	schema, err := dtd.Parse(`
+<!ELEMENT root (a, b)>
+<!ELEMENT a (pad*, x)>
+<!ELEMENT b (x)>
+<!ELEMENT pad (#PCDATA)>
+<!ELEMENT x (#PCDATA)>
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString("<root><a>")
+	for i := 0; i < 200; i++ {
+		b.WriteString("<pad>zzzzzzzz</pad>")
+	}
+	b.WriteString("<x>t</x></a><b><x>u</x></b></root>")
+	doc := b.String()
+	src := `<q>{ for $c in /root/* return if (exists($c/x)) then <y/> else <n/> }</q>`
+
+	plain := compile(t, src, Config{Mode: ModeGCX})
+	var out1 strings.Builder
+	if _, err := plain.RunChecked(strings.NewReader(doc), &out1); err != nil {
+		t.Fatal(err)
+	}
+	withSchema := compile(t, src, Config{Mode: ModeGCX, Schema: schema})
+	var out2 strings.Builder
+	if _, err := withSchema.RunChecked(strings.NewReader(doc), &out2); err != nil {
+		t.Fatal(err)
+	}
+	if out1.String() != out2.String() {
+		t.Fatalf("schema must not change results:\nplain:  %s\nschema: %s", out1.String(), out2.String())
+	}
+	if want := "<q><y></y><y></y></q>"; out1.String() != want {
+		t.Fatalf("got %s, want %s", out1.String(), want)
+	}
+}
+
 // TestSchemaAgreesOnXMark: all five benchmark queries produce identical
 // output with and without the XMark DTD, while reading no more tokens.
 func TestSchemaAgreesOnXMark(t *testing.T) {

@@ -63,10 +63,24 @@ type Evaluator struct {
 	// curPool recycles cursors (one is consumed per for-loop, existence
 	// check, and value collection — the per-binding hot path).
 	curPool []*cursor
-	// valsL/valsR are the reused operand-value scratch slices of compare:
-	// a nested-loop join evaluates one comparison per pair of bindings,
-	// and the operand sequences must not cost an allocation each time.
-	valsL, valsR []string
+	// valsR is the reused operand-value scratch slice for the collected
+	// (right-hand) side of compare: a nested-loop join evaluates one
+	// comparison per pair of bindings, and the operand sequence must not
+	// cost an allocation each time. The left side streams through
+	// compareStream and never materializes.
+	valsR []string
+	// cmpOp/cmpRHS/cmpRHSReady carry the active comparison through
+	// compareStream's recursion without closures (closures would allocate
+	// on the join hot path). Comparisons never nest — a Compare condition
+	// has no sub-conditions — so one set of fields suffices.
+	cmpOp       xqast.RelOp
+	cmpRHS      xqast.Operand
+	cmpRHSReady bool
+	// firstFlushed records that the first result byte has been pushed
+	// through the writer's batching toward the destination. Armed in pull
+	// rather than at write time so a run that fails on its very first
+	// input token still produces zero client-visible bytes.
+	firstFlushed bool
 }
 
 // New creates an evaluator writing query output to out.
@@ -92,6 +106,12 @@ func (e *Evaluator) Reset(opts Options) {
 	e.opts = opts
 	clear(e.env)
 	e.env[xqast.RootVar] = e.buf.Root()
+	e.firstFlushed = false
+	e.cmpOp = 0
+	// An errored run can abandon a comparison mid-stream; make sure the
+	// pooled evaluator retains no operand strings either way.
+	e.cmpRHS = xqast.Operand{}
+	e.cmpRHSReady = false
 	e.dropScratch()
 }
 
@@ -113,9 +133,6 @@ func (e *Evaluator) Run(q *xqast.Query) error {
 //
 //gcxlint:noalloc
 func (e *Evaluator) dropScratch() {
-	e.valsL = e.valsL[:cap(e.valsL)]
-	clear(e.valsL)
-	e.valsL = e.valsL[:0]
 	e.valsR = e.valsR[:cap(e.valsR)]
 	clear(e.valsR)
 	e.valsR = e.valsR[:0]
@@ -124,11 +141,24 @@ func (e *Evaluator) dropScratch() {
 // pull drives the projector by one token. It returns false when the input
 // is exhausted.
 //
+// pull is also the earliest-answering flush point: once a result byte
+// exists AND at least one input token has been consumed successfully, the
+// byte is certain — nothing upstream can retract it — so it is pushed
+// through the writer's batching (and the destination's, via
+// ResultFlusher) instead of riding the 32KB bufio until end of run. Doing
+// this between tokens means the flush never lands mid-tag, and gating it
+// on a successful Step keeps a request that dies on its very first token
+// free of committed output (the server's clean-4xx path depends on that).
+//
 //gcxlint:noalloc
 func (e *Evaluator) pull() (bool, error) {
 	more, err := e.feed.Step()
 	if err != nil {
 		return false, err
+	}
+	if !e.firstFlushed && e.out.FirstByteAt() != 0 {
+		e.firstFlushed = true
+		e.out.FlushFirst()
 	}
 	if e.opts.OnToken != nil {
 		e.opts.OnToken()
@@ -376,8 +406,18 @@ func (e *Evaluator) cond(c xqast.Cond) (bool, error) {
 // exists searches for a witness of path steps below n, blocking until one
 // is found or the relevant region is finished. The projection guarantees
 // the first witness per context is buffered (the [1] predicate).
+//
+// Two schema fast paths keep the check from pulling input it does not
+// need: a chain the DTD proves present in EVERY valid document is true
+// the moment the context node exists (no waiting for the witness event),
+// and newCursor's CanContain shortcut already makes a provably-absent
+// chain false without a pull. Both only change WHEN the answer is known,
+// never what it is, so output bytes are untouched.
 func (e *Evaluator) exists(n *buffer.Node, steps []xqast.Step) (bool, error) {
 	if len(steps) == 0 {
+		return true, nil
+	}
+	if e.provableExists(n, steps) {
 		return true, nil
 	}
 	cur := newCursor(e, n, steps[0])
@@ -397,32 +437,120 @@ func (e *Evaluator) exists(n *buffer.Node, steps []xqast.Step) (bool, error) {
 	}
 }
 
+// provableExists reports whether the DTD guarantees at least one match of
+// the step chain below n in EVERY valid document: each link is a
+// child-axis name test whose tag the parent's content model cannot omit
+// (Schema.MustContain). When it holds, the existence check is certain the
+// moment the context node's start tag has been read — no witness event is
+// needed. Runs per existence check on the loop-body hot path, so it must
+// not allocate.
+//
+//gcxlint:noalloc
+func (e *Evaluator) provableExists(n *buffer.Node, steps []xqast.Step) bool {
+	s := e.opts.Schema
+	if s == nil || n == nil || n.Kind != buffer.KindElement {
+		return false
+	}
+	name := e.buf.Syms().Name(n.Sym)
+	for _, st := range steps {
+		if st.Axis != xqast.Child || st.Test.Kind != xqast.TestName {
+			return false
+		}
+		if !s.MustContain(name, st.Test.Name) {
+			return false
+		}
+		name = st.Test.Name
+	}
+	return true
+}
+
 // compare evaluates a general comparison with existential semantics over
 // the operand sequences. Values compare numerically when both sides parse
 // as numbers, lexicographically otherwise ("atomic equality" of Section 3
 // extended to the RelOps of Figure 6).
+//
+// The left operand STREAMS: each of its values is compared as soon as its
+// subtree closes, and the first satisfying pair answers the condition
+// without collecting the remaining matches — earliest answering for
+// value-based filters. The right operand is collected once, lazily, when
+// the first left value appears (an empty left sequence is false without
+// evaluating the right side, matching the all-at-once semantics). A
+// literal left operand is swapped to the collected side under the
+// mirrored operator so the streaming side is always the path.
 func (e *Evaluator) compare(c xqast.Compare) (bool, error) {
-	lhs, err := e.operandValues(c.LHS, e.valsL[:0])
-	e.valsL = lhs
-	if err != nil {
-		return false, err
+	lhs, op, rhs := c.LHS, c.Op, c.RHS
+	if lhs.IsLiteral && !rhs.IsLiteral {
+		lhs, rhs = rhs, lhs
+		op = mirrorOp(op)
 	}
-	if len(lhs) == 0 {
-		return false, nil
+	if lhs.IsLiteral {
+		// Both sides literal (not produced by the normalizer, but cheap to
+		// answer exactly).
+		return compareValues(lhs.Lit, op, rhs.Lit), nil
 	}
-	rhs, err := e.operandValues(c.RHS, e.valsR[:0])
-	e.valsR = rhs
-	if err != nil {
-		return false, err
-	}
-	for _, l := range lhs {
-		for _, r := range rhs {
-			if compareValues(l, c.Op, r) {
+	e.cmpOp, e.cmpRHS, e.cmpRHSReady = op, rhs, false
+	ok, err := e.compareStream(e.env[lhs.Path.Var], lhs.Path.Steps)
+	e.cmpRHS = xqast.Operand{} // do not retain operand strings in the pooled evaluator
+	return ok, err
+}
+
+// compareStream walks the streamed operand's match set in document order
+// and reports whether any value satisfies the active comparison,
+// returning at the first hit. State lives on the evaluator (not in
+// closures): compare runs once per binding pair in a nested-loop join.
+func (e *Evaluator) compareStream(n *buffer.Node, steps []xqast.Step) (bool, error) {
+	if len(steps) == 0 {
+		v, err := e.stringValue(n)
+		if err != nil {
+			return false, err
+		}
+		if !e.cmpRHSReady {
+			vals, err := e.operandValues(e.cmpRHS, e.valsR[:0])
+			e.valsR = vals
+			if err != nil {
+				return false, err
+			}
+			e.cmpRHSReady = true
+		}
+		for _, r := range e.valsR {
+			if compareValues(v, e.cmpOp, r) {
 				return true, nil
 			}
 		}
+		return false, nil
 	}
-	return false, nil
+	cur := newCursor(e, n, steps[0])
+	defer cur.close()
+	for {
+		m, err := cur.next()
+		if err != nil {
+			return false, err
+		}
+		if m == nil {
+			return false, nil
+		}
+		ok, err := e.compareStream(m, steps[1:])
+		if err != nil || ok {
+			return ok, err
+		}
+	}
+}
+
+// mirrorOp returns the operator with its operands exchanged:
+// a op b  ⇔  b mirrorOp(a).
+func mirrorOp(op xqast.RelOp) xqast.RelOp {
+	switch op {
+	case xqast.OpLt:
+		return xqast.OpGt
+	case xqast.OpLe:
+		return xqast.OpGe
+	case xqast.OpGt:
+		return xqast.OpLt
+	case xqast.OpGe:
+		return xqast.OpLe
+	default: // = and != are symmetric
+		return op
+	}
 }
 
 // operandValues appends the operand's value sequence to out (the

@@ -109,3 +109,34 @@ func (ix *structIdx) build(window []byte) {
 	}
 	ix.words = bm
 }
+
+// emitter models the earliest-answering emit path: the writer's
+// first-byte stamp (xmlstream.Writer.stampFirst) runs on every emitted
+// string and the positive-only histogram feed
+// (obs.Histogram.ObservePositive) runs on every recorded run, so both
+// must be plain stores and annotated callees all the way down. The
+// violations below are the regressions that would put an allocation on
+// every output byte or route recording through an unvetted helper.
+type emitter struct {
+	first    int64
+	firstTag string
+}
+
+//gcxlint:noalloc
+func (e *emitter) stampFirst(now int64, tag []byte) {
+	if e.first != 0 {
+		return
+	}
+	e.first = now
+	e.firstTag = string(tag) // want `string conversion allocates and copies`
+}
+
+func isResult(nanos int64) bool { return nanos > 0 }
+
+//gcxlint:noalloc
+func (e *emitter) observePositive(nanos int64) {
+	if !isResult(nanos) { // want `call to isResult, which is neither //gcxlint:noalloc nor declared //gcxlint:allocok`
+		return
+	}
+	e.first = nanos
+}

@@ -71,6 +71,20 @@ func (h *Histogram) Observe(nanos int64) {
 	h.sum.Add(nanos)
 }
 
+// ObservePositive records nanos only when it is a real measurement
+// (> 0). Throughout this codebase the zero value means "never happened"
+// (writer first-byte stamps, TTFR fields of runs that produced no
+// output), so recording it would invent a zero-latency observation and
+// drag every quantile down.
+//
+//gcxlint:noalloc
+func (h *Histogram) ObservePositive(nanos int64) {
+	if nanos <= 0 {
+		return
+	}
+	h.Observe(nanos)
+}
+
 // UpperBound returns the exclusive upper bound, in nanoseconds, of bucket
 // i. The final bucket is unbounded; its reported bound is the largest
 // finite bound (used as the conservative quantile answer for overflow).

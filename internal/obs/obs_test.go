@@ -39,6 +39,27 @@ func TestHistogramBucketing(t *testing.T) {
 	}
 }
 
+// TestObservePositiveSkipsNonResults: 0 means "never happened" (a run
+// with no output has no first result), so ObservePositive must record
+// nothing for it — Observe would file a fake zero-latency sample in
+// bucket 0 and drag every quantile down.
+func TestObservePositiveSkipsNonResults(t *testing.T) {
+	var h Histogram
+	h.ObservePositive(0)
+	h.ObservePositive(-1)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("non-results were recorded: count %d", s.Count)
+	}
+	h.ObservePositive(2047) // top of bucket 1: [1024, 2048)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 2047 {
+		t.Fatalf("real observation lost: count %d sum %d", s.Count, s.Sum)
+	}
+	if q := s.Quantile(0.5); q != UpperBound(1) {
+		t.Fatalf("quantile %d, want %d — zero samples must not dilute", q, UpperBound(1))
+	}
+}
+
 func TestHistogramQuantiles(t *testing.T) {
 	var h Histogram
 	if q := h.Snapshot().Quantile(0.5); q != 0 {

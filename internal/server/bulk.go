@@ -35,6 +35,9 @@ import (
 // committed; after the first part is out, errors are per-document.
 func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
 	s.m.bulkRequests.Add(1)
+	if !s.admitLength(w, r) {
+		return
+	}
 	text, err := s.resolveQuery(r)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
@@ -131,10 +134,14 @@ func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return err // client gone; unwind the pool
 		}
-		cw := &countingWriter{w: p, n: &s.m.bytesOut, ctx: ctx}
+		cw := &countingWriter{w: p, n: &s.m.bytesOut, ctx: ctx, flush: flusherOf(w)}
 		if _, err := cw.Write(d.Output); err != nil {
 			return err
 		}
+		// Each part is a complete per-document result: flush it across the
+		// transport now, so a client consuming a long corpus sees document
+		// K's answer when it is ready, not when document K+N fills a buffer.
+		cw.FlushResult()
 		return nil
 	})
 	s.m.bulkBusyNanos.Add(bs.BusyNanos)

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"gcx"
+	"gcx/internal/xmark"
+)
+
+// earliestTestQuery's first match (africa items) sits in the first few KB
+// of an XMark document; everything after is tail the query never emits
+// from.
+const earliestTestQuery = `<r>{ for $i in /site/regions/africa/item return <n>{ $i/name }</n> }</r>`
+
+// ttfbSlack is the acceptance budget between the engine's own
+// first-result stamp and the moment the client reads that byte off the
+// socket: HTTP framing, one flush, and a loopback hop.
+const ttfbSlack = 10 * time.Millisecond
+
+func earliestListener(t *testing.T, reg *Registry) net.Addr {
+	t.Helper()
+	s, err := New(Config{Registry: reg, Cache: gcx.NewCompileCache(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s}
+	go hs.Serve(ln)
+	t.Cleanup(func() { hs.Close() })
+	return ln.Addr()
+}
+
+// TestEarliestAnswerClientTTFB proves the earliest-answering property at
+// the outermost boundary: a raw HTTP/1 client uploads only the prefix of
+// the document holding the first match, STALLS the rest of the body, and
+// must still receive the first result byte — within ttfbSlack of the
+// engine's own TTFR stamp. A server that holds output until end of input
+// cannot pass: the first byte would be blocked behind a tail the client
+// refuses to send until that byte arrives.
+func TestEarliestAnswerClientTTFB(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Add("e", earliestTestQuery); err != nil {
+		t.Fatal(err)
+	}
+	addr := earliestListener(t, reg)
+
+	var buf bytes.Buffer
+	if _, err := xmark.Generate(&buf, xmark.Config{Factor: xmark.FactorForSize(512 << 10), Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.Bytes()
+	want := directRun(t, earliestTestQuery, doc)
+	cut := 64 << 10 // well past the first africa item, ~85% of the body withheld
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	t0 := time.Now()
+	fmt.Fprintf(conn, "POST /query?id=e HTTP/1.1\r\nHost: gcxd\r\nContent-Type: application/xml\r\nContent-Length: %d\r\nConnection: close\r\n\r\n", len(doc))
+	if _, err := conn.Write(doc[:cut]); err != nil {
+		t.Fatal(err)
+	}
+
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		t.Fatalf("no response while the body tail was stalled (output held past certainty?): %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var one [1]byte
+	if _, err := io.ReadFull(resp.Body, one[:]); err != nil {
+		t.Fatalf("no result byte while the body tail was stalled: %v", err)
+	}
+	clientTTFB := time.Since(t0)
+
+	// The tail was still ours to send when the first byte arrived; now
+	// release it and check the stream completes byte-identically.
+	if _, err := conn.Write(doc[cut:]); err != nil {
+		t.Fatal(err)
+	}
+	rest, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(one[:]) + string(rest); got != want {
+		t.Fatalf("streamed body differs from direct run:\ngot  %q\nwant %q", got, want)
+	}
+
+	var st gcx.Stats
+	if err := json.Unmarshal([]byte(resp.Trailer.Get("Gcx-Stats")), &st); err != nil {
+		t.Fatalf("bad Gcx-Stats trailer %q: %v", resp.Trailer.Get("Gcx-Stats"), err)
+	}
+	if st.TimeToFirstResultNanos <= 0 {
+		t.Fatalf("engine TTFR stamp missing from stats: %+v", st)
+	}
+	engine := time.Duration(st.TimeToFirstResultNanos)
+	if lag := clientTTFB - engine; lag > ttfbSlack {
+		t.Fatalf("client first byte lags engine stamp by %v (client %v, engine %v); budget %v",
+			lag, clientTTFB, engine, ttfbSlack)
+	}
+}
+
+// TestBulkPartFlushedBeforeNextDocument: on /bulk over a concatenated
+// stream, document K's completed part must cross the transport when K is
+// done — not when K+1 fills a buffer. The client sends document 1, stalls
+// before document 2, and must read part 1 (boundary, headers, result
+// bytes) off the socket while document 2 is still withheld.
+func TestBulkPartFlushedBeforeNextDocument(t *testing.T) {
+	addr := earliestListener(t, testRegistry(t))
+	doc := xmarkDoc(t)
+	want := directRun(t, "<r>{ for $i in /site/regions/africa/item return <n>{ $i/name }</n> }</r>", doc)
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	q := "<r>{ for $i in /site/regions/africa/item return <n>{ $i/name }</n> }</r>"
+	fmt.Fprintf(conn, "POST /bulk?q=%s&j=1 HTTP/1.1\r\nHost: gcxd\r\nContent-Type: application/xml\r\nContent-Length: %d\r\nConnection: close\r\n\r\n",
+		strings.ReplaceAll(q, " ", "%20"), 2*len(doc))
+	if _, err := conn.Write(doc); err != nil { // document 1, complete
+		t.Fatal(err)
+	}
+
+	// Read until document 1's full result has crossed the wire — with
+	// document 2 entirely unsent. A buffered server blocks here and the
+	// deadline fails the test.
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	got := make([]byte, 0, 1<<16)
+	tmp := make([]byte, 4096)
+	for !bytes.Contains(got, []byte(want)) {
+		n, err := conn.Read(tmp)
+		got = append(got, tmp[:n]...)
+		if err != nil {
+			t.Fatalf("part 1 not flushed before document 2 was sent (read %d bytes): %v\n%s", len(got), err, got)
+		}
+	}
+
+	if _, err := conn.Write(doc); err != nil { // document 2
+		t.Fatal(err)
+	}
+	rest, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := append(got, rest...)
+	if !bytes.HasPrefix(full, []byte("HTTP/1.1 200")) {
+		line, _, _ := bytes.Cut(full, []byte("\r\n"))
+		t.Fatalf("unexpected response: %s", line)
+	}
+	if n := bytes.Count(full, []byte(want)); n != 2 {
+		t.Fatalf("want document 1's result twice in the bulk response, found %d", n)
+	}
+}

@@ -120,18 +120,46 @@ func TestHandlerSurvivesSlowResponseWriter(t *testing.T) {
 	}
 }
 
-// TestTruncatedRequestBody: a body that ends mid-element is a client
-// error, reported as 400 with the tokenizer's diagnosis.
+// TestTruncatedRequestBody: a body that ends mid-element fails only
+// AFTER the first result byte has been committed — earliest answering
+// ships that byte within one input token of its certainty — so the
+// streaming contract applies: 200 with partial output on the wire and
+// the tokenizer's diagnosis in the Gcx-Error trailer. (A body that is
+// garbage from byte one still gets a clean 400: nothing flushes before
+// the first successful input token.)
 func TestTruncatedRequestBody(t *testing.T) {
 	s := newFailureServer(t, Config{})
 	doc := xmarkDoc(t)
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/query?id=Q1", bytes.NewReader(doc[:len(doc)/3])))
-	if rec.Code != http.StatusBadRequest {
-		t.Fatalf("truncated body: want 400, got %d (%s)", rec.Code, rec.Body.String())
+	res := rec.Result()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("mid-stream failure after commit: want 200, got %d (%s)", res.StatusCode, rec.Body.String())
 	}
-	if !strings.Contains(rec.Body.String(), "unexpected end of input") {
-		t.Fatalf("diagnosis missing: %s", rec.Body.String())
+	if !rec.Flushed {
+		t.Fatal("first result byte was not flushed to the client")
+	}
+	if got := res.Trailer.Get("Gcx-Error"); !strings.Contains(got, "unexpected end of input") {
+		t.Fatalf("diagnosis missing from Gcx-Error trailer: %q", got)
+	}
+	if s.Metrics().RequestsErrored == 0 {
+		t.Fatal("truncation not counted as an errored request")
+	}
+}
+
+// TestGarbageRequestBody: input that fails on its very FIRST token must
+// still produce a clean client error — the earliest-answering flush is
+// armed only after one successful input step, precisely to keep this
+// path's status line intact.
+func TestGarbageRequestBody(t *testing.T) {
+	s := newFailureServer(t, Config{})
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/query?id=Q1", strings.NewReader("<")))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("garbage body: want 400, got %d (%s)", rec.Code, rec.Body.String())
+	}
+	if rec.Flushed {
+		t.Fatal("nothing may be flushed before the first successful input token")
 	}
 }
 

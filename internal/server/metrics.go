@@ -85,14 +85,11 @@ func (m *metrics) initTTFR(ids []string) {
 //
 //gcxlint:noalloc
 func (m *metrics) observeTTFR(label string, nanos int64) {
-	if nanos <= 0 {
-		return
-	}
 	h := m.ttfr[label]
 	if h == nil {
 		h = m.ttfr[inlineLabel]
 	}
-	h.Observe(nanos)
+	h.ObservePositive(nanos)
 }
 
 // record folds one run's stats into the service totals.

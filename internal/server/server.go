@@ -295,8 +295,28 @@ func queryLabel(r *http.Request) string {
 	return inlineLabel
 }
 
+// admitLength rejects a request whose DECLARED Content-Length already
+// exceeds the body limit, before any evaluation starts. On the streaming
+// paths the first result byte commits the status line within one input
+// token, after which a mid-stream limit breach can only surface as a
+// Gcx-Error trailer — so the one case where a clean 413 is still
+// possible, a client that announced the oversize up front, must be
+// decided here. Chunked uploads (unknown length) pass and hit the
+// streaming limit.
+func (s *Server) admitLength(w http.ResponseWriter, r *http.Request) bool {
+	if s.cfg.MaxBodyBytes > 0 && r.ContentLength > s.cfg.MaxBodyBytes {
+		s.fail(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("request body of %d bytes exceeds the limit of %d bytes", r.ContentLength, s.cfg.MaxBodyBytes))
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.m.queryRequests.Add(1)
+	if !s.admitLength(w, r) {
+		return
+	}
 	text, err := s.resolveQuery(r)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
@@ -311,6 +331,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.handleQueryTraced(w, r, eng)
 		return
 	}
+	// The first result byte flushes while the request body is still being
+	// read; without full duplex the HTTP/1 server would drain-and-discard
+	// the unread body at that first flush, truncating the document under
+	// the engine. (Best effort, same as /bulk: recorders and HTTP/2
+	// either do not support or do not need it.)
+	http.NewResponseController(w).EnableFullDuplex()
 	in, ctx, cancel := s.body(w, r)
 	defer cancel()
 
@@ -318,7 +344,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// finishes, so run statistics and late errors travel as trailers.
 	w.Header().Set("Trailer", "Gcx-Stats, Gcx-Error")
 	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
-	out := &countingWriter{w: w, n: &s.m.bytesOut, ctx: ctx}
+	out := &countingWriter{w: w, n: &s.m.bytesOut, ctx: ctx, flush: flusherOf(w)}
 	stats, runErr := eng.Run(in, out)
 	s.m.record(stats)
 	s.m.observeTTFR(queryLabel(r), stats.TimeToFirstResultNanos)
@@ -365,6 +391,8 @@ func (s *Server) handleQueryTraced(w http.ResponseWriter, r *http.Request, eng *
 	if n, err := strconv.Atoi(r.Header.Get("Gcx-Trace")); err == nil && n >= 2 {
 		limit = min(n, maxTraceSteps)
 	}
+	// Part 0 streams progressively; see handleQuery on full duplex.
+	http.NewResponseController(w).EnableFullDuplex()
 	in, ctx, cancel := s.body(w, r)
 	defer cancel()
 
@@ -377,7 +405,7 @@ func (s *Server) handleQueryTraced(w http.ResponseWriter, r *http.Request, eng *
 	if err != nil {
 		return
 	}
-	out := &countingWriter{w: part0, n: &s.m.bytesOut, ctx: ctx}
+	out := &countingWriter{w: part0, n: &s.m.bytesOut, ctx: ctx, flush: flusherOf(w)}
 	steps, truncated, stats, runErr := eng.TraceN(in, out, limit)
 	s.m.record(stats)
 	s.m.observeTTFR(queryLabel(r), stats.TimeToFirstResultNanos)
@@ -409,6 +437,9 @@ type workloadResponse struct {
 
 func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 	s.m.workloadRequests.Add(1)
+	if !s.admitLength(w, r) {
+		return
+	}
 	params := r.URL.Query()
 	ids := params["id"]
 	if len(ids) == 0 && len(params["q"]) == 0 {
@@ -496,6 +527,8 @@ func (s *Server) workloadJSON(w http.ResponseWriter, wl *gcx.Workload, in io.Rea
 // buffer until the pass completes, exactly like cmd/gcx's stdout
 // discipline); the final part carries the WorkloadStats JSON.
 func (s *Server) workloadMultipart(w http.ResponseWriter, ctx context.Context, wl *gcx.Workload, in io.Reader, labels []string) {
+	// Member 0's part streams progressively; see handleQuery on full duplex.
+	http.NewResponseController(w).EnableFullDuplex()
 	mw := multipart.NewWriter(w)
 	w.Header().Set("Content-Type", "multipart/mixed; boundary="+mw.Boundary())
 
@@ -505,7 +538,7 @@ func (s *Server) workloadMultipart(w http.ResponseWriter, ctx context.Context, w
 	}
 	bufs := make([]bytes.Buffer, wl.Len())
 	outs := make([]io.Writer, wl.Len())
-	outs[0] = &countingWriter{w: part0, n: &s.m.bytesOut, ctx: ctx}
+	outs[0] = &countingWriter{w: part0, n: &s.m.bytesOut, ctx: ctx, flush: flusherOf(w)}
 	for i := 1; i < wl.Len(); i++ {
 		outs[i] = &countingWriter{w: &bufs[i], n: &s.m.bytesOut}
 	}
@@ -618,12 +651,34 @@ func writeJSONBody(w io.Writer, v any) {
 // detection and the service bytes-out counter). When ctx is set, an
 // expired deadline fails the write: after the input reaches EOF the
 // engine performs no more reads, so this is what bounds the
-// result-emission phase for a slow-reading client.
+// result-emission phase for a slow-reading client. When flush is set,
+// the engine's first-result flush propagates through FlushResult so the
+// byte crosses the transport instead of waiting in the ResponseWriter's
+// buffers.
 type countingWriter struct {
 	w       io.Writer
 	n       *atomic.Int64
 	written int64
 	ctx     context.Context
+	flush   http.Flusher
+}
+
+// FlushResult implements xmlstream.ResultFlusher: called (through the
+// engine's writer) once the first result byte is certain, and per /bulk
+// part by the handler. Committing the status line here is deliberate —
+// it is the moment the response stops being retractable.
+func (c *countingWriter) FlushResult() {
+	if c.flush != nil {
+		c.flush.Flush()
+	}
+}
+
+// flusherOf extracts the transport flush capability of a ResponseWriter
+// (nil when the writer cannot flush — e.g. some recorders; the
+// first-result flush then degrades to the engine's bufio drain).
+func flusherOf(w http.ResponseWriter) http.Flusher {
+	f, _ := w.(http.Flusher)
+	return f
 }
 
 func (c *countingWriter) Write(p []byte) (int, error) {

@@ -500,7 +500,10 @@ func TestNewRejectsBrokenRegisteredQuery(t *testing.T) {
 }
 
 // TestRequestTimeout: a body that trickles in slower than the evaluation
-// timeout must abort the request through the engine's read path.
+// timeout must abort the request through the engine's read path. The
+// input's first token arrives fine, so the first result byte commits 200
+// before the expiry — the timeout then surfaces on the truncated stream's
+// Gcx-Error trailer, the streaming contract for all post-commit failures.
 func TestRequestTimeout(t *testing.T) {
 	_, ts := newTestServer(t, Config{Timeout: 50 * time.Millisecond})
 	pr, pw := io.Pipe()
@@ -518,8 +521,12 @@ func TestRequestTimeout(t *testing.T) {
 		t.Fatalf("client error: %v", err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusRequestTimeout {
+	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(resp.Body)
-		t.Fatalf("want 408, got %d: %s", resp.StatusCode, body)
+		t.Fatalf("streamed response: want committed 200, got %d: %s", resp.StatusCode, body)
+	}
+	io.Copy(io.Discard, resp.Body) // trailers follow the body
+	if got := resp.Trailer.Get("Gcx-Error"); !strings.Contains(got, "deadline") {
+		t.Fatalf("timeout missing from Gcx-Error trailer: %q", got)
 	}
 }

@@ -1,0 +1,143 @@
+package static
+
+import (
+	"gcx/internal/dtd"
+	"gcx/internal/xqast"
+)
+
+// ApplySchemaFacts rewrites conditions of the analyzed query that a DTD
+// decides for every valid document: an existence check whose step chain
+// the content models prove present in all documents becomes true(), and
+// one whose chain they prove absent becomes not(true()). The evaluator
+// then answers the condition the moment its context binding exists,
+// without waiting for (or pulling toward) a witness event — the static
+// half of earliest answering, complementing the evaluator's runtime
+// MustContain/CanContain shortcuts for bindings whose tag only becomes
+// known dynamically.
+//
+// Only conditions are rewritten. The projection tree, role table, and
+// signOff statements are left untouched: witness regions stay projected
+// and signed off exactly as before, so role balance and buffering
+// behavior are unchanged and output stays byte-identical — the rewrite
+// changes WHEN a condition is known, never what it evaluates to.
+// Matching CondTag open/close pairs carry syntactically equal conditions
+// and the rewrite is deterministic on the condition's syntax and the
+// enclosing binder chain, so pairs stay equal.
+func ApplySchemaFacts(a *Analysis, s *dtd.Schema) {
+	if a == nil || a.Query == nil || s == nil {
+		return
+	}
+	env := map[string]string{}
+	root := rewriteSchemaExpr(a.Query.Root, env, s).(xqast.Element)
+	a.Query.Root = root
+}
+
+// rewriteSchemaExpr walks the expression tree carrying the binder
+// environment: variable name → element tag its bindings are known to
+// carry ("" when statically unknown, e.g. a star or text() test).
+func rewriteSchemaExpr(x xqast.Expr, env map[string]string, s *dtd.Schema) xqast.Expr {
+	switch x := x.(type) {
+	case xqast.Sequence:
+		items := make([]xqast.Expr, len(x.Items))
+		for i, item := range x.Items {
+			items[i] = rewriteSchemaExpr(item, env, s)
+		}
+		return xqast.Sequence{Items: items}
+	case xqast.Element:
+		return xqast.Element{Name: x.Name, Child: rewriteSchemaExpr(x.Child, env, s)}
+	case xqast.For:
+		inner := make(map[string]string, len(env)+1)
+		for k, v := range env {
+			inner[k] = v
+		}
+		inner[x.Var] = bindingTag(x.In, env)
+		return xqast.For{Var: x.Var, In: x.In, Return: rewriteSchemaExpr(x.Return, inner, s)}
+	case xqast.If:
+		return xqast.If{
+			Cond: rewriteSchemaCond(x.Cond, env, s),
+			Then: rewriteSchemaExpr(x.Then, env, s),
+			Else: rewriteSchemaExpr(x.Else, env, s),
+		}
+	case xqast.CondTag:
+		return xqast.CondTag{Cond: rewriteSchemaCond(x.Cond, env, s), Name: x.Name, Open: x.Open}
+	default:
+		// Empty, Text, VarRef, PathExpr, SignOff: no conditions below.
+		return x
+	}
+}
+
+// bindingTag returns the element tag every binding of the path carries: a
+// node yielded by any axis step with a name test is an element of that
+// name, so only the LAST step matters. Unknown ("") for star/text()/
+// node() tests and for bare-variable paths whose binder is itself
+// unknown.
+func bindingTag(p xqast.Path, env map[string]string) string {
+	if len(p.Steps) == 0 {
+		return env[p.Var]
+	}
+	last := p.Steps[len(p.Steps)-1]
+	if last.Test.Kind == xqast.TestName {
+		return last.Test.Name
+	}
+	return ""
+}
+
+func rewriteSchemaCond(c xqast.Cond, env map[string]string, s *dtd.Schema) xqast.Cond {
+	switch c := c.(type) {
+	case xqast.Exists:
+		switch decideExists(c.Path, env, s) {
+		case schemaTrue:
+			return xqast.TrueCond{}
+		case schemaFalse:
+			return xqast.Not{C: xqast.TrueCond{}}
+		}
+		return c
+	case xqast.Not:
+		return xqast.Not{C: rewriteSchemaCond(c.C, env, s)}
+	case xqast.And:
+		return xqast.And{L: rewriteSchemaCond(c.L, env, s), R: rewriteSchemaCond(c.R, env, s)}
+	case xqast.Or:
+		return xqast.Or{L: rewriteSchemaCond(c.L, env, s), R: rewriteSchemaCond(c.R, env, s)}
+	default:
+		// TrueCond stays; Compare depends on document values, which no
+		// DTD decides.
+		return c
+	}
+}
+
+type schemaVerdict int
+
+const (
+	schemaUnknown schemaVerdict = iota
+	schemaTrue
+	schemaFalse
+)
+
+// decideExists checks an existence path link by link against the content
+// models. A chain of child-axis name tests where every link is mandatory
+// (dtd.MustContain) is present in every valid document; a chain broken by
+// a link the parent's model excludes (CanContain known-false) is absent
+// from all of them. Anything the DTD does not pin down — unknown binder
+// tag, non-child axis, star/text() tests, undeclared elements, ANY
+// content — stays undecided and keeps its runtime check.
+func decideExists(p xqast.Path, env map[string]string, s *dtd.Schema) schemaVerdict {
+	tag := env[p.Var]
+	if tag == "" || len(p.Steps) == 0 {
+		return schemaUnknown
+	}
+	all := true
+	for _, st := range p.Steps {
+		if st.Axis != xqast.Child || st.Test.Kind != xqast.TestName {
+			return schemaUnknown
+		}
+		if can, known := s.CanContain(tag, st.Test.Name); known && !can {
+			return schemaFalse
+		}
+		all = all && s.MustContain(tag, st.Test.Name)
+		tag = st.Test.Name
+	}
+	if all {
+		return schemaTrue
+	}
+	return schemaUnknown
+}

@@ -1,0 +1,131 @@
+package static
+
+import (
+	"strings"
+	"testing"
+
+	"gcx/internal/dtd"
+	"gcx/internal/xqast"
+)
+
+const schemaTestDTD = `
+<!ELEMENT site (regions, people)>
+<!ELEMENT people (person*)>
+<!ELEMENT person (id, name, phone?)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT id (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+`
+
+func schemaFor(t *testing.T, src string) *dtd.Schema {
+	t.Helper()
+	s, err := dtd.Parse(src)
+	if err != nil {
+		t.Fatalf("dtd: %v", err)
+	}
+	return s
+}
+
+// TestSchemaFactsProveExists: person requires a name, so exists($p/name)
+// is decided at compile time and the runtime witness check disappears.
+func TestSchemaFactsProveExists(t *testing.T) {
+	a := analyze(t, `<r>{ for $p in /site/people/person return
+		if (exists($p/name)) then <y/> else <n/> }</r>`, Options{})
+	s := schemaFor(t, schemaTestDTD)
+	ApplySchemaFacts(a, s)
+	got := xqast.Format(a.Query)
+	if strings.Contains(got, "exists($p/name)") {
+		t.Fatalf("exists($p/name) not rewritten:\n%s", got)
+	}
+	if !strings.Contains(got, "true()") {
+		t.Fatalf("want true() in rewritten query:\n%s", got)
+	}
+}
+
+// TestSchemaFactsRefuteExists: person's model excludes <price>, so
+// exists($p/price) is statically false — not(true()) — and the evaluator
+// never pulls input looking for a witness that cannot come.
+func TestSchemaFactsRefuteExists(t *testing.T) {
+	a := analyze(t, `<r>{ for $p in /site/people/person return
+		if (exists($p/price)) then <y/> else <n/> }</r>`, Options{})
+	s := schemaFor(t, schemaTestDTD)
+	ApplySchemaFacts(a, s)
+	got := xqast.Format(a.Query)
+	if strings.Contains(got, "exists($p/price)") {
+		t.Fatalf("exists($p/price) not rewritten:\n%s", got)
+	}
+	if !strings.Contains(got, "not(true())") {
+		t.Fatalf("want not(true()) in rewritten query:\n%s", got)
+	}
+}
+
+// TestSchemaFactsOptionalStaysRuntime: phone? is neither guaranteed nor
+// excluded — the runtime check must survive.
+func TestSchemaFactsOptionalStaysRuntime(t *testing.T) {
+	a := analyze(t, `<r>{ for $p in /site/people/person return
+		if (exists($p/phone)) then <y/> else <n/> }</r>`, Options{})
+	s := schemaFor(t, schemaTestDTD)
+	ApplySchemaFacts(a, s)
+	got := xqast.Format(a.Query)
+	if !strings.Contains(got, "exists($p/phone)") {
+		t.Fatalf("undecidable exists must stay:\n%s", got)
+	}
+}
+
+// TestSchemaFactsUnknownBinderStaysRuntime: a descendant-axis binding has
+// no statically known tag, so nothing may be decided even though every
+// person has a name.
+func TestSchemaFactsUnknownBinderStaysRuntime(t *testing.T) {
+	a := analyze(t, `<r>{ for $p in //person/* return
+		if (exists($p/name)) then <y/> else <n/> }</r>`, Options{})
+	s := schemaFor(t, schemaTestDTD)
+	ApplySchemaFacts(a, s)
+	got := xqast.Format(a.Query)
+	if !strings.Contains(got, "exists($p/name)") {
+		t.Fatalf("exists under unknown binder tag must stay:\n%s", got)
+	}
+}
+
+// TestSchemaFactsChainedLinks: a multi-link chain is provable only when
+// EVERY link is mandatory. site→people is, people→person is not
+// (person*), so exists($s/people) rewrites while exists($s/people/person)
+// must not — but a chain broken by an excluded link is still refutable.
+func TestSchemaFactsChainedLinks(t *testing.T) {
+	a := analyze(t, `<r>{ for $s in /site return
+		((if (exists($s/people)) then <a/> else ()),
+		 (if (exists($s/people/person)) then <b/> else ()),
+		 (if (exists($s/regions/person)) then <c/> else ())) }</r>`, Options{})
+	s := schemaFor(t, schemaTestDTD)
+	ApplySchemaFacts(a, s)
+	got := xqast.Format(a.Query)
+	if strings.Contains(got, "exists($s/people)") && !strings.Contains(got, "exists($s/people/person)") {
+		t.Fatalf("exists($s/people) should rewrite:\n%s", got)
+	}
+	if !strings.Contains(got, "exists($s/people/person)") {
+		t.Fatalf("exists($s/people/person) has an optional link and must stay:\n%s", got)
+	}
+	// regions is declared with no content model here — undeclared means
+	// CanContain is unknown, so the chain through it stays runtime.
+	if !strings.Contains(got, "exists($s/regions/person)") {
+		t.Fatalf("chain through undeclared regions must stay:\n%s", got)
+	}
+}
+
+// TestSchemaFactsPreserveProjection: the rewrite decides conditions only;
+// the projection tree, roles, and signOff placement must be bit-for-bit
+// what they were before, so buffering and role balance cannot change.
+func TestSchemaFactsPreserveProjection(t *testing.T) {
+	const q = `<r>{ for $p in /site/people/person return
+		if (exists($p/name)) then <y/> else <n/> }</r>`
+	plain := analyze(t, q, Options{})
+	rewritten := analyze(t, q, Options{})
+	ApplySchemaFacts(rewritten, schemaFor(t, schemaTestDTD))
+	if got, want := rewritten.Tree.Format(), plain.Tree.Format(); got != want {
+		t.Fatalf("projection tree changed:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	gotQ := xqast.Format(rewritten.Query)
+	plainQ := xqast.Format(plain.Query)
+	if strings.Count(gotQ, "signOff") != strings.Count(plainQ, "signOff") {
+		t.Fatalf("signOff placement changed:\ngot:\n%s\nwant:\n%s", gotQ, plainQ)
+	}
+}

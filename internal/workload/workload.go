@@ -317,8 +317,10 @@ func (c *Compiled) run(in io.Reader, outs []io.Writer) (Stats, []QueryStats, *ru
 			Err:          t.err,
 		}
 		// Each member writer stamped its own first result byte along the
-		// shared pass; the aggregate TTFR is the earliest of them.
-		if fb := rs.ws[i].FirstByteAt(); fb > 0 {
+		// shared pass; the aggregate TTFR is the earliest of them. A
+		// member whose bytes never left its bufio (failed before any
+		// flush) answered nothing and reports no TTFR.
+		if fb := rs.ws[i].FirstByteAt(); fb > 0 && rs.ws[i].Delivered() > 0 {
 			q.TTFRNanos = max(fb-start, 1)
 			if st.TTFRNanos == 0 || q.TTFRNanos < st.TTFRNanos {
 				st.TTFRNanos = q.TTFRNanos

@@ -154,6 +154,57 @@ func TestWorkloadStreamError(t *testing.T) {
 	}
 }
 
+// TestWorkloadTTFRAbsentWithoutOutput: TTFR is a measurement of the
+// first result byte; a member (or pass) that never produced one reports
+// 0 — "no first result" — not a zero-latency sample. A successful pass
+// stamps every member and aggregates the earliest.
+func TestWorkloadTTFRAbsentWithoutOutput(t *testing.T) {
+	c, err := Compile(testQueries, Config{Engine: engine.Config{Mode: engine.ModeGCX}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := make([]*strings.Builder, len(testQueries))
+	for i := range bufs {
+		bufs[i] = &strings.Builder{}
+	}
+	// Garbage from byte one: no member emits anything, so no member has a
+	// first result.
+	st, qs, err := c.Run(strings.NewReader("<"), toIOWriters(bufs))
+	if err == nil {
+		t.Fatal("expected a stream error")
+	}
+	if st.TTFRNanos != 0 {
+		t.Fatalf("pass with no output reports TTFR %d, want 0 (absent)", st.TTFRNanos)
+	}
+	for i, q := range qs {
+		if q.TTFRNanos != 0 {
+			t.Errorf("query %d produced no output but reports TTFR %d", i, q.TTFRNanos)
+		}
+	}
+
+	// A clean pass: every member emits at least its wrapper, so every
+	// member has a TTFR and the aggregate is the earliest of them.
+	for i := range bufs {
+		bufs[i] = &strings.Builder{}
+	}
+	st, qs, err = c.Run(strings.NewReader(testDoc), toIOWriters(bufs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	earliest := int64(0)
+	for i, q := range qs {
+		if q.TTFRNanos <= 0 {
+			t.Errorf("query %d produced output but reports no TTFR", i)
+		}
+		if earliest == 0 || q.TTFRNanos < earliest {
+			earliest = q.TTFRNanos
+		}
+	}
+	if st.TTFRNanos != earliest {
+		t.Fatalf("aggregate TTFR %d, want earliest member %d", st.TTFRNanos, earliest)
+	}
+}
+
 func TestWorkloadSingleQueryDegenerate(t *testing.T) {
 	want, _ := soloRun(t, testQueries[0], testDoc, engine.ModeGCX)
 	got, _, _ := runWorkload(t, testQueries[:1], testDoc, Config{Engine: engine.Config{Mode: engine.ModeGCX}})

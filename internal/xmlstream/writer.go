@@ -15,6 +15,7 @@ import (
 // The zero value is not usable; construct with NewWriter.
 type Writer struct {
 	w     *bufio.Writer
+	dst   io.Writer
 	stack []string
 	n     int64
 	// first is the obs.Now timestamp of the first output byte (0 until
@@ -25,12 +26,22 @@ type Writer struct {
 	err   error
 }
 
+// ResultFlusher is implemented by destinations that can push the first
+// result byte further down the stack (e.g. an HTTP response writer whose
+// transport-level flush commits the headers and ships the body buffer).
+// FlushFirst calls it after draining the bufio layer, so the engine's
+// earliest-answering guarantee extends past its own batching to the
+// destination's.
+type ResultFlusher interface {
+	FlushResult()
+}
+
 // NewWriter returns a Writer emitting to w.
 func NewWriter(w io.Writer) *Writer {
 	if bw, ok := w.(*bufio.Writer); ok {
-		return &Writer{w: bw}
+		return &Writer{w: bw, dst: w}
 	}
-	return &Writer{w: bufio.NewWriterSize(w, 32<<10)}
+	return &Writer{w: bufio.NewWriterSize(w, 32<<10), dst: w}
 }
 
 // Reset discards all state and redirects output to out, retaining the
@@ -39,14 +50,39 @@ func NewWriter(w io.Writer) *Writer {
 // caller-owned *bufio.Writer that is also the new destination.
 func (w *Writer) Reset(out io.Writer) {
 	w.w.Reset(out)
+	w.dst = out
 	w.stack = w.stack[:0]
 	w.n = 0
 	w.first = 0
 	w.err = nil
 }
 
+// FlushFirst pushes buffered output toward the destination without the
+// end-of-run balance check: the evaluator calls it once, right after the
+// first result byte is certain, so the byte leaves the 32KB bufio layer
+// (and, via ResultFlusher, the transport's buffers) instead of riding
+// along until the final Flush. Write errors surface through Err as usual.
+func (w *Writer) FlushFirst() {
+	if w.first == 0 || w.err != nil {
+		return
+	}
+	if err := w.w.Flush(); err != nil {
+		w.err = err
+		return
+	}
+	if rf, ok := w.dst.(ResultFlusher); ok {
+		rf.FlushResult()
+	}
+}
+
 // BytesWritten returns the number of bytes emitted so far (pre-buffering).
 func (w *Writer) BytesWritten() int64 { return w.n }
+
+// Delivered returns the number of result bytes that have actually
+// reached the destination writer: emitted minus still sitting in the
+// bufio layer. A failed run that never flushed has Delivered 0 even
+// though bytes entered the writer — nothing was answered.
+func (w *Writer) Delivered() int64 { return w.n - int64(w.w.Buffered()) }
 
 // FirstByteAt returns the obs.Now timestamp at which the first output
 // byte was produced, or 0 if nothing has been written since the last

@@ -81,6 +81,99 @@ func TestBufferPeakOrdering(t *testing.T) {
 // FullBuffer by a margin there.
 func joinFree(name string) bool { return name != "Q8" }
 
+// earliestSink records where the input stream stood when the engine's
+// first-result flush pushed bytes through (consumed reads *inputPos), and
+// collects the output for byte comparison.
+type earliestSink struct {
+	buf             bytes.Buffer
+	inputPos        *int64
+	flushes         int
+	firstFlushBytes int64 // output bytes delivered by the first flush
+	firstFlushInput int64 // input bytes consumed at the first flush
+}
+
+func (s *earliestSink) Write(p []byte) (int, error) { return s.buf.Write(p) }
+
+func (s *earliestSink) FlushResult() {
+	if s.flushes == 0 {
+		s.firstFlushBytes = int64(s.buf.Len())
+		s.firstFlushInput = *s.inputPos
+	}
+	s.flushes++
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// TestEarliestEmissionInvariants pins the earliest-answering contract on
+// every catalog query under every strategy:
+//
+//  1. A run with output has a TTFR stamp, and it never exceeds the
+//     run's wall time.
+//  2. The first-result flush fires, delivers bytes to the destination,
+//     and does so BEFORE the input stream is exhausted — output begins
+//     while input is still arriving, not after the scan.
+//  3. Emitting early changes nothing else: deterministic stats (peaks,
+//     tokens, output size) and the result bytes are identical to a run
+//     into a plain sink.
+func TestEarliestEmissionInvariants(t *testing.T) {
+	doc := orderingDoc(t, orderingDocSizes[2]) // several tokenizer windows
+	for _, q := range queries.AllIncludingExtended() {
+		t.Run(q.Name, func(t *testing.T) {
+			for _, strat := range []Strategy{GCX, StaticOnly, FullBuffer} {
+				eng, err := Compile(q.Text, WithStrategy(strat))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var plain bytes.Buffer
+				stPlain, err := eng.Run(bytes.NewReader(doc), &plain)
+				if err != nil {
+					t.Fatalf("%v plain: %v", strat, err)
+				}
+				cr := &countingReader{r: bytes.NewReader(doc)}
+				sink := &earliestSink{inputPos: &cr.n}
+				stEager, err := eng.Run(cr, sink)
+				if err != nil {
+					t.Fatalf("%v eager: %v", strat, err)
+				}
+
+				if stEager.OutputBytes > 0 && stEager.TimeToFirstResultNanos <= 0 {
+					t.Errorf("%v: output %d bytes but no TTFR stamp", strat, stEager.OutputBytes)
+				}
+				if stEager.TimeToFirstResultNanos > stEager.EvalWallNanos {
+					t.Errorf("%v: TTFR %d later than the run's end %d",
+						strat, stEager.TimeToFirstResultNanos, stEager.EvalWallNanos)
+				}
+				if sink.flushes == 0 {
+					t.Errorf("%v: first-result flush never reached the destination", strat)
+				}
+				if sink.firstFlushBytes == 0 {
+					t.Errorf("%v: first-result flush delivered nothing", strat)
+				}
+				if sink.firstFlushInput >= int64(len(doc)) {
+					t.Errorf("%v: first result left the engine only after the whole %d-byte input (consumed %d)",
+						strat, len(doc), sink.firstFlushInput)
+				}
+				if stEager.Deterministic() != stPlain.Deterministic() {
+					t.Errorf("%v: eager emission changed run stats:\neager: %+v\nplain: %+v",
+						strat, stEager.Deterministic(), stPlain.Deterministic())
+				}
+				if !bytes.Equal(sink.buf.Bytes(), plain.Bytes()) {
+					t.Errorf("%v: eager emission changed output bytes", strat)
+				}
+			}
+		})
+	}
+}
+
 // orderingDocSizes are the three generated document sizes of the sweep,
 // chosen to keep `go test ./...` fast while spanning a 8x size range.
 var orderingDocSizes = []int64{64 << 10, 192 << 10, 512 << 10}
