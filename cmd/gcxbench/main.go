@@ -23,6 +23,11 @@
 //
 //	gcxbench -tokenizer-json BENCH_tokenizer.json
 //
+// Subscription scale (gcx.Registry with one shared projection automaton
+// vs one automaton per subscription, swept over subscription counts):
+//
+//	gcxbench -subs-json BENCH_subs.json -subs 10,100,1000,10000
+//
 // Benchmark regression gate (CI): compare fresh reports against the
 // committed baseline, exiting non-zero when any per-metric tolerance is
 // breached; and regenerate the baseline from fresh reports:
@@ -73,24 +78,36 @@ func main() {
 		tokDoc   = flag.String("tok-doc", "4MB", "tokenizer benchmark document size")
 		tokIters = flag.Int("tok-iters", 10, "tokenizer benchmark passes per cell")
 
+		subsJSON   = flag.String("subs-json", "", "run the subscription-scale benchmark (gcx.Registry vs one-automaton-per-subscription) and write the JSON report to this file")
+		subsCounts = flag.String("subs", "10,100,1000,10000", "comma-separated subscription counts to sweep")
+		subsDoc    = flag.String("subs-doc", "128KB", "subscription benchmark document size")
+		subsIters  = flag.Int("subs-iters", 3, "subscription benchmark runs per count")
+
 		checkPath   = flag.String("check", "", "compare benchmark reports against this committed baseline JSON and exit non-zero on regression")
 		checkTol    = flag.Float64("check-tol", 1.0, "multiply the relative regression budgets (throughput/alloc/peak) by this factor")
 		baselineOut = flag.String("baseline-out", "", "assemble a baseline JSON from the -*-in reports and write it to this file")
 		serveIn     = flag.String("serve-in", "", "BENCH_serve.json to check or fold into a baseline")
 		bulkIn      = flag.String("bulk-in", "", "BENCH_bulk.json to check or fold into a baseline")
 		tokIn       = flag.String("tokenizer-in", "", "BENCH_tokenizer.json to check or fold into a baseline")
+		subsIn      = flag.String("subs-in", "", "BENCH_subs.json to check or fold into a baseline")
 		note        = flag.String("note", "", "provenance note stored in the baseline written by -baseline-out")
 	)
 	flag.Parse()
 
 	if *checkPath != "" {
-		if err := runCheck(*checkPath, *serveIn, *bulkIn, *tokIn, *checkTol); err != nil {
+		if err := runCheck(*checkPath, *serveIn, *bulkIn, *tokIn, *subsIn, *checkTol); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *baselineOut != "" {
-		if err := runBaselineOut(*baselineOut, *serveIn, *bulkIn, *tokIn, *note); err != nil {
+		if err := runBaselineOut(*baselineOut, *serveIn, *bulkIn, *tokIn, *subsIn, *note); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *subsJSON != "" {
+		if err := runSubs(*subsJSON, *subsCounts, *subsDoc, *seed, *subsIters); err != nil {
 			fatal(err)
 		}
 		return
@@ -268,9 +285,44 @@ func runTokenizer(outPath, docSize string, seed uint64, iters int) error {
 	return nil
 }
 
+func runSubs(outPath, counts, docSize string, seed uint64, iters int) error {
+	docBytes, err := bench.ParseSize(docSize)
+	if err != nil {
+		return err
+	}
+	cfg := bench.SubsConfig{
+		DocBytes:   docBytes,
+		Seed:       seed,
+		Iterations: iters,
+		Progress:   os.Stderr,
+	}
+	for _, s := range strings.Split(counts, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -subs value %q", s)
+		}
+		cfg.Counts = append(cfg.Counts, n)
+	}
+	rep, err := bench.RunSubs(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(bench.FormatSubsTable(rep))
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+	return nil
+}
+
 // assembleBaseline folds the individual report files (empty paths are
 // skipped) into one Baseline document.
-func assembleBaseline(serveIn, bulkIn, tokIn string) (*bench.Baseline, error) {
+func assembleBaseline(serveIn, bulkIn, tokIn, subsIn string) (*bench.Baseline, error) {
 	var b bench.Baseline
 	if serveIn != "" {
 		if err := readJSON(serveIn, &b.Serve); err != nil {
@@ -284,6 +336,11 @@ func assembleBaseline(serveIn, bulkIn, tokIn string) (*bench.Baseline, error) {
 	}
 	if tokIn != "" {
 		if err := readJSON(tokIn, &b.Tokenizer); err != nil {
+			return nil, err
+		}
+	}
+	if subsIn != "" {
+		if err := readJSON(subsIn, &b.Subs); err != nil {
 			return nil, err
 		}
 	}
@@ -303,12 +360,12 @@ func readJSON(path string, dst any) error {
 
 // runCheck is the CI regression gate: compare the current run's reports
 // against the committed baseline and fail loudly on any breached budget.
-func runCheck(baselinePath, serveIn, bulkIn, tokIn string, tolFactor float64) error {
+func runCheck(baselinePath, serveIn, bulkIn, tokIn, subsIn string, tolFactor float64) error {
 	base, err := bench.LoadBaseline(baselinePath)
 	if err != nil {
 		return err
 	}
-	cur, err := assembleBaseline(serveIn, bulkIn, tokIn)
+	cur, err := assembleBaseline(serveIn, bulkIn, tokIn, subsIn)
 	if err != nil {
 		return err
 	}
@@ -335,13 +392,13 @@ func runCheck(baselinePath, serveIn, bulkIn, tokIn string, tolFactor float64) er
 	return nil
 }
 
-func runBaselineOut(outPath, serveIn, bulkIn, tokIn, note string) error {
-	b, err := assembleBaseline(serveIn, bulkIn, tokIn)
+func runBaselineOut(outPath, serveIn, bulkIn, tokIn, subsIn, note string) error {
+	b, err := assembleBaseline(serveIn, bulkIn, tokIn, subsIn)
 	if err != nil {
 		return err
 	}
-	if b.Serve == nil && b.Bulk == nil && b.Tokenizer == nil {
-		return fmt.Errorf("-baseline-out needs at least one of -serve-in, -bulk-in, -tokenizer-in")
+	if b.Serve == nil && b.Bulk == nil && b.Tokenizer == nil && b.Subs == nil {
+		return fmt.Errorf("-baseline-out needs at least one of -serve-in, -bulk-in, -tokenizer-in, -subs-in")
 	}
 	b.Note = note
 	data, err := json.MarshalIndent(b, "", "  ")

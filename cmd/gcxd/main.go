@@ -25,6 +25,9 @@
 //
 // The registry file holds one query, or several separated by "=== <id>"
 // lines; a directory registers every *.xq file under its basename.
+// SIGHUP reloads the registry in place: unchanged queries keep their
+// compiled artifacts, and a registry that fails to load or compile is
+// rejected while the previous one keeps serving.
 package main
 
 import (
@@ -178,6 +181,30 @@ func run(c config) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGHUP reloads the query registry in place: unchanged ids keep
+	// their compiled artifacts in the serving fleet, a broken new registry
+	// rejects the reload and the old one keeps serving.
+	if c.queriesPath != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for range hup {
+				newReg, err := server.LoadRegistry(c.queriesPath)
+				if err == nil {
+					err = srv.ReloadRegistry(newReg)
+				}
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "gcxd: registry reload failed, keeping previous: %v\n", err)
+					continue
+				}
+				srv.SetReady()
+				fmt.Fprintf(os.Stderr, "gcxd: registry reloaded: %d queries from %s\n", newReg.Len(), c.queriesPath)
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() {
 		fmt.Fprintf(os.Stderr, "gcxd: listening on %s (mode %s)\n", ln.Addr(), c.mode)

@@ -1,0 +1,89 @@
+package gcx
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The error vocabulary exists so callers classify failures with
+// errors.Is/As instead of matching message text. These tests pin the
+// three sentinels a serving tier maps to status codes.
+
+func TestErrTooLargeFromBulk(t *testing.T) {
+	small := `<bib><book/></bib>`
+	big := `<bib>` + strings.Repeat(`<book><title>padding padding padding</title></book>`, 64) + `</bib>`
+	stream := small + "\n" + big + "\n" + small
+	eng := MustCompile(`<r>{ /bib/book }</r>`)
+	var tooLarge, ok int
+	_, err := eng.Bulk(CorpusConcat(bytes.NewReader([]byte(stream))), BulkOptions{MaxDocBytes: 256}, func(d BulkDoc) error {
+		switch {
+		case d.Err == nil:
+			ok++
+		case errors.Is(d.Err, ErrTooLarge):
+			tooLarge++
+		default:
+			t.Errorf("doc %d: unexpected error class: %v", d.Index, d.Err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tooLarge != 1 || ok != 2 {
+		t.Fatalf("tooLarge=%d ok=%d, want 1 oversized and 2 clean docs", tooLarge, ok)
+	}
+}
+
+func TestErrCanceledWrapsContextCause(t *testing.T) {
+	eng := MustCompile(`<r>{ /bib/book/title }</r>`)
+
+	t.Run("canceled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := eng.RunContext(ctx, strings.NewReader(bibDoc), io.Discard)
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("err = %v, want ErrCanceled", err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want the context.Canceled cause preserved", err)
+		}
+	})
+	t.Run("deadline", func(t *testing.T) {
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer cancel()
+		_, err := eng.RunContext(ctx, strings.NewReader(bibDoc), io.Discard)
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("err = %v, want ErrCanceled", err)
+		}
+		// Deadline must remain distinguishable from plain cancellation —
+		// the server maps it to 408, not 400.
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want the DeadlineExceeded cause preserved", err)
+		}
+	})
+}
+
+func TestQueryErrorCarriesPosition(t *testing.T) {
+	_, err := Compile("<r>{ for $x in\n  /bib/book return }</r>")
+	if err == nil {
+		t.Fatal("want compile error")
+	}
+	var qe *QueryError
+	if !errors.As(err, &qe) {
+		t.Fatalf("err = %T %v, want *QueryError", err, err)
+	}
+	if qe.Line < 1 || qe.Col < 1 {
+		t.Fatalf("position not lifted: line=%d col=%d", qe.Line, qe.Col)
+	}
+	if qe.ID != "" {
+		t.Fatalf("solo Compile should have no query id, got %q", qe.ID)
+	}
+	if qe.Unwrap() == nil {
+		t.Fatal("QueryError must unwrap to the parser error")
+	}
+}

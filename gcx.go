@@ -29,6 +29,7 @@
 package gcx
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -247,7 +248,7 @@ func Compile(query string, opts ...Option) (*Engine, error) {
 	}
 	c, err := engine.Compile(query, engine.Config{Mode: cfg.strategy.mode(), Static: &cfg.static, Schema: cfg.schema})
 	if err != nil {
-		return nil, err
+		return nil, queryError("", err)
 	}
 	return &Engine{c: c}, nil
 }
@@ -263,10 +264,9 @@ func MustCompile(query string, opts ...Option) *Engine {
 }
 
 // Run evaluates the query over the XML document read from in, writing the
-// serialized result to out.
+// serialized result to out. It is RunContext with context.Background().
 func (e *Engine) Run(in io.Reader, out io.Writer) (Stats, error) {
-	st, err := e.c.Run(in, out)
-	return convertStats(st), err
+	return e.RunContext(context.Background(), in, out)
 }
 
 // RunString evaluates over an in-memory document and returns the result.
@@ -282,27 +282,63 @@ func (e *Engine) RunString(doc string) (string, Stats, error) {
 // this query.
 func (e *Engine) Explain() string { return e.c.Explain() }
 
-// Trace evaluates the query and additionally records the buffer contents
-// after every consumed token and executed signOff — the step-by-step view
-// of the paper's Figure 2.
-func (e *Engine) Trace(in io.Reader, out io.Writer) ([]TraceStep, Stats, error) {
-	steps, _, st, err := e.TraceN(in, out, 0)
-	return steps, st, err
+// TraceOption configures a Trace run.
+type TraceOption func(*traceConfig)
+
+type traceConfig struct {
+	limit     int
+	truncated *bool
+	ctx       context.Context
 }
 
-// TraceN is Trace with a bound on recorded steps: after maxSteps events
-// the evaluation continues but further steps are dropped, and truncated
-// reports that the bound was hit. maxSteps <= 0 means unbounded. This is
-// the variant services expose — a deep trace of an arbitrarily large
-// document then holds at most maxSteps buffer snapshots.
-func (e *Engine) TraceN(in io.Reader, out io.Writer, maxSteps int) (steps []TraceStep, truncated bool, st Stats, err error) {
-	tr := &engine.Tracer{Limit: maxSteps}
-	est, err := e.c.RunWith(in, out, engine.RunOptions{Trace: tr})
-	steps = make([]TraceStep, len(tr.Steps))
+// WithTraceLimit bounds the recorded steps: after n events the evaluation
+// continues but further steps are dropped. n <= 0 means unbounded. This
+// is the option services use — a deep trace of an arbitrarily large
+// document then holds at most n buffer snapshots.
+func WithTraceLimit(n int) TraceOption {
+	return func(c *traceConfig) { c.limit = n }
+}
+
+// WithTraceTruncated reports into hit whether a WithTraceLimit bound was
+// reached (steps were dropped). hit is written before Trace returns.
+func WithTraceTruncated(hit *bool) TraceOption {
+	return func(c *traceConfig) { c.truncated = hit }
+}
+
+// WithTraceContext bounds the traced run by a context, with the same
+// semantics as RunContext: on cancellation the returned error matches
+// ErrCanceled.
+func WithTraceContext(ctx context.Context) TraceOption {
+	return func(c *traceConfig) { c.ctx = ctx }
+}
+
+// Trace evaluates the query and additionally records the buffer contents
+// after every consumed token and executed signOff — the step-by-step view
+// of the paper's Figure 2. Options bound the recording; an unbounded
+// trace of a large document holds a snapshot per token.
+func (e *Engine) Trace(in io.Reader, out io.Writer, opts ...TraceOption) ([]TraceStep, Stats, error) {
+	var cfg traceConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	tr := &engine.Tracer{Limit: cfg.limit}
+	est, err := e.c.RunWith(guard(cfg.ctx, in), out, engine.RunOptions{Trace: tr})
+	steps := make([]TraceStep, len(tr.Steps))
 	for i, s := range tr.Steps {
 		steps[i] = TraceStep{Event: s.Event, Buffer: s.Buffer}
 	}
-	return steps, tr.Truncated, convertStats(est), err
+	if cfg.truncated != nil {
+		*cfg.truncated = tr.Truncated
+	}
+	return steps, convertStats(est), err
+}
+
+// TraceN is Trace with a step bound.
+//
+// Deprecated: use Trace with WithTraceLimit and WithTraceTruncated.
+func (e *Engine) TraceN(in io.Reader, out io.Writer, maxSteps int) (steps []TraceStep, truncated bool, st Stats, err error) {
+	steps, st, err = e.Trace(in, out, WithTraceLimit(maxSteps), WithTraceTruncated(&truncated))
+	return steps, truncated, st, err
 }
 
 // TraceStep is one event of a traced run.
@@ -361,7 +397,7 @@ func CompileWorkload(queries []string, opts ...Option) (*Workload, error) {
 		Batch:  cfg.readBatch,
 	})
 	if err != nil {
-		return nil, err
+		return nil, queryError("", err)
 	}
 	return &Workload{c: c}, nil
 }
@@ -418,11 +454,11 @@ type WorkloadStats struct {
 // results progressively along the pass). Member evaluation errors are
 // joined into the returned error and also reported per query in the stats.
 func (w *Workload) Run(in io.Reader, outs []io.Writer) (WorkloadStats, error) {
-	if len(outs) != w.Len() {
-		return WorkloadStats{}, fmt.Errorf("gcx: workload has %d queries but %d output writers were supplied", w.Len(), len(outs))
-	}
-	st, qs, err := w.c.Run(in, outs)
-	return convertWorkloadStats(st, qs), err
+	return w.RunContext(context.Background(), in, outs)
+}
+
+func errWriterCount(want, got int) error {
+	return fmt.Errorf("gcx: workload has %d queries but %d output writers were supplied", want, got)
 }
 
 // RunStrings evaluates over an in-memory document and returns the member

@@ -34,6 +34,7 @@ type Baseline struct {
 	Serve     *ServeReport     `json:"serve,omitempty"`
 	Bulk      *BulkReport      `json:"bulk,omitempty"`
 	Tokenizer *TokenizerReport `json:"tokenizer,omitempty"`
+	Subs      *SubsReport      `json:"subs,omitempty"`
 }
 
 // Tolerances are the per-metric regression budgets. The zero value is
@@ -81,6 +82,19 @@ type Tolerances struct {
 	// runner in the same process, so it gates hard even when a
 	// GOMAXPROCS mismatch suspends the absolute MB/s floors.
 	MinMarkupSpeedup float64
+	// MinSubsSpeedup is the absolute floor on the subscription registry's
+	// shared-vs-disjoint docs/s ratio at the LARGEST subscription count in
+	// the sweep — the subscription registry's acceptance bar (one merged
+	// automaton with text dedup must beat one-automaton-per-subscription
+	// by at least this factor under heavy overlap). A same-runner ratio,
+	// so it gates even across hardware classes.
+	MinSubsSpeedup float64
+	// MinSubsRetention is the floor on the shared path's throughput
+	// retention from the smallest to the largest subscription count — the
+	// sublinearity witness. Linear-cost matching would show roughly
+	// minCount/maxCount; structure-bound matching stays orders of
+	// magnitude above it.
+	MinSubsRetention float64
 }
 
 // DefaultTolerances returns the gate's defaults (the values the CI step
@@ -96,6 +110,8 @@ func DefaultTolerances() Tolerances {
 		EarliestTTFRSlackMs: 0.5,
 		MinTextSpeedup:      1.8,
 		MinMarkupSpeedup:    2.0,
+		MinSubsSpeedup:      5.0,
+		MinSubsRetention:    0.02,
 	}
 }
 
@@ -142,6 +158,8 @@ func (b *Baseline) Compare(cur *Baseline, tol Tolerances) (violations, warnings 
 	v, w = compareBulk(b.Bulk, cur.Bulk, tol)
 	violations, warnings = append(violations, v...), append(warnings, w...)
 	v, w = compareTokenizer(b.Tokenizer, cur.Tokenizer, tol)
+	violations, warnings = append(violations, v...), append(warnings, w...)
+	v, w = compareSubs(b.Subs, cur.Subs, tol)
 	violations, warnings = append(violations, v...), append(warnings, w...)
 	return violations, warnings
 }
@@ -365,6 +383,72 @@ func compareTokenizer(base, cur *TokenizerReport, tol Tolerances) (v, w []string
 	if tol.MinMarkupSpeedup > 0 && cur.SpeedupMarkupHeavy < tol.MinMarkupSpeedup {
 		v = append(v, fmt.Sprintf("tokenizer: chunked/reference speedup on markup-heavy fell to %.2fx (floor %.2fx) — the structural-index fast paths are no longer engaging on dense markup",
 			cur.SpeedupMarkupHeavy, tol.MinMarkupSpeedup))
+	}
+	return v, w
+}
+
+func compareSubs(base, cur *SubsReport, tol Tolerances) (v, w []string) {
+	if base == nil {
+		return nil, nil
+	}
+	if cur == nil {
+		return []string{"subs: baseline has a subscription-scale section but the current run is missing BENCH_subs.json"}, nil
+	}
+	countsOf := func(r *SubsReport) string {
+		var parts []string
+		for _, x := range r.Results {
+			parts = append(parts, fmt.Sprint(x.Subs))
+		}
+		return strings.Join(parts, ",")
+	}
+	if base.DocBytes != cur.DocBytes || countsOf(base) != countsOf(cur) {
+		v = append(v, fmt.Sprintf("subs: parameter mismatch (doc %d vs %d bytes, counts %s vs %s) — regenerate the baseline or fix the CI flags",
+			base.DocBytes, cur.DocBytes, countsOf(base), countsOf(cur)))
+		return v, nil
+	}
+	sameClass := base.GoMaxProcs == cur.GoMaxProcs
+	if !sameClass {
+		w = append(w, classChangeWarning("subs", base.GoMaxProcs, cur.GoMaxProcs))
+	}
+	curBySubs := map[int]SubsResult{}
+	for _, r := range cur.Results {
+		curBySubs[r.Subs] = r
+	}
+	for _, br := range base.Results {
+		cr, ok := curBySubs[br.Subs]
+		if !ok {
+			v = append(v, fmt.Sprintf("subs/%d: count missing from current run", br.Subs))
+			continue
+		}
+		if cr.Groups != cr.DistinctTexts {
+			v = append(v, fmt.Sprintf("subs/%d: registry formed %d groups for %d distinct texts — query-text dedup is broken",
+				cr.Subs, cr.Groups, cr.DistinctTexts))
+		}
+		if sameClass {
+			if floor := throughputFloor(br.SharedDocsPerSec, tol); cr.SharedDocsPerSec < floor {
+				v = append(v, fmt.Sprintf("subs/%d: shared docs/s regressed %.1f -> %.1f (floor %.1f)",
+					br.Subs, br.SharedDocsPerSec, cr.SharedDocsPerSec, floor))
+			}
+		}
+		if br.SharedPeakBufferBytes > 0 {
+			if ceil := int64(float64(br.SharedPeakBufferBytes) * (1 + tol.PeakGrowth)); cr.SharedPeakBufferBytes > ceil {
+				v = append(v, fmt.Sprintf("subs/%d: shared peak buffer grew %d -> %d bytes (ceiling %d)",
+					br.Subs, br.SharedPeakBufferBytes, cr.SharedPeakBufferBytes, ceil))
+			}
+		}
+	}
+	// The machine-portable acceptance bars: both are same-runner ratios,
+	// so they gate even when the absolute floors are suspended.
+	if n := len(cur.Results); n > 0 {
+		last := cur.Results[n-1]
+		if tol.MinSubsSpeedup > 0 && last.Speedup < tol.MinSubsSpeedup {
+			v = append(v, fmt.Sprintf("subs/%d: shared/disjoint speedup fell to %.1fx (floor %.1fx) — the merged automaton is no longer amortizing overlapping subscriptions",
+				last.Subs, last.Speedup, tol.MinSubsSpeedup))
+		}
+	}
+	if tol.MinSubsRetention > 0 && cur.SharedRetention > 0 && cur.SharedRetention < tol.MinSubsRetention {
+		v = append(v, fmt.Sprintf("subs: shared-path throughput retention fell to %.4f (floor %.4f) — registry cost is scaling with the subscription count, not the distinct structures",
+			cur.SharedRetention, tol.MinSubsRetention))
 	}
 	return v, w
 }

@@ -296,6 +296,21 @@ func (b *Buffer) Finish(n *Node) {
 	b.collect(n)
 }
 
+// Seal marks an element's content as complete ahead of its closing tag,
+// on the strength of a DTD content-model fact (schema-based scheduling:
+// the projector proved no further child or buffered text can occur).
+// Cursors see the node as Finished and conclude the region — evaluation
+// and signOff-driven flushing proceed as if the closing tag had been
+// read — but the node itself stays physically linked until the real
+// closing tag arrives: deletable() checks the raw finished flag, so a
+// document that violates the asserted schema cannot dangle projector
+// frames or recycle a node that is still on the open-element stack.
+func (b *Buffer) Seal(n *Node) {
+	if n.Kind == KindElement {
+		n.sealed = true
+	}
+}
+
 // deletable reports whether n can be physically reclaimed right now.
 func (b *Buffer) deletable(n *Node) bool {
 	return n.Kind != KindRoot &&

@@ -57,6 +57,15 @@ type Node struct {
 	Kind Kind
 	// finished is set once the closing tag has been read from the stream.
 	finished bool
+	// sealed is set when a DTD content-model fact proves the node's
+	// content is complete before its closing tag arrives (schema-based
+	// scheduling, Koch/Scherzinger cs/0406016). A sealed node reports
+	// Finished() to cursors — evaluation over the region can conclude and
+	// its signOffs can flush buffered descendants early — but physical
+	// reclamation (deletable) still waits for the real closing tag, so an
+	// input that violates the asserted schema can corrupt results but
+	// never the arena.
+	sealed bool
 	// unlinked marks nodes already removed from the tree (debug aid; a
 	// deleted node must never be touched again).
 	unlinked bool
@@ -114,8 +123,13 @@ func (n *Node) NoMore(sym xmlstream.Sym) bool {
 	return false
 }
 
-// Finished reports whether the node's closing tag has been read.
-func (n *Node) Finished() bool { return n.finished }
+// Finished reports whether the node's content is complete: its closing
+// tag has been read, or a schema fact sealed it early (see Buffer.Seal).
+func (n *Node) Finished() bool { return n.finished || n.sealed }
+
+// Sealed reports whether the node was schema-sealed before its closing
+// tag.
+func (n *Node) Sealed() bool { return n.sealed }
 
 // Unlinked reports whether the node has been reclaimed.
 func (n *Node) Unlinked() bool { return n.unlinked }

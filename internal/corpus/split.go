@@ -2,11 +2,18 @@ package corpus
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 
 	"gcx/internal/xmlstream"
 )
+
+// ErrTooLarge is the sentinel every size-limit failure matches under
+// errors.Is. It lives here (not in package gcx) because the concrete
+// limit errors are produced at this layer; the public API re-exports it
+// as gcx.ErrTooLarge.
+var ErrTooLarge = errors.New("input exceeds a configured size limit")
 
 // Splitter scans a concatenated stream of top-level XML documents and
 // yields the bytes of each document in turn. It is the streaming front
@@ -76,6 +83,11 @@ type DocTooLargeError struct {
 func (e *DocTooLargeError) Error() string {
 	return fmt.Sprintf("corpus: document %s exceeds the per-document limit of %d bytes", e.Name, e.Limit)
 }
+
+// Is makes every per-document size failure match the ErrTooLarge
+// sentinel, so callers classify with errors.Is instead of string
+// matching.
+func (e *DocTooLargeError) Is(target error) bool { return target == ErrTooLarge }
 
 // splitter scan states.
 const (

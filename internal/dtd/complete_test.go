@@ -1,0 +1,94 @@
+package dtd
+
+import "testing"
+
+// Truth tables for the schema-scheduling facts: ContentComplete (a child
+// tag whose close finishes the parent's content in every word of the
+// model) and EmptyElement.
+
+func TestContentComplete(t *testing.T) {
+	s := parse(t, `
+<!ELEMENT seq (a, b, c)>
+<!ELEMENT opt (a, b?)>
+<!ELEMENT tail (a*, z)>
+<!ELEMENT star (a, b*)>
+<!ELEMENT alt (a, (x | y))>
+<!ELEMENT both ((a, z) | (b, z))>
+<!ELEMENT reuse (a, b, a)>
+<!ELEMENT mixed (#PCDATA | a | b)*>
+<!ELEMENT anything ANY>
+<!ELEMENT nothing EMPTY>
+`)
+	cases := []struct {
+		elem, seen string
+		want       bool
+	}{
+		// Strict sequence: only the last child completes it.
+		{"seq", "c", true},
+		{"seq", "a", false},
+		{"seq", "b", false},
+		// Optional tail: b completes, a does not (b may still come).
+		{"opt", "b", true},
+		{"opt", "a", false},
+		// Mandatory closer after a star: z completes, a never does.
+		{"tail", "z", true},
+		{"tail", "a", false},
+		// Trailing star: nothing is ever final (more b's may come).
+		{"star", "a", false},
+		{"star", "b", false},
+		// Choice in final position: both branches complete.
+		{"alt", "x", true},
+		{"alt", "y", true},
+		{"alt", "a", false},
+		// Same closer in both branches of a choice.
+		{"both", "z", true},
+		{"both", "a", false},
+		{"both", "b", false},
+		// A tag that re-occurs is complete only if EVERY occurrence is
+		// final — here the first a has successors, so a never completes.
+		{"reuse", "a", false},
+		{"reuse", "b", false},
+		// Mixed content repeats globally: nothing completes.
+		{"mixed", "a", false},
+		{"mixed", "b", false},
+		// ANY and undeclared elements derive no facts.
+		{"anything", "a", false},
+		{"undeclared", "a", false},
+		// An unknown child tag is never a completion witness.
+		{"seq", "ghost", false},
+	}
+	for _, c := range cases {
+		if got := s.ContentComplete(c.elem, c.seen); got != c.want {
+			t.Errorf("ContentComplete(%s, %s) = %v, want %v", c.elem, c.seen, got, c.want)
+		}
+	}
+}
+
+func TestEmptyElement(t *testing.T) {
+	s := parse(t, `
+<!ELEMENT nothing EMPTY>
+<!ELEMENT pcdata (#PCDATA)>
+<!ELEMENT anything ANY>
+<!ELEMENT seq (a)>
+`)
+	cases := []struct {
+		elem string
+		want bool
+	}{
+		{"nothing", true},
+		// (#PCDATA) admits text: not EMPTY.
+		{"pcdata", false},
+		{"anything", false},
+		{"seq", false},
+		{"undeclared", false},
+	}
+	for _, c := range cases {
+		if got := s.EmptyElement(c.elem); got != c.want {
+			t.Errorf("EmptyElement(%s) = %v, want %v", c.elem, got, c.want)
+		}
+	}
+	// EMPTY derives no child facts at all.
+	if s.ContentComplete("nothing", "a") {
+		t.Error("EMPTY element must not report any complete child")
+	}
+}

@@ -38,6 +38,9 @@ type elementInfo struct {
 	name string
 	// any is true for ANY content (no facts derivable).
 	any bool
+	// empty is true for EMPTY content (the element can have no content at
+	// all; its region is complete the moment it opens).
+	empty bool
 	// tags lists the child element tags that can occur.
 	tags map[string]bool
 	// noMoreAfter maps a seen child tag to the child tags that can no
@@ -47,6 +50,11 @@ type elementInfo struct {
 	// content model — an existence check for such a child is true the
 	// moment the parent's start tag is read.
 	mandatory map[string]bool
+	// complete holds the child tags whose occurrence finishes the content
+	// model: after such a child, no further child can arrive, so the
+	// parent's region is complete before its end tag (schema-based
+	// scheduling, Koch/Scherzinger cs/0406016).
+	complete map[string]bool
 }
 
 // Parse reads a DTD (internal subset syntax: a sequence of <!ELEMENT ...>
@@ -132,6 +140,28 @@ func (s *Schema) NoMoreAfter(elem, seen string) []string {
 		return nil
 	}
 	return info.noMoreAfter[seen]
+}
+
+// ContentComplete reports whether elem's content is provably complete
+// once a child with tag seen has closed: in every word of the content
+// model, an occurrence of seen is final, so no further child can arrive
+// before elem's end tag. False for undeclared elements, ANY, and mixed
+// content (whose global repetition means nothing is ever final) — like
+// the other facts it is purely an optimization license.
+func (s *Schema) ContentComplete(elem, seen string) bool {
+	info := s.elements[elem]
+	if info == nil || info.any {
+		return false
+	}
+	return info.complete[seen]
+}
+
+// EmptyElement reports whether elem is declared EMPTY: it can have no
+// content at all (not even whitespace), so its region is complete the
+// moment its start tag is read.
+func (s *Schema) EmptyElement(elem string) bool {
+	info := s.elements[elem]
+	return info != nil && info.empty
 }
 
 // Len returns the number of declared elements.

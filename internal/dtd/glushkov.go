@@ -91,9 +91,14 @@ func analyze(name string, m model) *elementInfo {
 		tags:        map[string]bool{},
 		noMoreAfter: map[string][]string{},
 		mandatory:   map[string]bool{},
+		complete:    map[string]bool{},
 	}
 	if _, isAny := m.(mAny); isAny {
 		info.any = true
+		return info
+	}
+	if _, isEmpty := m.(mEmpty); isEmpty {
+		info.empty = true
 		return info
 	}
 
@@ -206,6 +211,29 @@ func analyze(name string, m model) *elementInfo {
 		if len(dead) > 0 {
 			sortStrings(dead)
 			info.noMoreAfter[d] = dead
+		}
+	}
+
+	// Content-complete children: tag c finishes the model when NO position
+	// labeled c has any reachable successor — every occurrence of c is
+	// final in every word, so once a c child closes, the parent's content
+	// is done. Mixed content self-excludes: its global repetition gives
+	// every position a successor.
+	for c := range info.tags {
+		done := true
+		for p := 0; p < n && done; p++ {
+			if g.tags[p] != c {
+				continue
+			}
+			for q := 0; q < n; q++ {
+				if reach[p][q] {
+					done = false
+					break
+				}
+			}
+		}
+		if done {
+			info.complete[c] = true
 		}
 	}
 	return info

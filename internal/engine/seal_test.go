@@ -1,0 +1,182 @@
+package engine
+
+// Schema-scheduled flushing (sealing): with a DTD, a buffered element is
+// marked finished the moment its content model proves no further child can
+// arrive — before its end tag is read (Koch/Scherzinger, cs/0406016).
+// Cursors and blocking waits observe Finished() early; physical
+// reclamation still waits for the real end tag, so an invalid document can
+// at worst produce the output its broken structure implies, never corrupt
+// the arena.
+
+import (
+	"strings"
+	"testing"
+
+	"gcx/internal/dtd"
+)
+
+// TestSealStarLoopEndsBeforeEndTag: a star-axis loop has no tag for the
+// NoMoreAfter fact to kill, so without a schema its region runs to the
+// context's end tag. ContentComplete seals the context at the last child's
+// close instead: the run finishes strictly earlier in the stream.
+func TestSealStarLoopEndsBeforeEndTag(t *testing.T) {
+	schema, err := dtd.Parse(`
+<!ELEMENT db (part)>
+<!ELEMENT part (a, b)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `<q>{ for $c in /db/* return for $g in $c/* return <hit/> }</q>`
+	doc := `<db><part><a>1</a><b>2</b></part></db>`
+
+	plain := compile(t, src, Config{Mode: ModeGCX})
+	var out1 strings.Builder
+	stPlain, err := plain.RunChecked(strings.NewReader(doc), &out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed := compile(t, src, Config{Mode: ModeGCX, Schema: schema})
+	var out2 strings.Builder
+	stSealed, err := sealed.RunChecked(strings.NewReader(doc), &out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1.String() != out2.String() {
+		t.Fatalf("sealing must not change results:\nplain:  %s\nsealed: %s", out1.String(), out2.String())
+	}
+	if want := "<q><hit></hit><hit></hit></q>"; out1.String() != want {
+		t.Fatalf("got %s, want %s", out1.String(), want)
+	}
+	// Plain evaluation pulls </part> (and </db>) to finish the star
+	// regions; the sealed run is done when <b> closes.
+	if stSealed.TokensRead >= stPlain.TokensRead {
+		t.Fatalf("seal must end the run before the end tags: sealed read %d tokens, plain %d",
+			stSealed.TokensRead, stPlain.TokensRead)
+	}
+}
+
+// TestSealEmptyElement: an element declared EMPTY is complete the moment
+// it opens. A star loop over its children terminates without waiting for
+// the close tag, and output is unchanged.
+func TestSealEmptyElement(t *testing.T) {
+	schema, err := dtd.Parse(`
+<!ELEMENT db (hr)>
+<!ELEMENT hr EMPTY>
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `<q>{ for $h in /db/* return for $c in $h/* return <hit/> }</q>`
+	doc := `<db><hr></hr></db>`
+
+	plain := compile(t, src, Config{Mode: ModeGCX})
+	var out1 strings.Builder
+	stPlain, err := plain.RunChecked(strings.NewReader(doc), &out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed := compile(t, src, Config{Mode: ModeGCX, Schema: schema})
+	var out2 strings.Builder
+	stSealed, err := sealed.RunChecked(strings.NewReader(doc), &out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1.String() != out2.String() {
+		t.Fatalf("sealing must not change results:\nplain:  %s\nsealed: %s", out1.String(), out2.String())
+	}
+	if want := "<q></q>"; out1.String() != want {
+		t.Fatalf("got %s, want %s", out1.String(), want)
+	}
+	if stSealed.TokensRead > stPlain.TokensRead {
+		t.Fatalf("sealed run read more tokens (%d) than plain (%d)", stSealed.TokensRead, stPlain.TokensRead)
+	}
+}
+
+// TestSealRefusedForMixedContent: mixed content models never seal (their
+// global repetition means nothing is final), and a parent whose projection
+// wants text nodes must not be sealed even when the last child element
+// closed — element-content whitespace may still arrive. Both runs must
+// agree byte for byte.
+func TestSealRefusedForMixedContent(t *testing.T) {
+	schema, err := dtd.Parse(`
+<!ELEMENT db (note)>
+<!ELEMENT note (#PCDATA | em)*>
+<!ELEMENT em (#PCDATA)>
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `<q>{ for $n in /db/note return $n }</q>`
+	doc := `<db><note>pre<em>mid</em>post</note></db>`
+
+	plain := compile(t, src, Config{Mode: ModeGCX})
+	var out1 strings.Builder
+	if _, err := plain.RunChecked(strings.NewReader(doc), &out1); err != nil {
+		t.Fatal(err)
+	}
+	sealed := compile(t, src, Config{Mode: ModeGCX, Schema: schema})
+	var out2 strings.Builder
+	if _, err := sealed.RunChecked(strings.NewReader(doc), &out2); err != nil {
+		t.Fatal(err)
+	}
+	if out1.String() != out2.String() {
+		t.Fatalf("sealing must not change results:\nplain:  %s\nsealed: %s", out1.String(), out2.String())
+	}
+	if !strings.Contains(out1.String(), "post") {
+		t.Fatalf("text after the last child element must survive: %s", out1.String())
+	}
+}
+
+// TestSchemaFlushLowersPeak is the acceptance check of schema-scheduled
+// flushing on a catalog query: an accumulation query buffers every title
+// while a blocking condition at the catalog's end stays unanswered. The
+// content model answers the condition at the FIRST book instead, so the
+// accumulated buffer flushes immediately and the peak drops strictly.
+func TestSchemaFlushLowersPeak(t *testing.T) {
+	schema, err := dtd.Parse(`
+<!ELEMENT bib (journal?, book*)>
+<!ELEMENT journal (#PCDATA)>
+<!ELEMENT book (title, price)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `<q>{ if (exists(/bib/journal)) then (for $b in /bib/book return $b/title) else () }</q>`
+	var b strings.Builder
+	b.WriteString("<bib>")
+	for i := 0; i < 200; i++ {
+		b.WriteString("<book><title>streaming xquery</title><price>10</price></book>")
+	}
+	b.WriteString("</bib>")
+	doc := b.String()
+
+	plain := compile(t, src, Config{Mode: ModeGCX})
+	var out1 strings.Builder
+	stPlain, err := plain.RunChecked(strings.NewReader(doc), &out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheduled := compile(t, src, Config{Mode: ModeGCX, Schema: schema})
+	var out2 strings.Builder
+	stSched, err := scheduled.RunChecked(strings.NewReader(doc), &out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1.String() != out2.String() {
+		t.Fatalf("schema must not change results:\nplain:  %.200s\nschema: %.200s", out1.String(), out2.String())
+	}
+	// Without the schema every title is buffered until </bib> proves the
+	// journal absent; with it, the condition resolves at the first book.
+	if stPlain.Buffer.PeakNodes < 200 {
+		t.Fatalf("plain peak %d nodes: expected the full title accumulation", stPlain.Buffer.PeakNodes)
+	}
+	if stSched.Buffer.PeakNodes*4 > stPlain.Buffer.PeakNodes {
+		t.Fatalf("schema-scheduled peak %d nodes vs plain %d: expected a strict, large reduction",
+			stSched.Buffer.PeakNodes, stPlain.Buffer.PeakNodes)
+	}
+}

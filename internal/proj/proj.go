@@ -271,7 +271,7 @@ func (p *Projector) Step() (bool, error) {
 	case xmlstream.StartElement:
 		p.openElement(tk.Name)
 	case xmlstream.EndElement:
-		p.closeElement()
+		p.closeElement(tk.Name)
 	case xmlstream.Text:
 		p.text(tk.Data)
 	case xmlstream.EOF:
@@ -381,14 +381,22 @@ func (p *Projector) collectCands(top *frame, isText bool, name string) []entry {
 	}
 	// Apply signOff cancellations after merging: all same-anchored
 	// derivations of a chain funnel into one candidate, whose multiplicity
-	// is reduced by the number of already signed-off instances.
+	// is reduced by the number of already signed-off instances. A shared
+	// node (extra role lanes from other member queries) keeps its
+	// structural multiplicity — each lane subtracts its own cancellations
+	// at assignment time (assignLanes) — and is dropped only when every
+	// lane is fully cancelled.
 	if len(p.cancs) > 0 {
 		out := p.cands[:0]
 		for i := range p.cands {
 			c := p.cands[i]
 			if c.pn.Var == "" {
-				c.mult -= p.cancelledCount(c.pn.ChainRole, c.anchor)
-				if c.mult <= 0 {
+				if len(c.pn.Extra) == 0 {
+					c.mult -= p.cancelledCount(c.pn.ChainRole, c.anchor)
+					if c.mult <= 0 {
+						continue
+					}
+				} else if p.allLanesCancelled(c.pn, c.mult, c.anchor) {
 					continue
 				}
 			}
@@ -397,6 +405,54 @@ func (p *Projector) collectCands(top *frame, isText bool, name string) []entry {
 		p.cands = out
 	}
 	return p.cands
+}
+
+// allLanesCancelled reports whether every role lane of a shared node has
+// been fully signed off at this anchor — only then can the shared
+// candidate be dropped.
+//
+//gcxlint:noalloc
+func (p *Projector) allLanesCancelled(pn *projtree.Node, mult int, anchor *frame) bool {
+	if mult > p.cancelledCount(pn.ChainRole, anchor) {
+		return false
+	}
+	for _, l := range pn.Extra {
+		if mult > p.cancelledCount(l.Chain, anchor) {
+			return false
+		}
+	}
+	return true
+}
+
+// assignLanes assigns a shared node's roles to a buffered node, one lane
+// at a time: each lane's multiplicity is the candidate's structural
+// multiplicity less the lane's own signed-off instances (chain lanes
+// only — binding lanes start new variable instances and are exempt,
+// exactly as in cancelledCount's solo rule).
+//
+//gcxlint:noalloc
+func (p *Projector) assignLanes(n *buffer.Node, pn *projtree.Node, mult int, anchor *frame) {
+	chain := pn.Var == ""
+	m := mult
+	if chain {
+		m -= p.cancelledCount(pn.ChainRole, anchor)
+	}
+	if m > 0 {
+		if r := p.tree.Roles[pn.Role]; r != nil && !r.Eliminated {
+			p.buf.AddRole(n, pn.Role, m)
+		}
+	}
+	for _, l := range pn.Extra {
+		m := mult
+		if chain {
+			m -= p.cancelledCount(l.Chain, anchor)
+		}
+		if m > 0 {
+			if r := p.tree.Roles[l.Role]; r != nil && !r.Eliminated {
+				p.buf.AddRole(n, l.Role, m)
+			}
+		}
+	}
 }
 
 // filterFirst applies first-witness suppression: a [1] candidate whose
@@ -495,7 +551,9 @@ func (p *Projector) applyCaptureRoles(n *buffer.Node, from *frame) {
 
 // startCaptures creates captures for dos::node() children of a matched
 // projection node and assigns the dos role to the matched element itself
-// (descendant-or-self includes self).
+// (descendant-or-self includes self). A shared dos leaf starts one
+// capture per role lane: captures are keyed (role, anchor), so each
+// member query's capture is cancelled independently.
 //
 //gcxlint:noalloc
 func (p *Projector) startCaptures(f *frame, e *entry) {
@@ -503,35 +561,45 @@ func (p *Projector) startCaptures(f *frame, e *entry) {
 		if !c.IsDosLeaf() {
 			continue
 		}
-		role := p.tree.Roles[c.Role]
-		if role == nil || role.Eliminated {
-			continue
+		p.addCapture(f, c.Role, c.ChainRole, e)
+		for _, l := range c.Extra {
+			p.addCapture(f, l.Role, l.Chain, e)
 		}
-		mult := e.mult - p.cancelledCount(c.ChainRole, e.anchor)
-		if mult <= 0 {
-			continue
-		}
-		// Merge same-keyed captures: several derivation instances of the
-		// same role can anchor at this frame (separate matched entries),
-		// and CancelRole retires them one multiplicity at a time.
-		merged := false
-		for j := range f.captures {
-			if f.captures[j].role == c.Role && f.captures[j].anchor == e.anchor {
-				if !f.captures[j].live {
-					f.captures[j].live = true
-					f.liveCaps++
-				}
-				f.captures[j].mult += mult
-				merged = true
-				break
-			}
-		}
-		if !merged {
-			f.captures = append(f.captures, capture{role: c.Role, anchor: e.anchor, mult: mult, live: true})
-			f.liveCaps++
-		}
-		p.buf.AddRole(f.node, c.Role, mult)
 	}
+}
+
+// addCapture starts (or re-activates) one capture lane at frame f.
+//
+//gcxlint:noalloc
+func (p *Projector) addCapture(f *frame, roleID, chain xqast.Role, e *entry) {
+	role := p.tree.Roles[roleID]
+	if role == nil || role.Eliminated {
+		return
+	}
+	mult := e.mult - p.cancelledCount(chain, e.anchor)
+	if mult <= 0 {
+		return
+	}
+	// Merge same-keyed captures: several derivation instances of the
+	// same role can anchor at this frame (separate matched entries),
+	// and CancelRole retires them one multiplicity at a time.
+	merged := false
+	for j := range f.captures {
+		if f.captures[j].role == roleID && f.captures[j].anchor == e.anchor {
+			if !f.captures[j].live {
+				f.captures[j].live = true
+				f.liveCaps++
+			}
+			f.captures[j].mult += mult
+			merged = true
+			break
+		}
+	}
+	if !merged {
+		f.captures = append(f.captures, capture{role: roleID, anchor: e.anchor, mult: mult, live: true})
+		f.liveCaps++
+	}
+	p.buf.AddRole(f.node, roleID, mult)
 }
 
 // openElement processes a start tag. name may borrow the tokenizer's
@@ -564,6 +632,11 @@ func (p *Projector) openElement(name string) {
 		f.node = n
 		f.attach = n
 		p.applyCaptureRoles(n, top)
+		if p.opts.Schema != nil && p.opts.Schema.EmptyElement(name) {
+			// EMPTY elements can have no content at all (not even
+			// whitespace): the region is complete at its start tag.
+			p.buf.Seal(n)
+		}
 	} else {
 		f.attach = top.attach
 	}
@@ -582,8 +655,12 @@ func (p *Projector) openElement(name string) {
 				e.anchor = f
 			}
 			f.matches = append(f.matches, e)
-			if r := p.tree.Roles[c.pn.Role]; r != nil && !r.Eliminated {
-				p.buf.AddRole(f.node, c.pn.Role, c.mult)
+			if len(c.pn.Extra) == 0 {
+				if r := p.tree.Roles[c.pn.Role]; r != nil && !r.Eliminated {
+					p.buf.AddRole(f.node, c.pn.Role, c.mult)
+				}
+			} else {
+				p.assignLanes(f.node, c.pn, c.mult, c.anchor)
 			}
 			p.startCaptures(f, &f.matches[len(f.matches)-1])
 		}
@@ -613,10 +690,12 @@ func appendScope(s []*entry, e *entry) []*entry {
 	return append(out, e) //gcxlint:allocok capacity was reserved by the make above; this append never grows
 }
 
-// closeElement processes an end tag.
+// closeElement processes an end tag. name may borrow the tokenizer's
+// window; it is only compared against schema facts, never retained.
 //
+//gcxlint:borrowed
 //gcxlint:noalloc
-func (p *Projector) closeElement() {
+func (p *Projector) closeElement(name string) {
 	f := p.stack[len(p.stack)-1]
 	p.stack = p.stack[:len(p.stack)-1]
 	// Drop cancellations anchored at the closing frame: the subtree is
@@ -634,6 +713,63 @@ func (p *Projector) closeElement() {
 		p.buf.Finish(f.node)
 	}
 	p.releaseFrame(f)
+	if p.opts.Schema != nil {
+		p.sealAfterChild(name)
+	}
+}
+
+// sealAfterChild applies the schema-based scheduling rule of
+// Koch/Scherzinger (cs/0406016) at a child's end tag: when the DTD
+// proves the parent's content model is complete after a `name` child,
+// the buffered parent is sealed — cursors see the region as finished
+// before its end-of-element arrives, so blocked evaluation concludes and
+// its signOffs flush buffered descendants that would otherwise sit until
+// the parent's real close (or EOF, for accumulating queries).
+//
+// Sealing silences the region for EVERY cursor, including text() steps
+// and dos captures, and element-content whitespace is still valid XML
+// after the last child — so the seal is refused while any live capture
+// covers the frame or a text candidate could still match here. In that
+// refused case arriving text would have been buffered; in the sealed
+// case it is discarded anyway, so nothing a cursor could observe is
+// lost.
+//
+//gcxlint:borrowed
+//gcxlint:noalloc
+func (p *Projector) sealAfterChild(name string) {
+	top := p.stack[len(p.stack)-1]
+	if top.node == nil || top.node.Kind != buffer.KindElement || top.node.Sealed() {
+		return
+	}
+	if covered(top) || p.textInterest(top) {
+		return
+	}
+	parentTag := p.buf.Syms().Name(top.node.Sym)
+	if p.opts.Schema.ContentComplete(parentTag, name) {
+		p.buf.Seal(top.node)
+	}
+}
+
+// textInterest reports whether a text token at this frame could match a
+// projection node (and hence be buffered).
+//
+//gcxlint:noalloc
+func (p *Projector) textInterest(top *frame) bool {
+	for i := range top.matches {
+		for _, c := range top.matches[i].pn.Children {
+			if c.Step.Axis == xqast.Child && c.Step.Test.Kind == xqast.TestText {
+				return true
+			}
+		}
+	}
+	for _, e := range top.scopes {
+		for _, c := range e.pn.Children {
+			if c.Step.Axis == xqast.Descendant && c.Step.Test.Kind == xqast.TestText {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // text processes a character-data token. data may borrow the tokenizer's
@@ -659,8 +795,12 @@ func (p *Projector) text(data string) {
 	p.applyCaptureRoles(n, top)
 	for i := range cands {
 		c := &cands[i]
-		if r := p.tree.Roles[c.pn.Role]; r != nil && !r.Eliminated {
-			p.buf.AddRole(n, c.pn.Role, c.mult)
+		if len(c.pn.Extra) == 0 {
+			if r := p.tree.Roles[c.pn.Role]; r != nil && !r.Eliminated {
+				p.buf.AddRole(n, c.pn.Role, c.mult)
+			}
+		} else {
+			p.assignLanes(n, c.pn, c.mult, c.anchor)
 		}
 		// text()/dos::node() chains do not occur (static analysis never
 		// appends dos below text tests), so no captures here.

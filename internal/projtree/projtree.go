@@ -74,6 +74,18 @@ type Role struct {
 	Desc string
 }
 
+// RoleRef is one (assigned role, cancellation chain) pair. A solo tree
+// carries exactly one such pair per node (the Role/ChainRole fields); a
+// shared merged tree (static.MergeTrees) collapses structurally identical
+// nodes of different member queries into one node carrying the extra
+// members' pairs as additional lanes.
+type RoleRef struct {
+	// Role is the role assigned to matching document nodes (0 if none).
+	Role xqast.Role
+	// Chain identifies the dependency chain for signOff cancellation.
+	Chain xqast.Role
+}
+
 // Node is a projection-tree node.
 type Node struct {
 	ID     int
@@ -90,6 +102,12 @@ type Node struct {
 	// nodes materialized from a dependency path it is the leaf's role; for
 	// variable nodes it is the binding role. Used by signOff cancellation.
 	ChainRole xqast.Role
+	// Extra holds the role lanes of additional member queries sharing this
+	// node in a merged tree (empty in solo trees). The projector treats
+	// (Role, ChainRole) plus every Extra entry as independent lanes: role
+	// assignment and signOff cancellation run per lane, while matching,
+	// [1] witnesses, and the structural guard run once on the shared node.
+	Extra []RoleRef
 	// Var is the variable this node binds (variable nodes only).
 	Var string
 	// AnchorSelf marks nodes whose match instances anchor signOff
@@ -248,6 +266,15 @@ func (t *Tree) Format() string {
 				status += " eliminated"
 			}
 			fmt.Fprintf(&b, "  {r%d%s}", n.Role, status)
+		}
+		for _, l := range n.Extra {
+			// Shared merged trees only: one lane per additional member
+			// query sharing this node.
+			if l.Role != 0 {
+				fmt.Fprintf(&b, "  +{r%d c%d}", l.Role, l.Chain)
+			} else {
+				fmt.Fprintf(&b, "  +{c%d}", l.Chain)
+			}
 		}
 		b.WriteByte('\n')
 		for _, c := range n.Children {

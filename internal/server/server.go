@@ -28,6 +28,7 @@ import (
 	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -93,9 +94,20 @@ type Config struct {
 type Server struct {
 	cfg   Config
 	cache *gcx.CompileCache
-	reg   *Registry
 	mux   *http.ServeMux
 	m     metrics
+
+	// regMu guards the id→text registry and its mirror subscription
+	// registry; both are replaced together by ReloadRegistry (SIGHUP in
+	// cmd/gcxd) while requests read them.
+	regMu sync.RWMutex
+	reg   *Registry
+	// subs mirrors reg in the v2 subscription API: one subscription per
+	// registered id, sharing one merged projection automaton. Full-fleet
+	// POST /workload (no id=/q= parameters) is served from it, so the
+	// fleet's compiled artifacts persist across requests AND reloads —
+	// only added ids compile, only removed ids drop out.
+	subs *gcx.Registry
 
 	// inflight counts serving requests (/query, /workload, /bulk)
 	// currently being handled; /readyz compares it to Config.MaxInflight.
@@ -123,6 +135,11 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: registered query %q: %w", id, err)
 		}
 	}
+	subs, err := subscribeAll(s.reg, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	s.subs = subs
 	s.m.initTTFR(s.reg.IDs())
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.timed(&s.m.latQuery, s.handleQuery))
@@ -169,6 +186,79 @@ func (s *Server) SetNotReady(reason string) { s.notReady.Store(&reason) }
 
 // SetReady clears a SetNotReady condition.
 func (s *Server) SetReady() { s.notReady.Store(nil) }
+
+// subscribeAll mirrors an id→text registry into a gcx.Registry: one
+// subscription per registered id, all sharing the server's compile
+// options.
+func subscribeAll(reg *Registry, opts []gcx.Option) (*gcx.Registry, error) {
+	subs, err := gcx.NewRegistry(opts...)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range reg.IDs() {
+		q, _ := reg.Get(id)
+		if _, err := subs.Subscribe(id, q); err != nil {
+			return nil, fmt.Errorf("server: registered query %q: %w", id, err)
+		}
+	}
+	return subs, nil
+}
+
+// registry returns the current id→text registry (reload-safe).
+func (s *Server) registry() *Registry {
+	s.regMu.RLock()
+	defer s.regMu.RUnlock()
+	return s.reg
+}
+
+// subscriptions returns the current subscription registry (reload-safe).
+func (s *Server) subscriptions() *gcx.Registry {
+	s.regMu.RLock()
+	defer s.regMu.RUnlock()
+	return s.subs
+}
+
+// ReloadRegistry swaps in a new query registry without restarting the
+// server (cmd/gcxd wires it to SIGHUP). The subscription registry is
+// updated by DIFF: ids whose query text is unchanged keep their compiled
+// artifacts, removed or changed ids unsubscribe, new or changed ids
+// subscribe. Every new text is compiled before any mutation, so a typo in
+// the new registry rejects the reload and the serving fleet is untouched.
+// In-flight requests finish against the snapshot they started with.
+//
+// TTFR histograms are allocated at boot; ids first registered by a
+// reload fold into the "inline" bucket until the next restart.
+func (s *Server) ReloadRegistry(newReg *Registry) error {
+	if newReg == nil {
+		return errors.New("server: reload with nil registry")
+	}
+	// Validate first: every new text must compile (warms the cache too).
+	for _, id := range newReg.IDs() {
+		q, _ := newReg.Get(id)
+		if _, err := s.cache.Engine(q, s.cfg.Options...); err != nil {
+			return fmt.Errorf("server: registered query %q: %w", id, err)
+		}
+	}
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	for _, id := range s.reg.IDs() {
+		oldQ, _ := s.reg.Get(id)
+		if newQ, ok := newReg.Get(id); !ok || newQ != oldQ {
+			s.subs.Unsubscribe(id)
+		}
+	}
+	for _, id := range newReg.IDs() {
+		if _, ok := s.subs.Subscription(id); ok {
+			continue
+		}
+		q, _ := newReg.Get(id)
+		if _, err := s.subs.Subscribe(id, q); err != nil {
+			return fmt.Errorf("server: registered query %q: %w", id, err)
+		}
+	}
+	s.reg = newReg
+	return nil
+}
 
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if reason := s.notReady.Load(); reason != nil {
@@ -234,7 +324,7 @@ func (s *Server) resolveQuery(r *http.Request) (string, error) {
 	case q != "":
 		return q, nil
 	case id != "":
-		text, ok := s.reg.Get(id)
+		text, ok := s.registry().Get(id)
 		if !ok {
 			return "", fmt.Errorf("unknown query id %q", id)
 		}
@@ -260,29 +350,21 @@ func (s *Server) body(w http.ResponseWriter, r *http.Request) (io.Reader, contex
 	if s.cfg.MaxBodyBytes > 0 {
 		in = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	}
-	return &ctxReader{ctx: ctx, r: in, n: &s.m.bytesIn}, ctx, cancel
+	return &countingReader{r: in, n: &s.m.bytesIn}, ctx, cancel
 }
 
-// ctxReader surfaces context cancellation (request timeout, client gone)
-// as a stream read error, which the engine propagates verbatim — the
-// same unwind path as a failing disk read in engine/failure_test.go.
-type ctxReader struct {
-	ctx context.Context
-	r   io.Reader
-	n   *atomic.Int64
+// countingReader feeds the service bytes-in counter. Cancellation is NOT
+// checked here: handlers run the engine through the context-aware API
+// (RunContext, WithTraceContext, BulkOptions.Context), which surfaces an
+// expired deadline as a typed stream error the engine unwinds on.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Int64
 }
 
-func (c *ctxReader) Read(p []byte) (int, error) {
-	if err := c.ctx.Err(); err != nil {
-		return 0, fmt.Errorf("request aborted: %w", err)
-	}
+func (c *countingReader) Read(p []byte) (int, error) {
 	n, err := c.r.Read(p)
 	c.n.Add(int64(n))
-	// A Read blocked past the deadline returns normally (or EOF) — the
-	// expiry must still win, or a trickling client defeats the timeout.
-	if cerr := c.ctx.Err(); cerr != nil && (err == nil || errors.Is(err, io.EOF)) {
-		return n, fmt.Errorf("request aborted: %w", cerr)
-	}
 	return n, err
 }
 
@@ -345,7 +427,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Trailer", "Gcx-Stats, Gcx-Error")
 	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
 	out := &countingWriter{w: w, n: &s.m.bytesOut, ctx: ctx, flush: flusherOf(w)}
-	stats, runErr := eng.Run(in, out)
+	stats, runErr := eng.RunContext(ctx, in, out)
 	s.m.record(stats)
 	s.m.observeTTFR(queryLabel(r), stats.TimeToFirstResultNanos)
 	if runErr != nil {
@@ -406,7 +488,11 @@ func (s *Server) handleQueryTraced(w http.ResponseWriter, r *http.Request, eng *
 		return
 	}
 	out := &countingWriter{w: part0, n: &s.m.bytesOut, ctx: ctx, flush: flusherOf(w)}
-	steps, truncated, stats, runErr := eng.TraceN(in, out, limit)
+	var truncated bool
+	steps, stats, runErr := eng.Trace(in, out,
+		gcx.WithTraceLimit(limit),
+		gcx.WithTraceTruncated(&truncated),
+		gcx.WithTraceContext(ctx))
 	s.m.record(stats)
 	s.m.observeTTFR(queryLabel(r), stats.TimeToFirstResultNanos)
 	if runErr != nil {
@@ -443,11 +529,16 @@ func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 	params := r.URL.Query()
 	ids := params["id"]
 	if len(ids) == 0 && len(params["q"]) == 0 {
-		ids = s.reg.IDs()
+		// Full fleet: served from the subscription registry, whose merged
+		// automaton and compiled members persist across requests and
+		// registry reloads — no cache lookups, no recompilation.
+		s.handleWorkloadRegistry(w, r)
+		return
 	}
+	reg := s.registry()
 	var texts, labels []string
 	for _, id := range ids {
-		text, ok := s.reg.Get(id)
+		text, ok := reg.Get(id)
 		if !ok {
 			s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown query id %q", id))
 			return
@@ -472,22 +563,162 @@ func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	if strings.Contains(r.Header.Get("Accept"), "application/json") {
-		s.workloadJSON(w, wl, in, labels)
+		s.workloadJSON(w, ctx, wl, in, labels)
 		return
 	}
 	s.workloadMultipart(w, ctx, wl, in, labels)
 }
 
+// registryWorkloadResponse is the JSON shape of a full-fleet POST
+// /workload served from the subscription registry. Results are ordered by
+// subscription id order; Stats carries the shared pass's aggregate (the
+// wire shape of the aggregate matches workloadResponse, so clients
+// reading ids/results/stats.aggregate see no difference).
+type registryWorkloadResponse struct {
+	IDs     []string          `json:"ids"`
+	Results []string          `json:"results,omitempty"`
+	Errors  []string          `json:"errors,omitempty"`
+	Stats   gcx.RegistryStats `json:"stats"`
+}
+
+// handleWorkloadRegistry serves POST /workload with no id=/q= parameters:
+// the whole registered fleet, evaluated through the subscription
+// registry's persistent merged automaton.
+func (s *Server) handleWorkloadRegistry(w http.ResponseWriter, r *http.Request) {
+	subs := s.subscriptions()
+	ids := subs.IDs()
+	if len(ids) == 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("no queries: registry is empty and no id=/q= given"))
+		return
+	}
+	in, ctx, cancel := s.body(w, r)
+	defer cancel()
+
+	if strings.Contains(r.Header.Get("Accept"), "application/json") {
+		s.registryJSON(w, ctx, subs, in, ids)
+		return
+	}
+	s.registryMultipart(w, ctx, subs, in, ids)
+}
+
+// registryErrors collects the per-subscription errors of the run that
+// just completed, reporting whether every subscription failed.
+func registryErrors(subs *gcx.Registry, ids []string) (errs []string, allFailed bool) {
+	allFailed = true
+	for _, id := range ids {
+		sub, ok := subs.Subscription(id)
+		if !ok {
+			continue
+		}
+		if e := sub.Stats().LastErr; e != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", id, e))
+		} else {
+			allFailed = false
+		}
+	}
+	return errs, allFailed
+}
+
+// registryJSON is the buffered JSON shape of the full-fleet path; mirrors
+// workloadJSON.
+func (s *Server) registryJSON(w http.ResponseWriter, ctx context.Context, subs *gcx.Registry, in io.Reader, ids []string) {
+	bufs := make(map[string]*bytes.Buffer, len(ids))
+	for _, id := range ids {
+		bufs[id] = &bytes.Buffer{}
+	}
+	sink := gcx.SinkFunc(func(sub *gcx.Subscription) io.Writer {
+		b := bufs[sub.ID()]
+		if b == nil {
+			// Subscribed after this request snapshotted the id list
+			// (concurrent reload): no part was promised, discard.
+			return nil
+		}
+		return &countingWriter{w: b, n: &s.m.bytesOut}
+	})
+	stats, runErr := subs.RunContext(ctx, in, sink)
+	s.m.record(stats.Aggregate)
+	resp := registryWorkloadResponse{IDs: ids, Stats: stats}
+	for _, id := range ids {
+		resp.Results = append(resp.Results, bufs[id].String())
+	}
+	if runErr != nil {
+		s.m.erroredRequests.Add(1)
+		errs, allFailed := registryErrors(subs, ids)
+		if allFailed {
+			s.failCode(w, runErr)
+			return
+		}
+		resp.Errors = errs
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSONBody(w, resp)
+}
+
+// registryMultipart is the streaming shape of the full-fleet path:
+// mirrors workloadMultipart — the first subscription's part streams
+// progressively along the shared pass, later parts buffer, the final part
+// carries the run stats.
+func (s *Server) registryMultipart(w http.ResponseWriter, ctx context.Context, subs *gcx.Registry, in io.Reader, ids []string) {
+	// Part 0 streams progressively; see handleQuery on full duplex.
+	http.NewResponseController(w).EnableFullDuplex()
+	mw := multipart.NewWriter(w)
+	w.Header().Set("Content-Type", "multipart/mixed; boundary="+mw.Boundary())
+
+	part0, err := mw.CreatePart(partHeader(0, ids[0], "application/xml; charset=utf-8"))
+	if err != nil {
+		return
+	}
+	bufs := make(map[string]*bytes.Buffer, len(ids))
+	outs := make(map[string]io.Writer, len(ids))
+	outs[ids[0]] = &countingWriter{w: part0, n: &s.m.bytesOut, ctx: ctx, flush: flusherOf(w)}
+	for _, id := range ids[1:] {
+		b := &bytes.Buffer{}
+		bufs[id] = b
+		outs[id] = &countingWriter{w: b, n: &s.m.bytesOut}
+	}
+	sink := gcx.SinkFunc(func(sub *gcx.Subscription) io.Writer { return outs[sub.ID()] })
+	stats, runErr := subs.RunContext(ctx, in, sink)
+	s.m.record(stats.Aggregate)
+	if runErr != nil {
+		s.m.erroredRequests.Add(1)
+	}
+	for i, id := range ids[1:] {
+		p, err := mw.CreatePart(partHeader(i+1, id, "application/xml; charset=utf-8"))
+		if err != nil {
+			return
+		}
+		if _, err := p.Write(bufs[id].Bytes()); err != nil {
+			return
+		}
+	}
+	sh := textproto.MIMEHeader{}
+	sh.Set("Content-Type", "application/json")
+	sh.Set("Gcx-Part", "stats")
+	if runErr != nil {
+		sh.Set("Gcx-Error", runErr.Error())
+	}
+	sp, err := mw.CreatePart(sh)
+	if err != nil {
+		return
+	}
+	resp := registryWorkloadResponse{IDs: ids, Stats: stats}
+	if runErr != nil {
+		resp.Errors, _ = registryErrors(subs, ids)
+	}
+	writeJSONBody(sp, resp)
+	mw.Close()
+}
+
 // workloadJSON buffers every member result and responds with one JSON
 // object. Convenient for programmatic clients; large results belong in
 // the multipart path.
-func (s *Server) workloadJSON(w http.ResponseWriter, wl *gcx.Workload, in io.Reader, labels []string) {
+func (s *Server) workloadJSON(w http.ResponseWriter, ctx context.Context, wl *gcx.Workload, in io.Reader, labels []string) {
 	bufs := make([]bytes.Buffer, wl.Len())
 	outs := make([]io.Writer, wl.Len())
 	for i := range bufs {
 		outs[i] = &countingWriter{w: &bufs[i], n: &s.m.bytesOut}
 	}
-	stats, runErr := wl.Run(in, outs)
+	stats, runErr := wl.RunContext(ctx, in, outs)
 	s.m.record(stats.Aggregate)
 	s.observeWorkloadTTFR(labels, stats)
 	resp := workloadResponse{IDs: labels, Stats: stats}
@@ -542,7 +773,7 @@ func (s *Server) workloadMultipart(w http.ResponseWriter, ctx context.Context, w
 	for i := 1; i < wl.Len(); i++ {
 		outs[i] = &countingWriter{w: &bufs[i], n: &s.m.bytesOut}
 	}
-	stats, runErr := wl.Run(in, outs)
+	stats, runErr := wl.RunContext(ctx, in, outs)
 	s.m.record(stats.Aggregate)
 	s.observeWorkloadTTFR(labels, stats)
 	if runErr != nil {
@@ -603,7 +834,7 @@ func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	writeJSONBody(w, struct {
 		IDs []string `json:"ids"`
-	}{IDs: s.reg.IDs()})
+	}{IDs: s.registry().IDs()})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -626,14 +857,16 @@ func (s *Server) fail(w http.ResponseWriter, code int, err error) {
 
 // failCode classifies a run error that occurred before the first output
 // byte: body too large, evaluation timeout, client gone, or bad input.
+// Classification is typed (errors.Is against the gcx error vocabulary),
+// never message matching.
 func (s *Server) failCode(w http.ResponseWriter, err error) {
 	var maxErr *http.MaxBytesError
 	switch {
-	case errors.As(err, &maxErr):
+	case errors.As(err, &maxErr), errors.Is(err, gcx.ErrTooLarge):
 		http.Error(w, "gcxd: "+err.Error(), http.StatusRequestEntityTooLarge)
 	case errors.Is(err, context.DeadlineExceeded):
 		http.Error(w, "gcxd: evaluation timeout: "+err.Error(), http.StatusRequestTimeout)
-	case errors.Is(err, context.Canceled):
+	case errors.Is(err, context.Canceled), errors.Is(err, gcx.ErrCanceled):
 		// Client is gone; nobody reads this status.
 		http.Error(w, "gcxd: "+err.Error(), http.StatusBadRequest)
 	default:

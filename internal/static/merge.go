@@ -17,10 +17,22 @@ import (
 // combined configuration — an element another query preserves can never be
 // promoted into a false child-axis match of this query.
 //
-// Member subtrees are cloned verbatim (no node sharing, not even of common
-// prefixes): every cloned node keeps exactly one owner query, so role
-// assignment, [1] first-witness suppression, and signOff cancellation —
-// all keyed on projection-node identity — behave exactly as in a solo run.
+// Structurally identical nodes of DIFFERENT member queries are shared:
+// when query i's node has the same location step (including the [1]
+// predicate), the same variable/chain class, and the same cancellation
+// anchor class as an existing node of an earlier query, the existing node
+// absorbs it as an extra role lane (projtree.RoleRef) instead of a clone.
+// Matching work per stream token then scales with the number of DISTINCT
+// path structures in the workload, not with the query count — the
+// registry regime of 10k subscriptions over a few hundred shapes. The
+// projector assigns roles and applies signOff cancellation per lane, so
+// per-query role accounting is unchanged.
+//
+// Nodes of the SAME query are never shared with each other: within one
+// member, dependency chains stay separate (each chain node belongs to
+// exactly one role — required by signOff cancellation, see build.go), and
+// sharing across variable/chain classes is refused because chain lanes
+// are subject to cancellation reduction while binding lanes are exempt.
 //
 // Roles are renumbered into per-query role spaces: query i's roles occupy
 // the half-open ID range (off[i], off[i+1]] of the combined role table,
@@ -28,8 +40,38 @@ import (
 // i's solo role IDs). The combined role table is the concatenation of the
 // member tables, so a role ID identifies its owning query by range.
 func MergeTrees(trees []*projtree.Tree) (*projtree.Tree, []xqast.Role) {
+	return mergeTrees(trees, true)
+}
+
+// MergeTreesDisjoint is the pre-sharing merge: member subtrees are cloned
+// verbatim (no node sharing, not even of common prefixes), so matching
+// cost is linear in the query count. Kept as the comparator for the
+// subscription-scaling benchmark and as a diagnostic fallback.
+func MergeTreesDisjoint(trees []*projtree.Tree) (*projtree.Tree, []xqast.Role) {
+	return mergeTrees(trees, false)
+}
+
+// shareable reports whether an existing merged node can absorb an
+// incoming member node as an extra lane: same location step (axis, test,
+// and [1] predicate), same variable/chain class (chain lanes undergo
+// cancellation reduction, binding lanes are exempt — see
+// proj.Projector.cancelledCount), and same self-anchoring class (the
+// anchor frame resolution in openElement is keyed on the node).
+func shareable(s *projtree.Node, n *projtree.Node) bool {
+	return s.Step == n.Step &&
+		(s.Var == "") == (n.Var == "") &&
+		s.AnchorSelf == n.AnchorSelf
+}
+
+func mergeTrees(trees []*projtree.Tree, share bool) (*projtree.Tree, []xqast.Role) {
 	m := projtree.New()
 	offsets := make([]xqast.Role, len(trees))
+	// claimed maps a merged node to the index of the last tree that
+	// placed one of its nodes there: a tree must never map two of its own
+	// nodes onto one merged node (solo matching structure is preserved
+	// per member), so only nodes claimed by EARLIER trees are share
+	// targets.
+	claimed := map[*projtree.Node]int{m.Root: -1}
 	for qi, t := range trees {
 		off := xqast.Role(len(m.Roles) - 1)
 		offsets[qi] = off
@@ -37,16 +79,42 @@ func MergeTrees(trees []*projtree.Tree) (*projtree.Tree, []xqast.Role) {
 		cloneOf[t.Root] = m.Root
 		// Nodes are stored in creation order, so parents precede children.
 		for _, n := range t.Nodes[1:] {
-			c := m.AddNode(cloneOf[n.Parent], n.Step)
-			c.Var = n.Var
-			c.AnchorSelf = n.AnchorSelf
-			if n.Role != 0 {
-				c.Role = n.Role + off
+			mp := cloneOf[n.Parent]
+			var target *projtree.Node
+			if share {
+				for _, s := range mp.Children {
+					if last, ok := claimed[s]; ok && last < qi && shareable(s, n) {
+						target = s
+						break
+					}
+				}
 			}
-			if n.ChainRole != 0 {
-				c.ChainRole = n.ChainRole + off
+			if target != nil {
+				// Absorb as an extra lane; the shared node keeps the
+				// first owner's primary Role/ChainRole/Var.
+				if n.Role != 0 || n.ChainRole != 0 {
+					lane := projtree.RoleRef{Chain: n.ChainRole + off}
+					if n.Role != 0 {
+						lane.Role = n.Role + off
+					}
+					if n.ChainRole == 0 {
+						lane.Chain = 0
+					}
+					target.Extra = append(target.Extra, lane)
+				}
+			} else {
+				target = m.AddNode(mp, n.Step)
+				target.Var = n.Var
+				target.AnchorSelf = n.AnchorSelf
+				if n.Role != 0 {
+					target.Role = n.Role + off
+				}
+				if n.ChainRole != 0 {
+					target.ChainRole = n.ChainRole + off
+				}
 			}
-			cloneOf[n] = c
+			claimed[target] = qi
+			cloneOf[n] = target
 		}
 		for _, r := range t.Roles[1:] {
 			m.Roles = append(m.Roles, &projtree.Role{

@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"testing"
+
+	"gcx/internal/engine"
+)
+
+// Equivalence under maximal node sharing: duplicated and heavily
+// overlapping member queries collapse onto shared projection nodes (extra
+// role lanes), and every member must still produce its solo output byte
+// for byte with balanced role accounting.
+
+var overlapQueries = []string{
+	`<r>{ for $b in /bib/book return $b/title }</r>`,
+	`<r>{ for $b in /bib/book return $b/title }</r>`, // identical duplicate
+	`<r>{ for $p in /bib/book return $p/price }</r>`, // shared spine
+	`<r>{ for $b in /bib/book return if (exists($b/price)) then $b/title else () }</r>`,
+	`<r>{ for $b in /bib/book return $b/title }</r>`, // second duplicate
+}
+
+func TestWorkloadSharedNodesMatchSolo(t *testing.T) {
+	for _, mode := range []engine.Mode{engine.ModeGCX, engine.ModeStaticOnly} {
+		t.Run(mode.String(), func(t *testing.T) {
+			var want []string
+			for _, q := range overlapQueries {
+				out, _ := soloRun(t, q, testDoc, mode)
+				want = append(want, out)
+			}
+			got, _, qs := runWorkload(t, overlapQueries, testDoc, Config{Engine: engine.Config{Mode: mode}, Batch: 1})
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("query %d output mismatch:\n got: %s\nwant: %s", i, got[i], want[i])
+				}
+			}
+			for i, q := range qs {
+				if q.Err != nil {
+					t.Errorf("query %d error: %v", i, q.Err)
+				}
+				if mode == engine.ModeGCX && q.RoleAssignments != q.RoleRemovals {
+					t.Errorf("query %d roles unbalanced: %d assigned, %d removed", i, q.RoleAssignments, q.RoleRemovals)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadSharedVsDisjointAgree: the shared merge and the disjoint
+// comparator are two implementations of the same semantics — outputs must
+// be byte-identical across a query mix with duplicates, shared spines, and
+// disjoint structures.
+func TestWorkloadSharedVsDisjointAgree(t *testing.T) {
+	queries := append(append([]string{}, overlapQueries...), testQueries...)
+	shared, _, _ := runWorkload(t, queries, testDoc, Config{Engine: engine.Config{Mode: engine.ModeGCX}, Batch: 1})
+	disjoint, _, _ := runWorkload(t, queries, testDoc, Config{Engine: engine.Config{Mode: engine.ModeGCX}, Batch: 1, DisjointMerge: true})
+	for i := range shared {
+		if shared[i] != disjoint[i] {
+			t.Errorf("query %d: shared and disjoint merges disagree:\nshared:   %s\ndisjoint: %s",
+				i, shared[i], disjoint[i])
+		}
+	}
+}

@@ -47,6 +47,12 @@ type Config struct {
 	// sched.go). Tests use 1 to reproduce the solo demand schedule
 	// token-exactly.
 	Batch int
+	// DisjointMerge selects the pre-sharing projection-tree merge
+	// (static.MergeTreesDisjoint): member subtrees cloned verbatim, so
+	// matching cost is linear in the member count. It is the comparator
+	// for the subscription-scaling benchmark and a diagnostic fallback;
+	// production workloads use the shared merge.
+	DisjointMerge bool
 }
 
 // Compiled is a set of queries compiled into one shared serving artifact.
@@ -79,16 +85,38 @@ func Compile(srcs []string, cfg Config) (*Compiled, error) {
 		return nil, errors.New("workload: no queries")
 	}
 	members := make([]*engine.Compiled, len(srcs))
-	trees := make([]*projtree.Tree, len(srcs))
 	for i, src := range srcs {
 		m, err := engine.Compile(src, cfg.Engine)
 		if err != nil {
 			return nil, fmt.Errorf("workload: query %d: %w", i, err)
 		}
 		members[i] = m
+	}
+	return CompileMembers(members, cfg)
+}
+
+// CompileMembers assembles the shared artifact from already-compiled
+// member queries. All members must have been compiled with the same
+// engine configuration (mode, optimizations, schema): the shared
+// projector runs one merged projection tree, so the matching discipline
+// must be uniform. The members are reused as-is — the subscription
+// registry rebuilds its snapshot on churn without recompiling surviving
+// queries.
+func CompileMembers(members []*engine.Compiled, cfg Config) (*Compiled, error) {
+	if len(members) == 0 {
+		return nil, errors.New("workload: no queries")
+	}
+	trees := make([]*projtree.Tree, len(members))
+	for i, m := range members {
 		trees[i] = m.MatchTree
 	}
-	merged, offsets := static.MergeTrees(trees)
+	var merged *projtree.Tree
+	var offsets []xqast.Role
+	if cfg.DisjointMerge {
+		merged, offsets = static.MergeTreesDisjoint(trees)
+	} else {
+		merged, offsets = static.MergeTrees(trees)
+	}
 
 	c := &Compiled{
 		Members: members,

@@ -1,0 +1,494 @@
+package gcx
+
+// Registry is the v2 subscription API for shared-stream serving at scale:
+// instead of compiling a fixed query list into one immutable Workload,
+// clients Subscribe and Unsubscribe query texts incrementally and Run
+// evaluates every active subscription over one pass of each document.
+//
+// Three properties make this the 10k-subscription regime (see DESIGN.md,
+// "Subscription registry"):
+//
+//   - Dedup: subscriptions are grouped by query text. Each DISTINCT text
+//     is compiled once and evaluated once per document, no matter how many
+//     subscribers share it; results fan out to every subscriber's writer.
+//
+//   - Shared automaton: the distinct texts' projection trees merge with
+//     node sharing (static.MergeTrees), so per-token matching cost scales
+//     with the number of distinct path STRUCTURES, not the query count.
+//
+//   - Incremental compilation: Subscribe compiles only its own query;
+//     the merged snapshot is rebuilt lazily on the next Run, reusing every
+//     surviving member's compiled artifact.
+//
+// A Registry is safe for concurrent use: Subscribe/Unsubscribe may race
+// active Runs. Each Run evaluates an immutable snapshot taken when it
+// starts — churn during a run takes effect on the next one.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"gcx/internal/engine"
+	"gcx/internal/static"
+	"gcx/internal/workload"
+	"gcx/internal/xmlstream"
+)
+
+// Sink supplies the output writer for each subscription of a Run. Writer
+// is called once per active subscription at run start; returning nil
+// discards that subscription's output for this run. Writers must be
+// distinct per subscription (results stream progressively along the
+// shared pass).
+type Sink interface {
+	Writer(s *Subscription) io.Writer
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(s *Subscription) io.Writer
+
+// Writer implements Sink.
+func (f SinkFunc) Writer(s *Subscription) io.Writer { return f(s) }
+
+// DiscardSink drops all output — for runs measured only through stats.
+var DiscardSink Sink = SinkFunc(func(*Subscription) io.Writer { return nil })
+
+// Registry holds the active subscriptions and their compiled artifacts.
+type Registry struct {
+	cfg config
+
+	mu     sync.Mutex
+	groups map[string]*subGroup     // by query text
+	order  []*subGroup              // insertion order (stable role spaces)
+	subs   map[string]*Subscription // by subscription id
+	ids    []string                 // subscription insertion order
+	dirty  bool                     // group set changed since last snapshot
+	snap   *registrySnapshot
+}
+
+// subGroup is one distinct query text and its subscribers. The compiled
+// member survives snapshot rebuilds and subscriber churn — it is dropped
+// only when the last subscriber leaves.
+type subGroup struct {
+	text   string
+	member *engine.Compiled
+	subs   []*Subscription // subscribe order
+}
+
+// registrySnapshot is the immutable artifact one Run evaluates: the
+// merged workload over the distinct texts plus the fanout lists frozen at
+// snapshot time.
+type registrySnapshot struct {
+	wl     *workload.Compiled
+	groups [][]*Subscription // per workload member, frozen subscriber list
+}
+
+// NewRegistry creates an empty registry. All subscriptions share one
+// configuration (strategy, optimizations, schema, read batch), exactly
+// like CompileWorkload members.
+func NewRegistry(opts ...Option) (*Registry, error) {
+	cfg := config{strategy: GCX, static: static.AllOptimizations()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.resolveSchema(); err != nil {
+		return nil, err
+	}
+	return &Registry{
+		cfg:    cfg,
+		groups: map[string]*subGroup{},
+		subs:   map[string]*Subscription{},
+	}, nil
+}
+
+// MustNewRegistry is NewRegistry panicking on error.
+func MustNewRegistry(opts ...Option) *Registry {
+	r, err := NewRegistry(opts...)
+	if err != nil {
+		panic("gcx: MustNewRegistry: " + err.Error())
+	}
+	return r
+}
+
+// Subscription is one client's standing query. Its stats accumulate
+// across runs; reads are safe while runs are active.
+type Subscription struct {
+	id    string
+	query string
+
+	runs    atomic.Int64
+	bytes   atomic.Int64
+	lastErr atomic.Pointer[error]
+}
+
+// ID returns the subscription id.
+func (s *Subscription) ID() string { return s.id }
+
+// Query returns the subscribed query text.
+func (s *Subscription) Query() string { return s.query }
+
+// SubscriptionStats is a snapshot of one subscription's accumulated
+// serving counters.
+type SubscriptionStats struct {
+	// Runs counts the registry runs that evaluated this subscription.
+	Runs int64 `json:"runs"`
+	// OutputBytes counts result bytes delivered to this subscription's
+	// writers across all runs.
+	OutputBytes int64 `json:"output_bytes"`
+	// LastErr is the most recent delivery or evaluation error (nil when
+	// the last run was clean). A delivery error never interrupts the
+	// shared pass: the failing subscriber stops receiving bytes for that
+	// run, siblings are unaffected.
+	LastErr error `json:"-"`
+}
+
+// Stats returns a snapshot of the subscription's counters.
+func (s *Subscription) Stats() SubscriptionStats {
+	st := SubscriptionStats{
+		Runs:        s.runs.Load(),
+		OutputBytes: s.bytes.Load(),
+	}
+	if p := s.lastErr.Load(); p != nil {
+		st.LastErr = *p
+	}
+	return st
+}
+
+func (s *Subscription) recordErr(err error) {
+	if err == nil {
+		s.lastErr.Store(nil)
+		return
+	}
+	s.lastErr.Store(&err)
+}
+
+// Subscribe registers a standing query under the given id and compiles it
+// if its text is new to the registry (subscriptions sharing a text share
+// one compiled artifact and one evaluation per document). The id must be
+// non-empty and not currently subscribed. A compile failure is reported
+// as a *QueryError carrying the id; the registry is unchanged.
+func (r *Registry) Subscribe(id, query string) (*Subscription, error) {
+	if id == "" {
+		return nil, errors.New("gcx: Subscribe: empty subscription id")
+	}
+
+	// Compile outside the lock: compilation is the expensive part, and
+	// concurrent Subscribes of distinct texts should not serialize on it.
+	// The double-checked group lookup below discards a duplicate compile
+	// if another Subscribe of the same text won the race.
+	r.mu.Lock()
+	if _, dup := r.subs[id]; dup {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("gcx: Subscribe: id %q is already subscribed", id)
+	}
+	g := r.groups[query]
+	r.mu.Unlock()
+
+	var member *engine.Compiled
+	if g == nil {
+		m, err := engine.Compile(query, engine.Config{
+			Mode:   r.cfg.strategy.mode(),
+			Static: &r.cfg.static,
+			Schema: r.cfg.schema,
+		})
+		if err != nil {
+			return nil, queryError(id, err)
+		}
+		member = m
+	}
+
+	sub := &Subscription{id: id, query: query}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.subs[id]; dup {
+		return nil, fmt.Errorf("gcx: Subscribe: id %q is already subscribed", id)
+	}
+	g = r.groups[query]
+	if g == nil {
+		if member == nil {
+			// The group we piggybacked on disappeared between the two
+			// critical sections (its last subscriber left): compile after
+			// all. Rare; done under the lock for simplicity.
+			m, err := engine.Compile(query, engine.Config{
+				Mode:   r.cfg.strategy.mode(),
+				Static: &r.cfg.static,
+				Schema: r.cfg.schema,
+			})
+			if err != nil {
+				return nil, queryError(id, err)
+			}
+			member = m
+		}
+		g = &subGroup{text: query, member: member}
+		r.groups[query] = g
+		r.order = append(r.order, g)
+		r.dirty = true
+	}
+	g.subs = append(g.subs, sub)
+	r.subs[id] = sub
+	r.ids = append(r.ids, id)
+	return sub, nil
+}
+
+// MustSubscribe is Subscribe panicking on error, for tests and examples.
+func (r *Registry) MustSubscribe(id, query string) *Subscription {
+	s, err := r.Subscribe(id, query)
+	if err != nil {
+		panic("gcx: MustSubscribe: " + err.Error())
+	}
+	return s
+}
+
+// Unsubscribe removes the subscription with the given id, reporting
+// whether it existed. When the last subscription of a query text leaves,
+// the text's compiled artifact is dropped and the merged snapshot is
+// rebuilt on the next Run. A run already in flight is unaffected (it
+// evaluates the snapshot taken at its start).
+func (r *Registry) Unsubscribe(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sub, ok := r.subs[id]
+	if !ok {
+		return false
+	}
+	delete(r.subs, id)
+	for i, x := range r.ids {
+		if x == id {
+			r.ids = append(r.ids[:i], r.ids[i+1:]...)
+			break
+		}
+	}
+	g := r.groups[sub.query]
+	for i, x := range g.subs {
+		if x == sub {
+			g.subs = append(g.subs[:i], g.subs[i+1:]...)
+			break
+		}
+	}
+	if len(g.subs) == 0 {
+		delete(r.groups, sub.query)
+		for i, x := range r.order {
+			if x == g {
+				r.order = append(r.order[:i], r.order[i+1:]...)
+				break
+			}
+		}
+		r.dirty = true
+	} else {
+		// The group survives but its fanout list changed: invalidate only
+		// the frozen subscriber lists, keeping the compiled workload.
+		if r.snap != nil {
+			r.snap = &registrySnapshot{wl: r.snap.wl, groups: r.frozenGroupsLocked()}
+		}
+	}
+	return true
+}
+
+// Len returns the number of active subscriptions.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.subs)
+}
+
+// Groups returns the number of distinct query texts — the number of
+// evaluations one Run performs per document.
+func (r *Registry) Groups() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.order)
+}
+
+// IDs returns the active subscription ids in subscribe order.
+func (r *Registry) IDs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.ids))
+	copy(out, r.ids)
+	return out
+}
+
+// Subscription returns the active subscription with the given id.
+func (r *Registry) Subscription(id string) (*Subscription, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.subs[id]
+	return s, ok
+}
+
+// frozenGroupsLocked copies the current per-group subscriber lists.
+func (r *Registry) frozenGroupsLocked() [][]*Subscription {
+	groups := make([][]*Subscription, len(r.order))
+	for i, g := range r.order {
+		groups[i] = append([]*Subscription(nil), g.subs...)
+	}
+	return groups
+}
+
+// snapshot returns the current immutable run artifact, rebuilding the
+// merged workload only when the group set changed since the last build
+// (compiled members are reused as-is — churn never recompiles surviving
+// queries).
+func (r *Registry) snapshot() (*registrySnapshot, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.order) == 0 {
+		return nil, errors.New("gcx: registry has no subscriptions")
+	}
+	if r.snap == nil || r.dirty {
+		members := make([]*engine.Compiled, len(r.order))
+		for i, g := range r.order {
+			members[i] = g.member
+		}
+		wl, err := workload.CompileMembers(members, workload.Config{
+			Engine: engine.Config{
+				Mode:   r.cfg.strategy.mode(),
+				Static: &r.cfg.static,
+				Schema: r.cfg.schema,
+			},
+			Batch: r.cfg.readBatch,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.snap = &registrySnapshot{wl: wl, groups: r.frozenGroupsLocked()}
+		r.dirty = false
+	}
+	return r.snap, nil
+}
+
+// RegistryStats reports one registry run.
+type RegistryStats struct {
+	// Aggregate measures the single shared pass (one tokenization, the
+	// union buffer's peak).
+	Aggregate Stats `json:"aggregate"`
+	// Groups is the number of distinct query texts evaluated;
+	// Subscriptions is the number of fanout targets served.
+	Groups        int `json:"groups"`
+	Subscriptions int `json:"subscriptions"`
+}
+
+// Run evaluates every active subscription over the XML document read from
+// in — one shared pass, one evaluation per distinct query text — fanning
+// each text's result out to its subscribers' writers (obtained from
+// sink). Per-subscriber delivery errors are isolated: they are recorded
+// on the subscription (Stats().LastErr) and stop that subscriber's
+// delivery for this run, without disturbing the shared pass. The returned
+// error reports failures of the pass itself.
+func (r *Registry) Run(in io.Reader, sink Sink) (RegistryStats, error) {
+	return r.RunContext(context.Background(), in, sink)
+}
+
+// RunContext is Run bounded by a context; see Engine.RunContext.
+func (r *Registry) RunContext(ctx context.Context, in io.Reader, sink Sink) (RegistryStats, error) {
+	snap, err := r.snapshot()
+	if err != nil {
+		return RegistryStats{}, err
+	}
+	if sink == nil {
+		sink = DiscardSink
+	}
+	outs := make([]io.Writer, len(snap.groups))
+	fans := make([]*fanout, len(snap.groups))
+	nsubs := 0
+	for i, subs := range snap.groups {
+		f := &fanout{targets: make([]fanTarget, len(subs))}
+		for j, sub := range subs {
+			f.targets[j] = fanTarget{w: sink.Writer(sub), sub: sub}
+			nsubs++
+		}
+		fans[i] = f
+		outs[i] = f
+	}
+	st, qs, runErr := snap.wl.Run(guard(ctx, in), outs)
+	for i, subs := range snap.groups {
+		var qerr error
+		if i < len(qs) {
+			qerr = qs[i].Err
+		}
+		for _, sub := range subs {
+			sub.runs.Add(1)
+			if qerr != nil {
+				sub.recordErr(qerr)
+			} else if !fans[i].failed(sub) {
+				sub.recordErr(nil)
+			}
+		}
+	}
+	return RegistryStats{
+		Aggregate: Stats{
+			PeakBufferNodes:        st.Buffer.PeakNodes,
+			PeakBufferBytes:        st.Buffer.PeakBytes,
+			BufferedTotal:          st.Buffer.NodesAppended,
+			PurgedTotal:            st.Buffer.NodesDeleted,
+			SignOffs:               st.Buffer.SignOffs,
+			TokensRead:             st.TokensRead,
+			OutputBytes:            st.OutputBytes,
+			TimeToFirstResultNanos: st.TTFRNanos,
+			EvalWallNanos:          st.WallNanos,
+		},
+		Groups:        len(snap.groups),
+		Subscriptions: nsubs,
+	}, runErr
+}
+
+// fanout delivers one group's result stream to every subscriber of its
+// query text. Delivery errors are isolated per target: a failing
+// subscriber is dropped for the rest of the run and the error recorded on
+// its subscription; Write always reports success upstream so the shared
+// pass continues for the siblings.
+type fanout struct {
+	targets []fanTarget
+}
+
+type fanTarget struct {
+	w      io.Writer // nil discards
+	sub    *Subscription
+	broken bool
+}
+
+func (f *fanout) Write(p []byte) (int, error) {
+	for i := range f.targets {
+		t := &f.targets[i]
+		if t.w == nil || t.broken {
+			continue
+		}
+		n, err := t.w.Write(p)
+		if err == nil && n < len(p) {
+			err = io.ErrShortWrite
+		}
+		t.sub.bytes.Add(int64(n))
+		if err != nil {
+			t.broken = true
+			t.sub.recordErr(err)
+		}
+	}
+	return len(p), nil
+}
+
+// FlushResult propagates the engine's first-result flush to every target
+// that can use it (xmlstream.ResultFlusher), so earliest answering
+// reaches each subscriber's transport.
+func (f *fanout) FlushResult() {
+	for i := range f.targets {
+		t := &f.targets[i]
+		if t.w == nil || t.broken {
+			continue
+		}
+		if rf, ok := t.w.(xmlstream.ResultFlusher); ok {
+			rf.FlushResult()
+		}
+	}
+}
+
+func (f *fanout) failed(sub *Subscription) bool {
+	for i := range f.targets {
+		if f.targets[i].sub == sub {
+			return f.targets[i].broken
+		}
+	}
+	return false
+}
